@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every experiment benchmark saves its rendered table under ``results/`` so
+one ``pytest benchmarks/ --benchmark-only`` run regenerates the full
+paper-vs-measured record referenced by EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2025)
+
+
+@pytest.fixture(scope="session")
+def sparse_matrix_4k(rng):
+    """A 4096x4096 60%-sparse FP16 matrix (Wanda-level LLM sparsity)."""
+    w = rng.standard_normal((4096, 4096)).astype(np.float16)
+    w[rng.random((4096, 4096)) < 0.6] = 0
+    return w
+
+
+@pytest.fixture(scope="session")
+def sparse_matrix_1k(rng):
+    w = rng.standard_normal((1024, 1024)).astype(np.float16)
+    w[rng.random((1024, 1024)) < 0.6] = 0
+    return w
+
+
+@pytest.fixture(scope="session")
+def activation_panel_1k(rng):
+    return rng.standard_normal((1024, 16)).astype(np.float16)

@@ -1,0 +1,48 @@
+"""Design-choice ablations DESIGN.md calls out (beyond the paper's Table 1).
+
+Each sweep validates a constant the paper fixes: GroupTile = 64, the
+split-K launch heuristic, ``mma.m16n8k16`` over ``m16n8k8``, and the
+quantization-composability claim of Section 2.3.
+"""
+
+from repro.bench import (
+    abl_grouptile_size,
+    abl_mma_shape,
+    abl_quantization,
+    abl_split_k,
+)
+
+
+def test_abl_grouptile_size(benchmark):
+    exp = benchmark(abl_grouptile_size)
+    exp.save()
+    # The paper's choice sits at the knee of the sweep.
+    assert exp.metric("best_gt") == 64
+    assert exp.metric("penalty_gt16") > 1.3
+    assert exp.metric("penalty_gt256") > 1.3
+
+
+def test_abl_split_k(benchmark):
+    exp = benchmark(abl_split_k)
+    exp.save()
+    # Splitting K rescues small-M grids, but not without bound.
+    assert 2 <= exp.metric("best_split_k") <= 16
+    assert exp.metric("speedup_over_split1") > 1.5
+
+
+def test_abl_mma_shape(benchmark):
+    exp = benchmark(abl_mma_shape)
+    exp.save()
+    # Paper Section 4.2.1: the larger mma shape wins.
+    assert exp.metric("k16_speedup_over_k8") > 1.2
+
+
+def test_abl_quantization(benchmark):
+    exp = benchmark(abl_quantization)
+    exp.save()
+    assert exp.metric("cr_int8") > exp.metric("cr_fp16")
+    assert exp.metric("cr_int4") > exp.metric("cr_int8")
+    assert exp.metric("int8_cr_gain") > 1.4
+    # INT8 SpMM error stays below 1%.
+    int8_row = next(r for r in exp.rows if r[0] == "int8")
+    assert int8_row[2] < 0.01

@@ -1,0 +1,18 @@
+"""Extension bench: pruning-quality proxies (perplexity stand-in).
+
+Paper context (Section 5.2): Wanda at 60 % sparsity keeps OPT-13B usable
+(perplexity 15.9); here the dataset-free proxies must show 60 % staying
+high-agreement while divergence grows monotonically with sparsity.
+"""
+
+from repro.bench import ext_accuracy
+
+
+def test_ext_accuracy(benchmark):
+    exp = benchmark.pedantic(ext_accuracy, rounds=1, iterations=1)
+    exp.save()
+    # Wanda (with real calibration activations) beats magnitude.
+    assert exp.metric("wanda_over_magnitude_kl") < 1.0
+    # Degradation grows with sparsity.
+    assert exp.metric("kl_growth_30_to_70") > 1.5
+    assert exp.metric("top1_drop_30_to_70") > 0.0

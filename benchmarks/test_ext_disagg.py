@@ -1,0 +1,17 @@
+"""Extension bench: the Section-6 disaggregation argument, quantified.
+
+Paper claim (Section 6): SpInfer's decode-phase optimisation "makes it
+well-suited for scalable deployment" in decoupled prefill/decode
+architectures — dense prefill + SpInfer decode should dominate both
+homogeneous deployments on long-prompt workloads.
+"""
+
+from repro.bench import ext_disaggregation
+
+
+def test_ext_disaggregation(benchmark):
+    exp = benchmark(ext_disaggregation)
+    exp.save()
+    assert exp.metric("hybrid_speedup_vs_dense") > 1.0
+    assert exp.metric("hybrid_speedup_vs_spinfer") >= 1.0
+    assert exp.metric("kv_migration_share") < 0.25

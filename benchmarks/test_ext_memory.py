@@ -1,0 +1,17 @@
+"""Extension bench: memory walls vs output length (Fig. 13's memory panel).
+
+Paper claims (Section 5.2): OPT-13B on one RTX4090 at batch 8 — SpInfer
+sustains 1024 output tokens where Flash-LLM stops at 256 and dense
+frameworks do not fit at all.
+"""
+
+from repro.bench import ext_memory_walls
+
+
+def test_ext_memory_walls(benchmark):
+    exp = benchmark(ext_memory_walls)
+    exp.save()
+    assert exp.metric("spinfer_max_output") >= 1024
+    assert exp.metric("flash_llm_max_output") <= 512
+    assert exp.metric("dense_max_output") == 0
+    assert exp.metric("wall_extension_vs_flash_llm") >= 2.0

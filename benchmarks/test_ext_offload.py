@@ -1,0 +1,18 @@
+"""Extension bench: offloading complementarity (paper §2.3).
+
+Paper claim: SpInfer "can be combined with [offloading] methods to
+further enhance performance" — on a PCIe-bound offloaded decode, weight
+compression must translate into a large throughput multiple.
+"""
+
+from repro.bench import ext_offloading
+
+
+def test_ext_offloading(benchmark):
+    exp = benchmark(ext_offloading)
+    exp.save()
+    assert exp.metric("speedup_tca_bme") > 1.5
+    # The encoded model keeps strictly more layers resident.
+    dense_row = next(r for r in exp.rows if r[0] == "dense")
+    tca_row = next(r for r in exp.rows if r[0] == "tca-bme")
+    assert tca_row[1] > dense_row[1]

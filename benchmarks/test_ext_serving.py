@@ -1,0 +1,17 @@
+"""Extension bench: SpInfer under continuous-batching serving.
+
+Tests the paper's orthogonality claim (Section 2.3): weight compression
+must help an online server on both throughput (faster steps) and memory
+(KV-cache headroom).  No direct paper figure; shape assertions only.
+"""
+
+from repro.bench import ext_serving
+
+
+def test_ext_serving(benchmark):
+    exp = benchmark(ext_serving)
+    exp.save()
+    assert exp.metric("throughput_gain_vs_flash_llm") > 1.0
+    assert exp.metric("kv_headroom_vs_flash_llm") > 2.0
+    # Dense frameworks cannot host OPT-13B on one 24 GB GPU at all.
+    assert exp.metric("dense_frameworks_fit") == 0.0

@@ -1,0 +1,20 @@
+"""Fig. 1: unstructured SpMM implementations vs cuBLAS (M/K/N=28672/8192/16).
+
+Paper claim: at the sparsity levels LLM pruning actually reaches
+(40-70 %), every prior SpMM loses to dense cuBLAS until well past 50 %;
+SpInfer is the only kernel already ahead at 40 %.
+"""
+
+from repro.bench import fig01_motivation
+
+
+def test_fig01_motivation(benchmark):
+    exp = benchmark(fig01_motivation)
+    exp.save()
+    # SpInfer crosses over first, at or below 40% sparsity.
+    assert exp.metric("crossover_sparsity_spinfer") <= 0.4
+    # CUDA-core kernels never beat cuBLAS in the swept range.
+    assert exp.metric("crossover_sparsity_cusparse") >= 0.8
+    # Flash-LLM and SparTA need ~50-60%+ to break even.
+    assert exp.metric("crossover_sparsity_flash_llm") >= 0.5
+    assert exp.metric("crossover_sparsity_sparta") >= 0.5

@@ -1,0 +1,21 @@
+"""Fig. 3: compression ratio vs sparsity for each format (M=K=4096).
+
+Paper claim: CSR and Tiled-CSL inflate storage (CR < 1) below 50 %
+sparsity; SparTA barely clears 1 at 50 %; TCA-BME stays above 1 from 30 %
+and tracks the zero-overhead optimum.
+"""
+
+import pytest
+
+from repro.bench import fig03_compression
+
+
+def test_fig03_compression(benchmark):
+    exp = benchmark(fig03_compression)
+    exp.save()
+    assert exp.metric("tca_bme_cr_at_30") > 1.0
+    assert exp.metric("csr_cr_at_50") < 1.0
+    assert exp.metric("tiled_csl_cr_at_50") == pytest.approx(1.0, abs=0.02)
+    assert 1.0 < exp.metric("sparta_cr_at_50") < 1.3
+    assert exp.metric("tca_bme_cr_at_50") == pytest.approx(1.78, abs=0.1)
+    assert exp.metric("tca_bme_cr_at_70") == pytest.approx(2.76, abs=0.15)

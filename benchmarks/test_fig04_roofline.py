@@ -1,0 +1,15 @@
+"""Fig. 4: roofline placement of GEMM and SpMM formats.
+
+Paper claim: all decode-phase shapes are memory-bound, so performance
+scales with compute intensity — i.e. with each format's compression
+ratio; TCA-BME moves closest to the compute-bound region.
+"""
+
+from repro.bench import fig04_roofline
+
+
+def test_fig04_roofline(benchmark):
+    exp = benchmark(fig04_roofline)
+    exp.save()
+    assert exp.metric("all_decode_points_memory_bound") == 1.0
+    assert exp.metric("tca_ci_gain_over_csr_at_50") > 2.0

@@ -1,0 +1,15 @@
+"""Fig. 11: SpInfer vs SMaT from LLM to scientific sparsity.
+
+Paper claim: SpInfer leads 2.12x at 50 % sparsity; SMaT only overtakes
+beyond ~99.7 % sparsity, where clustered scientific matrices let it skip
+most 16x16 blocks.
+"""
+
+from repro.bench import fig11_smat_comparison
+
+
+def test_fig11_smat(benchmark):
+    exp = benchmark(fig11_smat_comparison)
+    exp.save()
+    assert exp.metric("spinfer_speedup_at_50") > 1.5
+    assert 0.99 <= exp.metric("crossover_sparsity") <= 0.9995

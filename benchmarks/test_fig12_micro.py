@@ -1,0 +1,18 @@
+"""Fig. 12: micro-level comparison of SpInfer vs cuBLAS_TC vs Flash-LLM.
+
+Paper claims: SpInfer uses the fewest registers (shared-memory decode),
+reads the least DRAM (TCA-BME), suffers no shared-memory write conflicts
+(Flash-LLM's scatter does), and keeps the TC pipe busiest.
+"""
+
+from repro.bench import fig12_micro_metrics
+
+
+def test_fig12_micro(benchmark):
+    exp = benchmark(fig12_micro_metrics)
+    exp.save()
+    assert exp.metric("spinfer_fewest_registers") == 1.0
+    assert exp.metric("spinfer_dram_vs_cublas") < 0.7
+    assert exp.metric("spinfer_dram_vs_flash") < 1.0
+    assert exp.metric("spinfer_bank_replays") == 0.0
+    assert exp.metric("flash_bank_replays") > 1e5

@@ -1,0 +1,20 @@
+"""Fig. 14: end-to-end OPT-30B/66B inference on A6000s.
+
+Paper claims: SpInfer averages 1.29x / 1.36x / 1.55x speedups over
+Flash-LLM / FasterTransformer / DeepSpeed on the NVLink-connected A6000
+box, with the same OOM asymmetry for OPT-66B on 2 GPUs.
+"""
+
+import pytest
+
+from repro.bench import fig14_e2e_a6000
+
+
+def test_fig14_e2e_a6000(benchmark):
+    exp = benchmark(fig14_e2e_a6000)
+    exp.save()
+    assert exp.metric("avg_speedup_vs_flash_llm") == pytest.approx(1.29, abs=0.25)
+    assert exp.metric("avg_speedup_vs_fastertransformer") == pytest.approx(
+        1.36, abs=0.3
+    )
+    assert exp.metric("avg_speedup_vs_deepspeed") == pytest.approx(1.55, abs=0.35)

@@ -1,0 +1,17 @@
+"""Fig. 16: decode-vs-prefill regimes (M=28672, K=8192).
+
+Paper claim: SpInfer dominates at decode-phase N but turns up to 11.8 %
+slower than cuBLAS once large ``N = batch x seq_len`` makes the matmul
+compute-bound, where its memory-traffic advantage stops mattering.
+"""
+
+from repro.bench import fig16_prefill
+
+
+def test_fig16_prefill(benchmark):
+    exp = benchmark(fig16_prefill)
+    exp.save()
+    assert 1.0 < exp.metric("max_slowdown_large_n") < 1.15
+    # At small N SpInfer must still win (speedup > 1 in the first rows).
+    first_row = exp.rows[0]
+    assert first_row[0] == 8 and first_row[3] > 1.0

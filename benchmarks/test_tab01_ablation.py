@@ -1,0 +1,18 @@
+"""Table 1: ablation of SMBD and the asynchronous pipeline.
+
+Paper claim: removing SMBD increases kernel time by 10.03 %; removing
+the async pipeline by 1.98 %.  Both optimisations also degrade bandwidth
+and Tensor-Core utilisation when ablated.
+"""
+
+import pytest
+
+from repro.bench import tab01_ablation
+
+
+def test_tab01_ablation(benchmark):
+    exp = benchmark(tab01_ablation)
+    exp.save()
+    assert exp.metric("slowdown_no_smbd") == pytest.approx(1.10, abs=0.1)
+    assert exp.metric("slowdown_no_async") == pytest.approx(1.02, abs=0.05)
+    assert exp.metric("slowdown_no_smbd") > exp.metric("slowdown_no_async") > 1.0

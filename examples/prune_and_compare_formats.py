@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Prune an LLM layer with three algorithms and compare sparse formats.
+
+Reproduces, on one synthetic OPT-13B FFN layer, the storage study behind
+paper Fig. 3: prune with magnitude / Wanda / SparseGPT, then encode the
+result in every supported sparse format and compare actual byte counts,
+compression ratios, and reconstruction quality of the pruners.
+
+Run:  python examples/prune_and_compare_formats.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.formats import FORMATS, encode_as
+from repro.pruning import (
+    magnitude_prune,
+    measured_sparsity,
+    sparsegpt_prune,
+    synthetic_activations,
+    wanda_prune,
+)
+
+M, K = 2048, 512  # a scaled-down FFN projection (fc2-like)
+SPARSITY = 0.6
+
+
+def reconstruction_error(original, pruned, activations):
+    """Output-space error over a calibration batch — the metric pruning
+    papers report (lower is better)."""
+    ref = activations @ original.astype(np.float64).T
+    out = activations @ pruned.astype(np.float64).T
+    return float(np.linalg.norm(out - ref) / np.linalg.norm(ref))
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    weights = rng.standard_normal((M, K)).astype(np.float16)
+    acts = synthetic_activations(K, samples=256, outlier_scale=1.5, seed=2)
+
+    # --- pruning algorithms ---------------------------------------------------
+    pruned = {
+        "magnitude": magnitude_prune(weights, SPARSITY, per_row=True),
+        "wanda": wanda_prune(weights, SPARSITY, acts),
+        "sparsegpt": sparsegpt_prune(weights, SPARSITY, acts, block_size=64),
+    }
+    rows = []
+    for name, w in pruned.items():
+        rows.append(
+            [
+                name,
+                f"{measured_sparsity(w):.1%}",
+                f"{reconstruction_error(weights, w, acts):.4f}",
+            ]
+        )
+    print("Pruning algorithms at 60% sparsity")
+    print(format_table(["algorithm", "sparsity", "relative output error"], rows))
+    print()
+
+    # --- sparse formats on the Wanda-pruned matrix ----------------------------
+    w = pruned["wanda"]
+    dense_bytes = 2 * M * K
+    rows = []
+    for fmt in sorted(FORMATS):
+        enc = encode_as(fmt, w)
+        assert np.array_equal(enc.to_dense(), w), fmt  # exact round trip
+        rows.append(
+            [
+                fmt,
+                enc.storage_bytes(),
+                f"{enc.compression_ratio():.3f}",
+                "saves memory" if enc.compression_ratio() > 1 else "INFLATES",
+            ]
+        )
+    rows.sort(key=lambda r: r[1])
+    print(f"Sparse formats on the Wanda-pruned matrix (dense = {dense_bytes} B)")
+    print(format_table(["format", "bytes", "CR", "verdict"], rows))
+    print()
+    print(
+        "TCA-BME is the only format with CR comfortably above 1 at this\n"
+        "sparsity — CSR/COO inflate storage, Tiled-CSL roughly breaks even."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,239 @@
+"""Design-choice ablations beyond the paper's Table 1.
+
+DESIGN.md calls out four tunables the paper fixes by construction or
+microbenchmark; each gets an ablation sweep here:
+
+* **GroupTile size** (fixed at 64 in the paper): trades offset-array
+  overhead and LDGSTS transaction efficiency (small tiles) against
+  shared-memory footprint and occupancy (large tiles).
+* **Split-K factor** (chosen by heuristic): trades grid parallelism
+  against FP32-workspace reduction traffic.
+* **mma shape** (the paper's microbenchmark picks ``m16n8k16`` over
+  ``m16n8k8``): half-size mma doubles instruction count at equal FLOPs,
+  halving the skinny-N issue-bound ceiling.
+* **Value quantization** (Section 2.3's composability claim): INT8/INT4
+  value streams on top of unchanged bitmap indexing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..core.quant import QuantizedTCABME
+from ..core.tca_bme import tca_bme_storage_bytes
+from ..core.tiles import TileConfig
+from ..gpu.calibration import get_calibration
+from ..gpu.occupancy import occupancy
+from ..gpu.simulator import LaunchShape, Traffic, Work, simulate_kernel
+from ..gpu.specs import RTX4090, GPUSpec
+from ..kernels import SpMMProblem, make_kernel
+from .harness import Experiment
+
+__all__ = [
+    "abl_grouptile_size",
+    "abl_split_k",
+    "abl_mma_shape",
+    "abl_quantization",
+]
+
+_PROBLEM = SpMMProblem(m=28672, k=8192, n=16, sparsity=0.6)
+
+
+def abl_grouptile_size(gpu: GPUSpec = RTX4090) -> Experiment:
+    """Sweep the GroupTile edge; the paper's 64 should sit at the knee."""
+    p = _PROBLEM
+    cal = get_calibration("spinfer")
+    rows: List[List[object]] = []
+    times = {}
+    for gt in (16, 32, 64, 128, 256):
+        cfg = TileConfig(gt_h=gt, gt_w=gt)
+        weight_bytes = float(tca_bme_storage_bytes(p.m, p.k, p.nnz, cfg))
+
+        # Small GroupTiles fragment the value stream: each GTile's slice
+        # starts a fresh (aligned, possibly partial) LDGSTS burst, so
+        # effective load efficiency falls with bytes-per-GTile.
+        bytes_per_gt = weight_bytes / cfg.num_group_tiles(p.m, p.k)
+        burst_overhead = 256.0  # one 128B sector pair of startup waste
+        mem_eff = cal.mem_efficiency * bytes_per_gt / (bytes_per_gt + burst_overhead)
+
+        # Large GroupTiles blow up the double-buffered shared footprint:
+        # 2 x (bitmaps + worst-case half-dense values + XTile panel).
+        shared = int(
+            2 * (gt * gt // 8 + gt * gt * 2 * 0.5 + gt * 32 * 2)
+        )
+        shared = min(shared, gpu.max_shared_per_block_kb * 1024)
+        occ = occupancy(gpu, cal.threads_per_block, cal.registers_per_thread, shared)
+        if occ.blocks_per_sm == 0:
+            rows.append([gt, weight_bytes / 1e6, 0.0, "does not fit"])
+            continue
+
+        # DRAM latency hiding needs enough resident warps; ~16 per SM
+        # saturates the memory system on Ada/Ampere.
+        mem_eff *= min(1.0, occ.warps_per_sm / 16.0)
+
+        grid = math.ceil(p.m / gt) * max(1, p.k // (gt * 4))
+        traffic = Traffic(
+            weight_bytes=weight_bytes,
+            activation_bytes=2.0 * p.k * p.n,
+            output_bytes=2.0 * p.m * p.n,
+        )
+        from dataclasses import replace
+
+        cal_gt = replace(
+            cal,
+            mem_efficiency=mem_eff,
+            shared_bytes_per_block=shared,
+            tc_efficiency=cal.tc_efficiency_at(p.n, gpu),
+            tc_n_half=0.0,
+        )
+        prof = simulate_kernel(
+            gpu, cal_gt, LaunchShape(grid_blocks=grid), traffic,
+            Work(tc_flops=p.dense_flops, decode_values=float(p.nnz)),
+        )
+        times[gt] = prof.time_s
+        rows.append([gt, weight_bytes / 1e6, prof.time_us, occ.occupancy])
+
+    best = min(times, key=times.get)
+    return Experiment(
+        exp_id="abl_grouptile",
+        title="GroupTile size ablation (M/K/N=28672/8192/16, 60%)",
+        headers=["gt_edge", "weight_MB", "time_us", "occupancy"],
+        rows=rows,
+        metrics={
+            "best_gt": float(best),
+            "penalty_gt16": times[16] / times[best],
+            "penalty_gt256": times.get(256, float("inf")) / times[best]
+            if 256 in times
+            else float("inf"),
+        },
+        notes="The paper fixes GT=64; the sweep should show a knee there "
+        "(small tiles waste bursts and offsets, large tiles kill occupancy).",
+    )
+
+
+def abl_split_k(gpu: GPUSpec = RTX4090) -> Experiment:
+    """Sweep the split-K factor on a small-M matrix (grid starved at 1)."""
+    p = SpMMProblem(m=4096, k=4096, n=16, sparsity=0.6)
+    cal = get_calibration("spinfer")
+    from dataclasses import replace
+
+    cal_eff = replace(cal, tc_efficiency=cal.tc_efficiency_at(p.n, gpu), tc_n_half=0.0)
+    weight_bytes = float(tca_bme_storage_bytes(p.m, p.k, p.nnz))
+    rows: List[List[object]] = []
+    times = {}
+    for split in (1, 2, 4, 8, 16, 32):
+        grid = math.ceil(p.m / 64) * split
+        workspace = 2.0 * 4.0 * p.m * p.n * split if split > 1 else 0.0
+        traffic = Traffic(
+            weight_bytes=weight_bytes,
+            activation_bytes=2.0 * p.k * p.n,
+            output_bytes=2.0 * p.m * p.n,
+            workspace_bytes=workspace,
+        )
+        prof = simulate_kernel(
+            gpu, cal_eff, LaunchShape(grid_blocks=grid), traffic,
+            Work(tc_flops=p.dense_flops, decode_values=float(p.nnz)),
+        )
+        times[split] = prof.time_s
+        rows.append([split, grid, prof.wave_utilization, workspace / 1e6,
+                     prof.time_us])
+    best = min(times, key=times.get)
+    return Experiment(
+        exp_id="abl_splitk",
+        title="Split-K ablation (M/K/N=4096/4096/16, 60%)",
+        headers=["split_k", "grid_blocks", "wave_util", "workspace_MB", "time_us"],
+        rows=rows,
+        metrics={
+            "best_split_k": float(best),
+            "speedup_over_split1": times[1] / times[best],
+        },
+        notes="Small-M matrices starve the grid at split_k=1; splitting "
+        "K restores occupancy until workspace traffic dominates.",
+    )
+
+
+def abl_mma_shape(gpu: GPUSpec = RTX4090) -> Experiment:
+    """m16n8k16 vs m16n8k8 (the paper's Section 4.2.1 microbenchmark).
+
+    Equal FLOPs need twice the instructions with the half-K mma, so the
+    per-tile bookkeeping that caps the skinny-N TC pipe doubles.
+    """
+    p = _PROBLEM
+    cal = get_calibration("spinfer")
+    from dataclasses import replace
+
+    rows: List[List[object]] = []
+    times = {}
+    for shape, n_half_scale in (("m16n8k16", 1.0), ("m16n8k8", 2.0)):
+        eff = replace(cal, tc_n_half=cal.tc_n_half * n_half_scale)
+        prof = make_kernel("spinfer").profile(p, gpu)
+        # Rebuild with the scaled saturation: reuse the kernel's traffic
+        # but swap the compute ceiling.
+        cal_eff = replace(
+            eff, tc_efficiency=eff.tc_efficiency_at(p.n, gpu), tc_n_half=0.0
+        )
+        traffic = Traffic(
+            weight_bytes=float(tca_bme_storage_bytes(p.m, p.k, p.nnz)),
+            activation_bytes=2.0 * p.k * p.n,
+            output_bytes=2.0 * p.m * p.n,
+        )
+        grid = math.ceil(p.m / 64)
+        prof = simulate_kernel(
+            gpu, cal_eff, LaunchShape(grid_blocks=grid), traffic,
+            Work(tc_flops=p.dense_flops, decode_values=float(p.nnz)),
+        )
+        times[shape] = prof.time_s
+        rows.append([shape, prof.time_us, prof.tc_utilization])
+    return Experiment(
+        exp_id="abl_mma_shape",
+        title="mma instruction shape ablation",
+        headers=["mma_shape", "time_us", "tc_util"],
+        rows=rows,
+        metrics={"k16_speedup_over_k8": times["m16n8k8"] / times["m16n8k16"]},
+        notes="Paper: 'mma instructions with larger shapes offer higher "
+        "throughput, leading us to opt for mma.m16n8k16'.",
+    )
+
+
+def abl_quantization() -> Experiment:
+    """FP16 vs INT8 vs INT4 value streams over the bitmap index."""
+    rng = np.random.default_rng(0)
+    m = k = 1024
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < 0.6] = 0
+    x = rng.standard_normal((k, 16)).astype(np.float16)
+    ref = w.astype(np.float32) @ x.astype(np.float32)
+    ref_norm = float(np.linalg.norm(ref))
+
+    rows: List[List[object]] = []
+    crs = {}
+    for bits in (16, 8, 4):
+        if bits == 16:
+            from ..core.tca_bme import encode
+
+            enc = encode(w)
+            cr = enc.compression_ratio()
+            err = 0.0
+        else:
+            q = QuantizedTCABME.from_dense(w, bits=bits)
+            cr = q.compression_ratio()
+            err = float(np.linalg.norm(q.spmm(x) - ref)) / ref_norm
+        crs[bits] = cr
+        rows.append([f"fp16" if bits == 16 else f"int{bits}", cr, err])
+    return Experiment(
+        exp_id="abl_quant",
+        title="TCA-BME value quantization (1024x1024, 60% sparsity)",
+        headers=["values", "compression_ratio", "rel_spmm_error"],
+        rows=rows,
+        metrics={
+            "cr_fp16": crs[16],
+            "cr_int8": crs[8],
+            "cr_int4": crs[4],
+            "int8_cr_gain": crs[8] / crs[16],
+        },
+        notes="Bitmap indexing is value-width-agnostic, so quantization "
+        "composes: INT8 lifts CR ~1.6x over FP16 at sub-1% SpMM error.",
+    )

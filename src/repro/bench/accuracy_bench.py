@@ -1,0 +1,60 @@
+"""Extension experiment: pruning-quality proxies (the perplexity stand-in).
+
+The paper's usability evidence — Wanda 60 % keeps OPT-13B at perplexity
+15.9 — needs checkpoints and WikiText; this experiment establishes the
+same *orderings* on dataset-free proxies over the functional model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..llm.accuracy import accuracy_sweep
+from ..llm.functional_model import TinyConfig
+from .harness import Experiment
+
+__all__ = ["ext_accuracy"]
+
+
+def ext_accuracy() -> Experiment:
+    """Method x sparsity sweep of logit KL and top-1 agreement."""
+    config = TinyConfig(
+        num_layers=2, vocab_size=512, hidden_size=64, num_heads=4, ffn_size=256
+    )
+    records = accuracy_sweep(
+        sparsities=(0.3, 0.5, 0.6, 0.7),
+        methods=("magnitude", "wanda"),
+        config=config,
+        num_prompts=4,
+        prompt_len=24,
+    )
+    rows: List[List[object]] = [
+        [r["method"], r["sparsity"], r["kl"], r["top1"]] for r in records
+    ]
+    by_key = {(r["method"], r["sparsity"]): r for r in records}
+    return Experiment(
+        exp_id="ext_accuracy",
+        title="Pruning quality proxies on the functional model",
+        headers=["method", "sparsity", "logit_kl", "top1_agreement"],
+        rows=rows,
+        metrics={
+            "wanda_kl_at_60": float(by_key[("wanda", 0.6)]["kl"]),
+            "magnitude_kl_at_60": float(by_key[("magnitude", 0.6)]["kl"]),
+            "wanda_over_magnitude_kl": float(
+                by_key[("wanda", 0.6)]["kl"] / by_key[("magnitude", 0.6)]["kl"]
+            ),
+            "kl_growth_30_to_70": float(
+                by_key[("wanda", 0.7)]["kl"] / max(by_key[("wanda", 0.3)]["kl"], 1e-12)
+            ),
+            "top1_drop_30_to_70": float(
+                by_key[("wanda", 0.3)]["top1"] - by_key[("wanda", 0.7)]["top1"]
+            ),
+        },
+        notes=(
+            "Proxy for the paper's Wanda-60% perplexity claim. Orderings "
+            "are the reproducible content (the untrained toy model's flat "
+            "logits make absolute top-1 numbers meaningless): Wanda beats "
+            "magnitude in divergence at every sparsity, and degradation "
+            "grows monotonically with sparsity."
+        ),
+    )

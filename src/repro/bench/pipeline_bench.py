@@ -1,0 +1,131 @@
+"""Fig. 9 study: the asynchronous pipeline schedule, derived not assumed.
+
+Paper Fig. 9 is a schematic of the depth-2 pipeline; Table 1 measures
+what its pieces are worth.  Here we *derive* the schedule: per-iteration
+stage durations for one thread block are computed from the TCA-BME tile
+sizes and the GPU's per-block resource shares, then the event-driven
+model (:mod:`repro.gpu.pipeline`) schedules the main loop under each
+combination of the two pipeline knobs (double buffering, separate
+cp.async groups).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..gpu.calibration import get_calibration
+from ..gpu.occupancy import occupancy
+from ..gpu.pipeline import PipelineConfig, simulate_pipeline
+from ..gpu.specs import RTX4090, GPUSpec
+from ..kernels import SpMMProblem
+from .harness import Experiment
+
+__all__ = ["block_pipeline_config", "fig09_pipeline_schedule"]
+
+#: Decode CUDA-core ops per surviving value (matches the SpInfer
+#: calibration's decode_ops_per_value).
+_DECODE_OPS = 6.0
+
+
+def block_pipeline_config(
+    problem: SpMMProblem,
+    gpu: GPUSpec = RTX4090,
+    gt: int = 64,
+    double_buffering: bool = True,
+    separate_groups: bool = True,
+) -> PipelineConfig:
+    """Per-thread-block stage durations for the SpInfer main loop.
+
+    One block owns a ``gt x N`` output stripe and iterates over
+    ``K / gt`` GroupTiles.  Durations divide chip-level throughputs by
+    the number of concurrently resident blocks.
+    """
+    cal = get_calibration("spinfer")
+    occ = occupancy(
+        gpu, cal.threads_per_block, cal.registers_per_thread,
+        cal.shared_bytes_per_block,
+    )
+    resident_blocks = max(1, occ.blocks_per_sm * gpu.sm_count)
+
+    iterations = max(1, math.ceil(problem.k / gt))
+    density = 1.0 - problem.sparsity
+
+    # Bytes one iteration moves: bitmaps (8 B per 8x8 tile) + values for
+    # the W GroupTile, plus the XTile panel.
+    bitmap_bytes = (gt // 8) * (gt // 8) * 8.0
+    value_bytes = gt * gt * density * 2.0
+    w_bytes = bitmap_bytes + value_bytes
+    x_bytes = gt * min(problem.n, 32) * 2.0
+
+    mem_share = gpu.dram_bandwidth_bytes * cal.mem_efficiency / resident_blocks
+    t_load_w = w_bytes / mem_share
+    t_load_x = x_bytes / mem_share
+
+    decode_ops = gt * gt * density * _DECODE_OPS
+    t_decode = decode_ops / (gpu.int_ops / resident_blocks)
+
+    flops = 2.0 * gt * gt * problem.n
+    tc_share = gpu.tc_fp16_flops * cal.tc_efficiency_at(problem.n, gpu) / resident_blocks
+    t_compute = flops / tc_share
+
+    return PipelineConfig(
+        iterations=iterations,
+        t_load_w=t_load_w,
+        t_load_x=t_load_x,
+        t_decode=t_decode,
+        t_compute=t_compute,
+        double_buffering=double_buffering,
+        separate_groups=separate_groups,
+    )
+
+
+def fig09_pipeline_schedule(gpu: GPUSpec = RTX4090) -> Experiment:
+    """Schedule the main loop under each pipeline-knob combination."""
+    problem = SpMMProblem(m=28672, k=8192, n=16, sparsity=0.6)
+    variants = [
+        ("full pipeline", True, True),
+        ("no double buffering", False, True),
+        ("fused cp.async group", True, False),
+        ("neither", False, False),
+    ]
+    rows: List[List[object]] = []
+    totals = {}
+    gantts = []
+    for label, dbuf, sep in variants:
+        cfg = block_pipeline_config(
+            problem, gpu, double_buffering=dbuf, separate_groups=sep
+        )
+        trace = simulate_pipeline(cfg)
+        totals[label] = trace.total_time
+        gantts.append(f"{label}:\n{trace.render_gantt(width=64, max_iterations=6)}")
+        rows.append(
+            [
+                label,
+                trace.total_time * 1e6,
+                trace.utilization("mem"),
+                trace.utilization("cuda"),
+                trace.utilization("tc"),
+                trace.stalls("tc") * 1e6,
+            ]
+        )
+    full = totals["full pipeline"]
+    return Experiment(
+        exp_id="fig09",
+        title=f"Derived pipeline schedules, one thread block on {gpu.name}",
+        headers=["variant", "block_time_us", "mem_util", "cuda_util", "tc_util", "tc_stall_us"],
+        rows=rows,
+        metrics={
+            "slowdown_no_double_buffering": totals["no double buffering"] / full,
+            "slowdown_fused_group": totals["fused cp.async group"] / full,
+            "slowdown_neither": totals["neither"] / full,
+        },
+        notes=(
+            "Derived from first principles (no overlap calibration): both "
+            "knobs must help, and their removal must cost a few percent "
+            "to tens of percent, consistent with Table 1's +1.98% for the "
+            "async pipeline.\n\nSchedules (first 6 iterations; digits = "
+            "iteration occupying the resource, '.' = idle):\n\n"
+            + "\n\n".join(gantts)
+        ),
+    )

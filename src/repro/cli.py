@@ -1,0 +1,339 @@
+"""Command-line interface.
+
+Subcommands mirror the library's main entry points::
+
+    repro bench all                 # regenerate every table/figure
+    repro bench fig10 --gpu A6000   # one experiment
+    repro profile --m 28672 --k 8192 --n 16 --sparsity 0.6
+    repro encode --m 4096 --k 4096 --sparsity 0.6
+    repro simulate --model opt-13b --framework spinfer --gpus 1
+    repro models                    # list the model zoo
+
+Everything prints rendered text tables; ``bench`` additionally writes
+``results/<exp_id>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import bench as bench_mod
+from .bench import format_table
+from .gpu.specs import GPUS, get_gpu
+from .kernels import KERNELS, SpMMProblem, make_kernel
+from .llm import MODELS, InferenceConfig, simulate_inference
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment registry: id -> zero-argument callable.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01": bench_mod.fig01_motivation,
+    "fig02": bench_mod.fig02_breakdown,
+    "fig03": bench_mod.fig03_compression,
+    "fig04": bench_mod.fig04_roofline,
+    "fig09": bench_mod.fig09_pipeline_schedule,
+    "fig10": bench_mod.fig10_kernel_sweep,
+    "fig11": bench_mod.fig11_smat_comparison,
+    "fig12": bench_mod.fig12_micro_metrics,
+    "fig13": bench_mod.fig13_e2e_rtx4090,
+    "fig14": bench_mod.fig14_e2e_a6000,
+    "fig15": bench_mod.fig15_time_breakdown,
+    "fig16": bench_mod.fig16_prefill,
+    "tab01": bench_mod.tab01_ablation,
+    "abl_grouptile": bench_mod.abl_grouptile_size,
+    "abl_splitk": bench_mod.abl_split_k,
+    "abl_mma_shape": bench_mod.abl_mma_shape,
+    "abl_quant": bench_mod.abl_quantization,
+    "ext_serving": bench_mod.ext_serving,
+    "ext_disagg": bench_mod.ext_disaggregation,
+    "ext_accuracy": bench_mod.ext_accuracy,
+    "ext_offload": bench_mod.ext_offloading,
+    "ext_memory": bench_mod.ext_memory_walls,
+}
+
+#: Experiments accepting a GPU argument.
+_GPU_PARAM = {"fig01", "fig09", "fig10", "fig11", "fig12", "fig16", "tab01"}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in targets:
+        try:
+            fn = EXPERIMENTS[exp_id]
+        except KeyError:
+            print(
+                f"unknown experiment {exp_id!r}; available: "
+                f"{', '.join(sorted(EXPERIMENTS))} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        if exp_id in _GPU_PARAM and args.gpu:
+            exp = fn(get_gpu(args.gpu))
+        else:
+            exp = fn()
+        print(exp.render())
+        if not args.no_save:
+            path = exp.save()
+            print(f"[saved {path}]\n")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    gpu = get_gpu(args.gpu)
+    problem = SpMMProblem(m=args.m, k=args.k, n=args.n, sparsity=args.sparsity)
+    names = args.kernels or [
+        n for n in sorted(KERNELS) if not n.startswith("spinfer_")
+    ]
+    rows = []
+    base: Optional[float] = None
+    for name in names:
+        p = make_kernel(name).profile(problem, gpu)
+        if name == "cublas_tc":
+            base = p.time_s
+        rows.append([name, f"{p.time_us:.1f}", f"{p.dram_bytes / 1e6:.1f}",
+                     f"{p.bandwidth_utilization:.0%}", f"{p.tc_utilization:.0%}",
+                     p.registers_per_thread, p.time_s])
+    rows.sort(key=lambda r: r[-1])
+    table = [
+        r[:-1] + ([f"{base / r[-1]:.2f}x"] if base else ["-"]) for r in rows
+    ]
+    print(
+        f"SpMM profile: M={args.m} K={args.k} N={args.n} "
+        f"sparsity={args.sparsity:.0%} on {gpu.name}"
+    )
+    print(format_table(
+        ["kernel", "time_us", "dram_MB", "bw_util", "tc_util", "regs", "vs_cublas"],
+        table,
+    ))
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core.tca_bme import encode
+    from .formats import FORMATS, encode_as
+
+    rng = np.random.default_rng(args.seed)
+    w = rng.standard_normal((args.m, args.k)).astype(np.float16)
+    w[rng.random((args.m, args.k)) < args.sparsity] = 0
+
+    enc = encode(w)
+    print(
+        f"TCA-BME: {args.m}x{args.k} at {args.sparsity:.0%} sparsity -> "
+        f"{enc.storage_bytes()} B (CR {enc.compression_ratio():.3f})"
+    )
+    if args.all_formats:
+        rows = []
+        for name in sorted(FORMATS):
+            f = encode_as(name, w)
+            rows.append([name, f.storage_bytes(), f"{f.compression_ratio():.3f}"])
+        rows.sort(key=lambda r: r[1])
+        print(format_table(["format", "bytes", "CR"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = InferenceConfig(
+        model=args.model,
+        framework=args.framework,
+        gpu=args.gpu,
+        num_gpus=args.gpus,
+        batch_size=args.batch,
+        prompt_len=args.prompt_len,
+        output_len=args.output_len,
+        sparsity=args.sparsity,
+    )
+    r = simulate_inference(cfg)
+    if r.oom:
+        print(
+            f"OOM: {args.model} on {args.gpus}x{args.gpu} needs "
+            f"{r.memory_gb:.1f} GB/GPU"
+        )
+        return 1
+    print(f"{args.model} / {args.framework} on {args.gpus}x{args.gpu}:")
+    print(f"  throughput : {r.tokens_per_second:8.1f} tokens/s")
+    print(f"  latency    : {r.total_s:8.2f} s "
+          f"(prefill {r.prefill.total_s:.2f} s, decode {r.decode.total_s:.2f} s)")
+    print(f"  memory     : {r.memory_gb:8.1f} GB/GPU")
+    d = r.decode
+    print(
+        f"  decode mix : linear {d.linear_s:.2f} s, attention "
+        f"{d.attention_s:.2f} s, comm {d.comm_s:.2f} s, other {d.other_s:.2f} s"
+    )
+    return 0
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from .kernels.dispatch import KernelDispatcher
+
+    dispatcher = KernelDispatcher(
+        gpu=get_gpu(args.gpu),
+        dense_weights_available=args.dense_fallback,
+    )
+    problem = SpMMProblem(
+        m=args.m, k=args.k, n=args.n, sparsity=args.sparsity,
+        block_occupancy=args.block_occupancy,
+    )
+    d = dispatcher.select(problem)
+    print(
+        f"dispatch: {d.kernel_name} "
+        f"({d.profile.time_us:.1f} us; runner-up {d.runner_up} at "
+        f"{d.margin:.2f}x)"
+    )
+    return 0
+
+
+def _cmd_offload(args: argparse.Namespace) -> int:
+    from .llm.offloading import plan_offload
+
+    try:
+        plan = plan_offload(
+            args.model, args.format, args.sparsity, args.gpu,
+            batch_size=args.batch, context_len=args.context,
+        )
+    except ValueError as exc:
+        print(f"infeasible: {exc}")
+        return 1
+    print(f"{args.model} ({args.format}) on one {args.gpu}:")
+    print(f"  resident layers : {plan.resident_layers}/{plan.total_layers}")
+    print(f"  streamed per step: {plan.streamed_bytes_per_step / 1e9:.2f} GB over PCIe")
+    print(f"  KV reservation  : {plan.kv_reserved_bytes / 1e9:.2f} GB")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .bench.sweeps import export_csv, kernel_sweep
+
+    exp = kernel_sweep(
+        args.m, args.k,
+        kernels=tuple(args.kernels),
+        ns=tuple(args.ns),
+        sparsities=tuple(args.sparsities),
+        gpu=get_gpu(args.gpu),
+    )
+    print(exp.render())
+    if args.csv:
+        print(f"[csv written to {export_csv(exp, args.csv)}]")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench.report import write_report
+
+    path = write_report(args.output)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, m in sorted(MODELS.items()):
+        rows.append([
+            name, m.num_layers, m.hidden_size, m.ffn_size,
+            f"{m.total_params() / 1e9:.1f}B",
+            f"{m.weight_bytes_dense() / 1e9:.1f}",
+        ])
+    print(format_table(
+        ["model", "layers", "hidden", "ffn", "params", "weights GB (fp16)"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpInfer reproduction: benches, kernel profiles, "
+        "format encoding and inference simulation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bench = sub.add_parser("bench", help="run a paper experiment (or 'all')")
+    p_bench.add_argument("experiment", help="experiment id, e.g. fig10, tab01, all")
+    p_bench.add_argument("--gpu", choices=sorted(GPUS), default=None)
+    p_bench.add_argument("--no-save", action="store_true",
+                         help="do not write results/<id>.txt")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_prof = sub.add_parser("profile", help="profile SpMM kernels on a shape")
+    p_prof.add_argument("--m", type=int, required=True)
+    p_prof.add_argument("--k", type=int, required=True)
+    p_prof.add_argument("--n", type=int, default=16)
+    p_prof.add_argument("--sparsity", type=float, default=0.6)
+    p_prof.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_prof.add_argument("--kernels", nargs="*", choices=sorted(KERNELS))
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_enc = sub.add_parser("encode", help="encode a random matrix, report storage")
+    p_enc.add_argument("--m", type=int, default=4096)
+    p_enc.add_argument("--k", type=int, default=4096)
+    p_enc.add_argument("--sparsity", type=float, default=0.6)
+    p_enc.add_argument("--seed", type=int, default=0)
+    p_enc.add_argument("--all-formats", action="store_true")
+    p_enc.set_defaults(func=_cmd_encode)
+
+    p_sim = sub.add_parser("simulate", help="simulate end-to-end generation")
+    p_sim.add_argument("--model", choices=sorted(MODELS), required=True)
+    p_sim.add_argument("--framework", default="spinfer")
+    p_sim.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_sim.add_argument("--gpus", type=int, default=1)
+    p_sim.add_argument("--batch", type=int, default=8)
+    p_sim.add_argument("--prompt-len", type=int, default=64)
+    p_sim.add_argument("--output-len", type=int, default=256)
+    p_sim.add_argument("--sparsity", type=float, default=0.6)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_models = sub.add_parser("models", help="list the model zoo")
+    p_models.set_defaults(func=_cmd_models)
+
+    p_report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    p_report.add_argument("--output", default=None,
+                          help="path for REPORT.md (default: results/REPORT.md)")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_disp = sub.add_parser("dispatch", help="pick the fastest kernel for a shape")
+    p_disp.add_argument("--m", type=int, required=True)
+    p_disp.add_argument("--k", type=int, required=True)
+    p_disp.add_argument("--n", type=int, default=16)
+    p_disp.add_argument("--sparsity", type=float, default=0.6)
+    p_disp.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_disp.add_argument("--block-occupancy", type=float, default=None)
+    p_disp.add_argument("--dense-fallback", action="store_true",
+                        help="a dense weight copy exists (enables cuBLAS)")
+    p_disp.set_defaults(func=_cmd_dispatch)
+
+    p_off = sub.add_parser("offload", help="plan host-offloaded deployment")
+    p_off.add_argument("--model", choices=sorted(MODELS), required=True)
+    p_off.add_argument("--format", choices=("dense", "tca-bme"), default="tca-bme")
+    p_off.add_argument("--sparsity", type=float, default=0.6)
+    p_off.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_off.add_argument("--batch", type=int, default=8)
+    p_off.add_argument("--context", type=int, default=512)
+    p_off.set_defaults(func=_cmd_offload)
+
+    p_sweep = sub.add_parser("sweep", help="sweep kernels over an (N, sparsity) grid")
+    p_sweep.add_argument("--m", type=int, required=True)
+    p_sweep.add_argument("--k", type=int, required=True)
+    p_sweep.add_argument("--kernels", nargs="+", choices=sorted(KERNELS),
+                         default=["spinfer", "flash_llm", "cublas_tc"])
+    p_sweep.add_argument("--ns", nargs="+", type=int, default=[8, 16, 32])
+    p_sweep.add_argument("--sparsities", nargs="+", type=float,
+                         default=[0.4, 0.5, 0.6, 0.7])
+    p_sweep.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_sweep.add_argument("--csv", default=None, help="also export rows as CSV")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Bitmap primitives underpinning the TCA-BME sparse format.
+
+A *BitmapTile* is an 8x8 block of a weight matrix whose sparsity pattern is
+encoded in a single 64-bit integer (the paper exploits CUDA's native
+``uint64_t`` for this).  Bit ``r * 8 + c`` is set iff element ``(r, c)`` of
+the tile is non-zero, i.e. bits are laid out row-major within the tile.
+
+This row-major bit order is not arbitrary: it makes the per-lane decode of
+the ``mma.m16n8k16`` A-fragment a pure bit-pair lookup.  Lane ``l`` of a
+warp owns elements ``(l // 4, 2 * (l % 4))`` and ``(l // 4, 2 * (l % 4) + 1)``
+of each 8x8 quadrant, which are exactly bits ``2 * l`` and ``2 * l + 1`` of
+the bitmap (see :mod:`repro.gpu.tensor_core` for the fragment layout and
+:mod:`repro.core.smbd` for the decoder built on top of these primitives).
+
+All functions accept either Python ints or numpy ``uint64`` arrays; array
+inputs are processed vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "BITMAP_TILE_BITS",
+    "popcount64",
+    "masked_popcount",
+    "lane_bit_indices",
+    "bitmap_from_block",
+    "block_mask_from_bitmap",
+    "expand_bitmap_rows",
+]
+
+#: Number of bits in one BitmapTile bitmap (an 8x8 tile).
+BITMAP_TILE_BITS = 64
+
+_UINT64 = np.uint64
+
+# Magic constants of the classic SWAR popcount (Hacker's Delight 5-2),
+# expressed as uint64 so the numpy path never up-casts to Python ints.
+_M1 = _UINT64(0x5555555555555555)
+_M2 = _UINT64(0x3333333333333333)
+_M4 = _UINT64(0x0F0F0F0F0F0F0F0F)
+_H01 = _UINT64(0x0101010101010101)
+_SHIFT_56 = _UINT64(56)
+
+IntOrArray = Union[int, np.integer, np.ndarray]
+
+
+def popcount64(bits: IntOrArray) -> IntOrArray:
+    """Count set bits of 64-bit value(s) — the CUDA ``__popcll`` intrinsic.
+
+    Accepts a Python int (must fit in 64 bits), a numpy scalar, or a numpy
+    array of ``uint64``; returns the same kind.  The SpInfer kernel uses this
+    to locate each BitmapTile's slice of the compressed ``Values`` array
+    without storing explicit offsets.
+    """
+    if isinstance(bits, (int, np.integer)):
+        value = int(bits)
+        if value < 0 or value >= (1 << 64):
+            raise ValueError(f"popcount64 expects a 64-bit value, got {value!r}")
+        return value.bit_count() if hasattr(value, "bit_count") else bin(value).count("1")
+    arr = np.asarray(bits, dtype=_UINT64)
+    x = arr - ((arr >> _UINT64(1)) & _M1)
+    x = (x & _M2) + ((x >> _UINT64(2)) & _M2)
+    x = (x + (x >> _UINT64(4))) & _M4
+    return ((x * _H01) >> _SHIFT_56).astype(np.int64)
+
+
+def masked_popcount(bitmap: IntOrArray, lane: int) -> IntOrArray:
+    """Count set bits *preceding* a lane's first bit (paper Algorithm 2).
+
+    Lane ``l`` of the warp owns bits ``2l`` (value a0) and ``2l + 1``
+    (value a1) of the 64-bit bitmap.  The number of ones strictly below bit
+    ``2l`` is that lane's offset into the BitmapTile's compressed value
+    slice.  ``lane`` must be in ``[0, 32)``.
+    """
+    if not 0 <= lane < 32:
+        raise ValueError(f"lane must be in [0, 32), got {lane}")
+    offset = lane * 2
+    mask = (1 << offset) - 1
+    if isinstance(bitmap, (int, np.integer)):
+        return popcount64(int(bitmap) & mask)
+    arr = np.asarray(bitmap, dtype=_UINT64)
+    return popcount64(arr & _UINT64(mask))
+
+
+def lane_bit_indices(lane: int) -> tuple[int, int]:
+    """Bit positions (phase I, phase II) examined by a warp lane.
+
+    Phase I decodes value ``a0`` from bit ``2 * lane``; phase II decodes
+    ``a1`` from bit ``2 * lane + 1`` reusing phase I's MaskedPopCount result.
+    """
+    if not 0 <= lane < 32:
+        raise ValueError(f"lane must be in [0, 32), got {lane}")
+    return 2 * lane, 2 * lane + 1
+
+
+def bitmap_from_block(block: np.ndarray) -> int:
+    """Encode an 8x8 block's non-zero pattern into a 64-bit bitmap.
+
+    ``block`` may be any dtype; an element is "non-zero" iff ``block != 0``.
+    Bit ``r * 8 + c`` corresponds to ``block[r, c]``.
+    """
+    block = np.asarray(block)
+    if block.shape != (8, 8):
+        raise ValueError(f"BitmapTile blocks are 8x8, got shape {block.shape}")
+    flat = (block.reshape(-1) != 0).astype(np.uint64)
+    weights = np.left_shift(np.uint64(1), np.arange(64, dtype=np.uint64))
+    return int((flat * weights).sum(dtype=np.uint64))
+
+
+def block_mask_from_bitmap(bitmap: IntOrArray) -> np.ndarray:
+    """Decode bitmap(s) back to boolean 8x8 mask(s).
+
+    A scalar yields shape ``(8, 8)``; an array of shape ``S`` yields
+    ``S + (8, 8)``.
+    """
+    arr = np.asarray(bitmap, dtype=_UINT64)
+    shifts = np.arange(64, dtype=np.uint64)
+    bits = (arr[..., None] >> shifts) & _UINT64(1)
+    return bits.astype(bool).reshape(arr.shape + (8, 8))
+
+
+def expand_bitmap_rows(bitmaps: np.ndarray) -> np.ndarray:
+    """Expand an array of bitmaps into a flat per-bit boolean matrix.
+
+    Given ``n`` bitmaps returns an ``(n, 64)`` boolean array whose column
+    order matches the compressed value order within each BitmapTile (bit
+    index order, i.e. row-major within the 8x8 tile).  This is the
+    vectorised workhorse used by the whole-matrix encoder/decoder.
+    """
+    arr = np.asarray(bitmaps, dtype=_UINT64).reshape(-1)
+    shifts = np.arange(64, dtype=np.uint64)
+    return ((arr[:, None] >> shifts) & _UINT64(1)).astype(bool)

@@ -1,0 +1,123 @@
+"""Bitmap algebra over encoded TCA-BME matrices.
+
+Operations on sparsity *patterns* that work directly on the 64-bit
+bitmaps — no densify, no re-scan of values:
+
+* :func:`pattern_overlap` — Jaccard similarity of two matrices' masks by
+  ANDing bitmaps and popcounting, useful for comparing what different
+  pruning criteria keep;
+* :func:`mask_columns` — zero selected K-columns of an encoded matrix
+  and re-emit a valid encoding, the fine-grained (per-column rather than
+  per-GroupTile) version of the dynamic activation-sparsity extension;
+* :func:`pattern_density_per_tile` — per-BitmapTile population counts.
+
+All functions exploit the format's bit layout (bit = row*8 + col inside
+a tile): a K-column mask becomes one precomputed 64-bit mask per
+BitmapTile column position.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .bitmap import expand_bitmap_rows, popcount64
+from .tca_bme import TCABMEMatrix
+
+__all__ = [
+    "pattern_overlap",
+    "mask_columns",
+    "pattern_density_per_tile",
+]
+
+
+def pattern_overlap(a: TCABMEMatrix, b: TCABMEMatrix) -> float:
+    """Jaccard similarity of two encodings' non-zero patterns.
+
+    Pure bitmap arithmetic: ``|A & B| / |A | B|`` summed over tiles.
+    Matrices must share shape and tile configuration.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.config != b.config:
+        raise ValueError("tile configurations differ")
+    inter = int(np.sum(popcount64(a.bitmaps & b.bitmaps)))
+    union = int(np.sum(popcount64(a.bitmaps | b.bitmaps)))
+    return inter / union if union else 1.0
+
+
+def _column_tile_masks(
+    k: int, keep: np.ndarray, bt_h: int, bt_w: int
+) -> np.ndarray:
+    """64-bit keep-masks for every BitmapTile column strip.
+
+    ``keep[c]`` says whether matrix column ``c`` survives; the returned
+    array has one mask per tile-column index ``c0 // bt_w``, with bit
+    ``r * bt_w + j`` set iff column ``c0 + j`` survives (independent of
+    the row, so each row byte repeats the same pattern).
+    """
+    pk = -(-k // bt_w) * bt_w
+    padded = np.zeros(pk, dtype=bool)
+    padded[:k] = keep
+    strips = padded.reshape(-1, bt_w)  # (tile_cols, bt_w)
+    weights = np.left_shift(np.uint64(1), np.arange(bt_w, dtype=np.uint64))
+    row_pattern = (strips.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
+    mask = np.zeros(strips.shape[0], dtype=np.uint64)
+    for r in range(bt_h):
+        mask |= row_pattern << np.uint64(r * bt_w)
+    return mask
+
+
+def mask_columns(enc: TCABMEMatrix, keep: np.ndarray) -> TCABMEMatrix:
+    """Zero the K-columns where ``keep`` is False; returns a new encoding.
+
+    Bitmaps are ANDed with per-tile-column masks; the surviving values
+    are gathered from the old value stream by comparing old and new
+    bitmaps — O(NNZ + NBT), never materialising the dense matrix.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape != (enc.k,):
+        raise ValueError(f"keep mask must have length K={enc.k}")
+    c = enc.config
+    col_masks = _column_tile_masks(enc.k, keep, c.bt_h, c.bt_w)
+
+    # Which tile-column strip each storage-order BitmapTile sits in.
+    origins = np.array(list(c.iter_bitmaptiles(enc.m, enc.k)), dtype=np.int64)
+    tile_cols = origins[:, 1] // c.bt_w
+    # Padding tiles beyond the logical K keep nothing anyway (no bits set).
+    tile_cols = np.minimum(tile_cols, col_masks.size - 1)
+
+    new_bitmaps = enc.bitmaps & col_masks[tile_cols]
+
+    # Gather surviving values: positions where the old bitmap had a bit
+    # keep their value iff the new bitmap also has it.
+    old_mask = expand_bitmap_rows(enc.bitmaps)
+    new_mask = expand_bitmap_rows(new_bitmaps)
+    survived = new_mask[old_mask]  # aligned with enc.values
+    new_values = enc.values[survived]
+
+    per_gt = c.bts_per_gt
+    nnz_per_gt = popcount64(new_bitmaps).reshape(-1, per_gt).sum(axis=1)
+    offsets = np.concatenate(([0], np.cumsum(nnz_per_gt))).astype(np.uint32)
+
+    return TCABMEMatrix(
+        shape=enc.shape,
+        gtile_offsets=offsets,
+        values=new_values,
+        bitmaps=new_bitmaps,
+        config=c,
+    )
+
+
+def pattern_density_per_tile(enc: TCABMEMatrix) -> Tuple[np.ndarray, float]:
+    """Per-BitmapTile populations and their coefficient of variation.
+
+    High variation means uneven decode work across warps — the load-
+    balance signal :mod:`repro.pruning.analysis` reports at GroupTile
+    granularity, here at warp granularity.
+    """
+    counts = np.asarray(popcount64(enc.bitmaps), dtype=np.float64)
+    mean = counts.mean() if counts.size else 0.0
+    cv = float(counts.std() / mean) if mean else 0.0
+    return counts.astype(np.int64), cv

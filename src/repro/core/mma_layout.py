@@ -1,0 +1,194 @@
+"""Register-fragment layouts of the FP16 ``mma.m16n8k16`` instruction.
+
+The SpInfer kernel computes with the PTX-level instruction ::
+
+    mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32
+        {d0,d1,d2,d3}, {a0,a1,a2,a3}, {b0,b1}, {c0,c1,c2,c3}
+
+Each of the 32 warp lanes holds a fixed slice of the A (16x16, row-major),
+B (16x8, column-major) and C/D (16x8) operands.  SMBD's correctness hinges
+on this mapping: the four ``Ra`` registers correspond one-to-one to the
+four BitmapTiles of a TCTile (column-major), and within a BitmapTile lane
+``l`` owns bits ``2l`` and ``2l + 1`` of the 64-bit bitmap.
+
+This module gives the exact lane <-> element maps (as published in the PTX
+ISA) plus scatter/gather helpers used by both the functional SMBD decoder
+and the numeric Tensor-Core model in :mod:`repro.gpu.tensor_core`.
+
+Conventions: ``lane`` in ``[0, 32)``; ``groupID = lane // 4``;
+``threadID = lane % 4``.  Registers hold ``.f16x2`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "WARP_SIZE",
+    "MMA_M",
+    "MMA_N",
+    "MMA_K",
+    "a_fragment_index",
+    "b_fragment_index",
+    "cd_fragment_index",
+    "gather_a_fragments",
+    "scatter_a_fragments",
+    "gather_b_fragments",
+    "gather_cd_fragments",
+    "scatter_cd_fragments",
+    "quadrant_origin",
+]
+
+WARP_SIZE = 32
+MMA_M, MMA_N, MMA_K = 16, 8, 16
+
+#: BitmapTile quadrant origins within a TCTile in Ra-register order
+#: (column-major): Ra0 top-left, Ra1 bottom-left, Ra2 top-right, Ra3
+#: bottom-right.
+_QUADRANTS: Tuple[Tuple[int, int], ...] = ((0, 0), (8, 0), (0, 8), (8, 8))
+
+
+def quadrant_origin(reg: int) -> Tuple[int, int]:
+    """Origin (row, col) of the 8x8 quadrant held in register ``Ra<reg>``."""
+    if not 0 <= reg < 4:
+        raise ValueError(f"register index must be in [0, 4), got {reg}")
+    return _QUADRANTS[reg]
+
+
+def a_fragment_index(lane: int, reg: int, half: int) -> Tuple[int, int]:
+    """A-operand element (row, col) held by ``lane`` in ``Ra<reg>``, half 0/1.
+
+    A is the 16x16 row-major operand.  Register ``reg`` selects the 8x8
+    quadrant (column-major order); within it lane ``l`` owns row ``l // 4``
+    and columns ``2 * (l % 4)`` (half 0) and ``2 * (l % 4) + 1`` (half 1).
+    """
+    if not 0 <= lane < WARP_SIZE:
+        raise ValueError(f"lane must be in [0, 32), got {lane}")
+    if half not in (0, 1):
+        raise ValueError(f"half must be 0 or 1, got {half}")
+    qr, qc = quadrant_origin(reg)
+    return qr + lane // 4, qc + 2 * (lane % 4) + half
+
+
+def b_fragment_index(lane: int, reg: int, half: int) -> Tuple[int, int]:
+    """B-operand element (row, col) held by ``lane`` in ``Rb<reg>``, half 0/1.
+
+    B is the 16x8 column-major operand (K x N).  ``Rb0`` covers K rows
+    0..7, ``Rb1`` rows 8..15; lane ``l`` owns rows ``2 * (l % 4) + half``
+    and column ``l // 4``.
+    """
+    if not 0 <= lane < WARP_SIZE:
+        raise ValueError(f"lane must be in [0, 32), got {lane}")
+    if reg not in (0, 1):
+        raise ValueError(f"B-fragment register must be 0 or 1, got {reg}")
+    if half not in (0, 1):
+        raise ValueError(f"half must be 0 or 1, got {half}")
+    return 8 * reg + 2 * (lane % 4) + half, lane // 4
+
+
+def cd_fragment_index(lane: int, reg: int) -> Tuple[int, int]:
+    """C/D accumulator element (row, col) held by ``lane`` in ``Rc<reg>``.
+
+    C/D is the 16x8 FP32 accumulator; each lane holds 4 scalars.  Registers
+    0,1 cover rows 0..7 (cols ``2 * (l % 4)``, ``+1``); registers 2,3 the
+    same columns of rows 8..15.
+    """
+    if not 0 <= lane < WARP_SIZE:
+        raise ValueError(f"lane must be in [0, 32), got {lane}")
+    if not 0 <= reg < 4:
+        raise ValueError(f"C/D register must be in [0, 4), got {reg}")
+    row = lane // 4 + (8 if reg >= 2 else 0)
+    col = 2 * (lane % 4) + (reg % 2)
+    return row, col
+
+
+# ---- vectorised gather/scatter ---------------------------------------------------
+#
+# Fragment tensors use shape (WARP_SIZE, n_regs, 2) for f16 operands and
+# (WARP_SIZE, 4) for the f32 accumulator.
+
+
+def _a_index_arrays() -> Tuple[np.ndarray, np.ndarray]:
+    rows = np.empty((WARP_SIZE, 4, 2), dtype=np.intp)
+    cols = np.empty((WARP_SIZE, 4, 2), dtype=np.intp)
+    for lane in range(WARP_SIZE):
+        for reg in range(4):
+            for half in (0, 1):
+                r, c = a_fragment_index(lane, reg, half)
+                rows[lane, reg, half] = r
+                cols[lane, reg, half] = c
+    return rows, cols
+
+
+def _b_index_arrays() -> Tuple[np.ndarray, np.ndarray]:
+    rows = np.empty((WARP_SIZE, 2, 2), dtype=np.intp)
+    cols = np.empty((WARP_SIZE, 2, 2), dtype=np.intp)
+    for lane in range(WARP_SIZE):
+        for reg in range(2):
+            for half in (0, 1):
+                r, c = b_fragment_index(lane, reg, half)
+                rows[lane, reg, half] = r
+                cols[lane, reg, half] = c
+    return rows, cols
+
+
+def _cd_index_arrays() -> Tuple[np.ndarray, np.ndarray]:
+    rows = np.empty((WARP_SIZE, 4), dtype=np.intp)
+    cols = np.empty((WARP_SIZE, 4), dtype=np.intp)
+    for lane in range(WARP_SIZE):
+        for reg in range(4):
+            r, c = cd_fragment_index(lane, reg)
+            rows[lane, reg] = r
+            cols[lane, reg] = c
+    return rows, cols
+
+
+_A_ROWS, _A_COLS = _a_index_arrays()
+_B_ROWS, _B_COLS = _b_index_arrays()
+_CD_ROWS, _CD_COLS = _cd_index_arrays()
+
+
+def gather_a_fragments(tile: np.ndarray) -> np.ndarray:
+    """Distribute a 16x16 A tile into per-lane fragments ``(32, 4, 2)``."""
+    tile = np.asarray(tile)
+    if tile.shape != (MMA_M, MMA_K):
+        raise ValueError(f"A tile must be {MMA_M}x{MMA_K}, got {tile.shape}")
+    return tile[_A_ROWS, _A_COLS]
+
+
+def scatter_a_fragments(frags: np.ndarray) -> np.ndarray:
+    """Reassemble a 16x16 A tile from per-lane fragments ``(32, 4, 2)``."""
+    frags = np.asarray(frags)
+    if frags.shape != (WARP_SIZE, 4, 2):
+        raise ValueError(f"A fragments must be (32, 4, 2), got {frags.shape}")
+    tile = np.zeros((MMA_M, MMA_K), dtype=frags.dtype)
+    tile[_A_ROWS, _A_COLS] = frags
+    return tile
+
+
+def gather_b_fragments(tile: np.ndarray) -> np.ndarray:
+    """Distribute a 16x8 B tile (K x N) into fragments ``(32, 2, 2)``."""
+    tile = np.asarray(tile)
+    if tile.shape != (MMA_K, MMA_N):
+        raise ValueError(f"B tile must be {MMA_K}x{MMA_N}, got {tile.shape}")
+    return tile[_B_ROWS, _B_COLS]
+
+
+def gather_cd_fragments(tile: np.ndarray) -> np.ndarray:
+    """Distribute a 16x8 accumulator tile into fragments ``(32, 4)``."""
+    tile = np.asarray(tile)
+    if tile.shape != (MMA_M, MMA_N):
+        raise ValueError(f"C/D tile must be {MMA_M}x{MMA_N}, got {tile.shape}")
+    return tile[_CD_ROWS, _CD_COLS]
+
+
+def scatter_cd_fragments(frags: np.ndarray) -> np.ndarray:
+    """Reassemble a 16x8 accumulator tile from fragments ``(32, 4)``."""
+    frags = np.asarray(frags)
+    if frags.shape != (WARP_SIZE, 4):
+        raise ValueError(f"C/D fragments must be (32, 4), got {frags.shape}")
+    tile = np.zeros((MMA_M, MMA_N), dtype=frags.dtype)
+    tile[_CD_ROWS, _CD_COLS] = frags
+    return tile

@@ -1,0 +1,170 @@
+"""Quantized TCA-BME — the paper's quantization-composability claim.
+
+Section 2.3 argues SpInfer "complements these quantization techniques":
+the bitmap index is orthogonal to how the surviving values are stored,
+so the FP16 ``Values`` array can be quantized without touching the
+format's indexing machinery.  This module implements that extension:
+group-wise symmetric quantization of the compressed value stream to
+INT8 or INT4 (two nibbles per byte), with FP16 scales per group.
+
+Storage ::
+
+    Stor = 4B * (NGT + 1) + 8B * NBT            # unchanged indexing
+         + ceil(bits / 8 * NNZ)                 # quantized values
+         + 2B * ceil(NNZ / group_size)          # per-group scales
+
+At 60 % sparsity the INT8 variant pushes the compression ratio from
+~2.16x to ~3.5x; decoding adds one multiply per value on top of SMBD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .tca_bme import TCABMEMatrix, encode
+from .tiles import DEFAULT_TILE_CONFIG, TileConfig
+
+__all__ = ["QuantizedTCABME", "quantize_values", "dequantize_values"]
+
+_SUPPORTED_BITS = (4, 8)
+
+
+def _qmax(bits: int) -> int:
+    return (1 << (bits - 1)) - 1  # symmetric range, e.g. 127 for INT8
+
+
+def quantize_values(
+    values: np.ndarray, bits: int = 8, group_size: int = 128
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group-wise symmetric quantization of a value stream.
+
+    Returns ``(codes, scales)``: ``codes`` is int8 (INT4 codes also live
+    in an int8 array, range [-7, 7]); ``scales`` is float16, one per
+    group of ``group_size`` consecutive values.
+    """
+    if bits not in _SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {_SUPPORTED_BITS}, got {bits}")
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    values = np.asarray(values, dtype=np.float32).reshape(-1)
+    n = values.size
+    groups = -(-n // group_size) if n else 0
+    padded = np.zeros(groups * group_size, dtype=np.float32)
+    padded[:n] = values
+
+    grouped = padded.reshape(groups, group_size) if groups else padded.reshape(0, 1)
+    absmax = np.abs(grouped).max(axis=1)
+    qmax = _qmax(bits)
+    scales = np.where(absmax > 0, absmax / qmax, 1.0).astype(np.float16)
+    codes = np.clip(
+        np.rint(grouped / scales.astype(np.float32)[:, None]), -qmax, qmax
+    ).astype(np.int8)
+    return codes.reshape(-1)[:n], scales
+
+
+def dequantize_values(
+    codes: np.ndarray, scales: np.ndarray, group_size: int = 128
+) -> np.ndarray:
+    """Inverse of :func:`quantize_values`; returns float16."""
+    codes = np.asarray(codes, dtype=np.int8).reshape(-1)
+    scales = np.asarray(scales, dtype=np.float16)
+    n = codes.size
+    if n == 0:
+        return np.zeros(0, dtype=np.float16)
+    expected_groups = -(-n // group_size)
+    if scales.size != expected_groups:
+        raise ValueError(
+            f"expected {expected_groups} scales for {n} codes, got {scales.size}"
+        )
+    group_ids = np.arange(n) // group_size
+    out = codes.astype(np.float32) * scales.astype(np.float32)[group_ids]
+    return out.astype(np.float16)
+
+
+@dataclass
+class QuantizedTCABME:
+    """TCA-BME with a quantized value stream (indexing untouched)."""
+
+    inner: TCABMEMatrix
+    codes: np.ndarray  # int8 codes, one per non-zero
+    scales: np.ndarray  # float16 per group
+    bits: int
+    group_size: int
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        bits: int = 8,
+        group_size: int = 128,
+        config: TileConfig = DEFAULT_TILE_CONFIG,
+    ) -> "QuantizedTCABME":
+        inner = encode(dense, config)
+        codes, scales = quantize_values(inner.values, bits, group_size)
+        return cls(
+            inner=inner, codes=codes, scales=scales, bits=bits,
+            group_size=group_size,
+        )
+
+    # ---- reconstruction ---------------------------------------------------------
+
+    def dequantized_values(self) -> np.ndarray:
+        return dequantize_values(self.codes, self.scales, self.group_size)
+
+    def to_dense(self) -> np.ndarray:
+        """Approximate reconstruction (exact sparsity pattern, quantized
+        values)."""
+        approx = TCABMEMatrix(
+            shape=self.inner.shape,
+            gtile_offsets=self.inner.gtile_offsets,
+            values=self.dequantized_values(),
+            bitmaps=self.inner.bitmaps,
+            config=self.inner.config,
+        )
+        return approx.to_dense()
+
+    def quantization_error(self) -> float:
+        """Relative RMS error of the value stream (0 for empty)."""
+        ref = self.inner.values.astype(np.float32)
+        if ref.size == 0:
+            return 0.0
+        err = self.dequantized_values().astype(np.float32) - ref
+        denom = float(np.sqrt(np.mean(ref**2)))
+        return float(np.sqrt(np.mean(err**2))) / denom if denom else 0.0
+
+    # ---- storage ---------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return self.inner.nnz
+
+    def storage_bytes(self) -> int:
+        indexing = (
+            4 * self.inner.gtile_offsets.size + 8 * self.inner.bitmaps.size
+        )
+        value_bytes = -(-self.bits * self.nnz // 8)
+        scale_bytes = 2 * self.scales.size
+        return indexing + value_bytes + scale_bytes
+
+    def compression_ratio(self) -> float:
+        m, k = self.inner.shape
+        return (2.0 * m * k) / self.storage_bytes()
+
+    # ---- compute -------------------------------------------------------------------
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Dequantize-on-decode SpMM: the SMBD path with one extra
+        multiply per value, as the composed SpInfer+quant kernel would."""
+        from ..kernels.spinfer import SpInferKernel
+
+        approx = TCABMEMatrix(
+            shape=self.inner.shape,
+            gtile_offsets=self.inner.gtile_offsets,
+            values=self.dequantized_values(),
+            bitmaps=self.inner.bitmaps,
+            config=self.inner.config,
+        )
+        return SpInferKernel().run_encoded(approx, x)

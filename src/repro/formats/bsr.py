@@ -1,0 +1,115 @@
+"""Block Sparse Row — the block format underlying SMaT.
+
+SMaT (Okanovic et al., 2024) targets highly sparse scientific matrices:
+the matrix is cut into Tensor-Core-shaped blocks (16 x 16 here, matching
+``mma.m16n8k16``'s ``m x k``), only blocks containing at least one
+non-zero are stored — *densely* — and the kernel simply skips absent
+blocks.  That wins above ~99.7 % sparsity where most blocks vanish, and
+loses badly at LLM-pruning sparsity (40–70 %) where virtually every block
+is occupied and the format degenerates to dense storage plus index
+overhead (paper Fig. 11).
+
+Storage ::
+
+    Stor_BSR = 2B * nnzb * bh * bw + 4B * nnzb + 4B * (M / bh + 1)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import SparseFormat, require_2d
+
+__all__ = ["BSRMatrix", "bsr_storage_bytes"]
+
+DEFAULT_BLOCK: Tuple[int, int] = (16, 16)
+
+
+def bsr_storage_bytes(
+    m: int, nnz_blocks: int, block: Tuple[int, int] = DEFAULT_BLOCK
+) -> int:
+    """Analytic BSR size: dense blocks + block column indices + row pointers."""
+    bh, bw = block
+    block_rows = -(-m // bh)
+    return 2 * nnz_blocks * bh * bw + 4 * nnz_blocks + 4 * (block_rows + 1)
+
+
+class BSRMatrix(SparseFormat):
+    """BSR container with dense FP16 blocks."""
+
+    name = "bsr"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        block_row_ptr: np.ndarray,
+        block_col_idx: np.ndarray,
+        blocks: np.ndarray,
+        block_shape: Tuple[int, int] = DEFAULT_BLOCK,
+    ):
+        super().__init__(shape)
+        self.block_shape = (int(block_shape[0]), int(block_shape[1]))
+        self.block_row_ptr = np.asarray(block_row_ptr, dtype=np.int32)
+        self.block_col_idx = np.asarray(block_col_idx, dtype=np.int32)
+        self.blocks = np.asarray(blocks, dtype=np.float16)
+        bh, bw = self.block_shape
+        if self.blocks.ndim != 3 or self.blocks.shape[1:] != (bh, bw):
+            raise ValueError(f"blocks must be (nblocks, {bh}, {bw})")
+        if int(self.block_row_ptr[-1]) != self.blocks.shape[0]:
+            raise ValueError("block_row_ptr[-1] must equal stored block count")
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, block_shape: Tuple[int, int] = DEFAULT_BLOCK
+    ) -> "BSRMatrix":
+        dense = require_2d(dense)
+        m, k = dense.shape
+        bh, bw = block_shape
+        pm, pk = -(-m // bh) * bh, -(-k // bw) * bw
+        padded = np.zeros((pm, pk), dtype=np.float16)
+        padded[:m, :k] = dense
+
+        grid = padded.reshape(pm // bh, bh, pk // bw, bw).transpose(0, 2, 1, 3)
+        occupied = grid.reshape(grid.shape[0], grid.shape[1], -1).any(axis=2)
+        nnz_per_brow = occupied.sum(axis=1)
+        row_ptr = np.concatenate(([0], np.cumsum(nnz_per_brow))).astype(np.int32)
+        brows, bcols = np.nonzero(occupied)
+        del brows  # scan order matches row_ptr
+        blocks = grid[occupied]
+        return cls((m, k), row_ptr, bcols.astype(np.int32), blocks, (bh, bw))
+
+    def to_dense(self) -> np.ndarray:
+        bh, bw = self.block_shape
+        block_rows = self.block_row_ptr.size - 1
+        pk = -(-self.k // bw) * bw
+        out = np.zeros((block_rows * bh, pk), dtype=np.float16)
+        brow_ids = np.repeat(
+            np.arange(block_rows), np.diff(self.block_row_ptr.astype(np.int64))
+        )
+        for b, (br, bc) in enumerate(zip(brow_ids, self.block_col_idx)):
+            out[br * bh : (br + 1) * bh, bc * bw : (bc + 1) * bw] = self.blocks[b]
+        return np.ascontiguousarray(out[: self.m, : self.k])
+
+    def storage_bytes(self) -> int:
+        return bsr_storage_bytes(self.m, self.num_blocks, self.block_shape)
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.blocks.shape[0])
+
+    @property
+    def total_blocks(self) -> int:
+        """Block-grid size — stored plus skipped blocks."""
+        bh, bw = self.block_shape
+        return (-(-self.m // bh)) * (-(-self.k // bw))
+
+    @property
+    def block_occupancy(self) -> float:
+        """Fraction of blocks stored; SMaT's skip ratio is ``1 - occupancy``."""
+        return self.num_blocks / self.total_blocks if self.total_blocks else 0.0
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.blocks))

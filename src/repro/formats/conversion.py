@@ -1,0 +1,173 @@
+"""Direct format conversions (no dense round trip).
+
+Deployments convert checkpoints between formats — e.g. a CSR export from
+a pruning toolchain into TCA-BME for serving.  Going through a dense
+matrix costs ``2 * M * K`` bytes of scratch, which for an OPT-66B layer
+is gigabytes; these converters instead map each non-zero's coordinates
+straight to its storage-order position, touching only O(NNZ) memory.
+
+The coordinate -> (BitmapTile, bit) mapping below is the closed form of
+the nested tile walk in :mod:`repro.core.tiles` (GroupTiles row-major,
+TCTiles column-major, BitmapTiles in Ra order, bits row-major); tests
+check it against the reference encoder element for element.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.tca_bme import TCABMEMatrix
+from ..core.tiles import DEFAULT_TILE_CONFIG, TileConfig
+from .csr import CSRMatrix
+from .tiled_csl import TiledCSLMatrix
+
+__all__ = [
+    "coords_to_storage_position",
+    "storage_position_to_coords",
+    "csr_to_tca_bme",
+    "tiled_csl_to_tca_bme",
+    "tca_bme_to_csr",
+]
+
+
+def coords_to_storage_position(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    m: int,
+    k: int,
+    config: TileConfig = DEFAULT_TILE_CONFIG,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Map element coordinates to (BitmapTile storage index, bit index)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise ValueError("rows and cols must have equal length")
+    if rows.size and (rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= k):
+        raise ValueError("coordinates out of bounds")
+    c = config
+    _pm, pk = c.padded_shape(m, k)
+    group_cols = pk // c.gt_w
+    tr = c.gt_h // c.tt_h
+    br = c.tt_h // c.bt_h
+
+    g_idx = (rows // c.gt_h) * group_cols + cols // c.gt_w
+    rr = rows % c.gt_h
+    cc = cols % c.gt_w
+    t_in_g = (cc // c.tt_w) * tr + rr // c.tt_h
+    bt_in_tt = ((cc % c.tt_w) // c.bt_w) * br + (rr % c.tt_h) // c.bt_h
+    tile_idx = (
+        g_idx * c.bts_per_gt + t_in_g * c.bts_per_tt + bt_in_tt
+    )
+    bit = (rr % c.bt_h) * c.bt_w + cc % c.bt_w
+    return tile_idx, bit
+
+
+def storage_position_to_coords(
+    tile_idx: np.ndarray,
+    bit: np.ndarray,
+    m: int,
+    k: int,
+    config: TileConfig = DEFAULT_TILE_CONFIG,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`coords_to_storage_position` (padded coordinates)."""
+    tile_idx = np.asarray(tile_idx, dtype=np.int64)
+    bit = np.asarray(bit, dtype=np.int64)
+    c = config
+    _pm, pk = c.padded_shape(m, k)
+    group_cols = pk // c.gt_w
+    tr = c.gt_h // c.tt_h
+    br = c.tt_h // c.bt_h
+
+    g_idx, rem = np.divmod(tile_idx, c.bts_per_gt)
+    t_in_g, bt_in_tt = np.divmod(rem, c.bts_per_tt)
+    g_row, g_col = np.divmod(g_idx, group_cols)
+    tt_col, tt_row = np.divmod(t_in_g, tr)
+    bt_col, bt_row = np.divmod(bt_in_tt, br)
+    bit_row, bit_col = np.divmod(bit, c.bt_w)
+
+    rows = g_row * c.gt_h + tt_row * c.tt_h + bt_row * c.bt_h + bit_row
+    cols = g_col * c.gt_w + tt_col * c.tt_w + bt_col * c.bt_w + bit_col
+    return rows, cols
+
+
+def _build_from_coords(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    m: int,
+    k: int,
+    config: TileConfig,
+) -> TCABMEMatrix:
+    tile_idx, bit = coords_to_storage_position(rows, cols, m, k, config)
+    order = np.lexsort((bit, tile_idx))
+    tile_idx = tile_idx[order]
+    bit = bit[order]
+    values = np.asarray(values, dtype=np.float16)[order]
+
+    nbt = config.num_bitmap_tiles(m, k)
+    bitmaps = np.zeros(nbt, dtype=np.uint64)
+    np.bitwise_or.at(
+        bitmaps, tile_idx, np.left_shift(np.uint64(1), bit.astype(np.uint64))
+    )
+
+    ngt = config.num_group_tiles(m, k)
+    nnz_per_gt = np.bincount(tile_idx // config.bts_per_gt, minlength=ngt)
+    offsets = np.concatenate(([0], np.cumsum(nnz_per_gt))).astype(np.uint32)
+
+    return TCABMEMatrix(
+        shape=(m, k),
+        gtile_offsets=offsets,
+        values=values,
+        bitmaps=bitmaps,
+        config=config,
+    )
+
+
+def csr_to_tca_bme(
+    csr: CSRMatrix, config: TileConfig = DEFAULT_TILE_CONFIG
+) -> TCABMEMatrix:
+    """Convert CSR to TCA-BME touching only O(NNZ) memory."""
+    row_ids = np.repeat(
+        np.arange(csr.m, dtype=np.int64), np.diff(csr.row_ptr.astype(np.int64))
+    )
+    return _build_from_coords(
+        row_ids, csr.col_idx.astype(np.int64), csr.values, csr.m, csr.k, config
+    )
+
+
+def tiled_csl_to_tca_bme(
+    tcsl: TiledCSLMatrix, config: TileConfig = DEFAULT_TILE_CONFIG
+) -> TCABMEMatrix:
+    """Convert Flash-LLM's Tiled-CSL to TCA-BME directly."""
+    th, tw = tcsl.tile_shape
+    _t_rows, t_cols = tcsl.tile_grid
+    tile_ids = np.repeat(
+        np.arange(tcsl.num_tiles, dtype=np.int64),
+        np.diff(tcsl.tile_offsets.astype(np.int64)),
+    )
+    t_row, t_col = np.divmod(tile_ids, t_cols)
+    loc_r, loc_c = np.divmod(tcsl.locations.astype(np.int64), tw)
+    rows = t_row * th + loc_r
+    cols = t_col * tw + loc_c
+    return _build_from_coords(rows, cols, tcsl.values, tcsl.m, tcsl.k, config)
+
+
+def tca_bme_to_csr(enc: TCABMEMatrix) -> CSRMatrix:
+    """Convert TCA-BME to CSR directly (O(NBT + NNZ) work)."""
+    from ..core.bitmap import expand_bitmap_rows
+
+    mask = expand_bitmap_rows(enc.bitmaps)  # (NBT, 64) in storage order
+    tile_idx, bit = np.nonzero(mask)
+    rows, cols = storage_position_to_coords(
+        tile_idx, bit, enc.m, enc.k, enc.config
+    )
+    order = np.lexsort((cols, rows))
+    rows = rows[order]
+    cols = cols[order]
+    values = enc.values[order]
+
+    nnz_per_row = np.bincount(rows, minlength=enc.m)
+    row_ptr = np.concatenate(([0], np.cumsum(nnz_per_row))).astype(np.int32)
+    return CSRMatrix(enc.shape, row_ptr, cols.astype(np.int32), values)

@@ -1,0 +1,59 @@
+"""Coordinate (COO) format — the naive baseline for storage comparisons.
+
+Every non-zero stores an FP16 value plus explicit 32-bit row and column
+indices; no format in the paper is this wasteful, but it anchors the
+compression-ratio study and round-trips conveniently in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import SparseFormat, require_2d
+
+__all__ = ["COOMatrix", "coo_storage_bytes"]
+
+
+def coo_storage_bytes(nnz: int) -> int:
+    """FP16 value + two int32 coordinates per non-zero."""
+    return (2 + 4 + 4) * nnz
+
+
+class COOMatrix(SparseFormat):
+    """COO container with row-major-sorted coordinates."""
+
+    name = "coo"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+    ):
+        super().__init__(shape)
+        self.rows = np.asarray(rows, dtype=np.int32)
+        self.cols = np.asarray(cols, dtype=np.int32)
+        self.values = np.asarray(values, dtype=np.float16)
+        if not (self.rows.size == self.cols.size == self.values.size):
+            raise ValueError("rows, cols and values must have equal length")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        dense = require_2d(dense)
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols])
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float16)
+        out[self.rows, self.cols] = self.values
+        return out
+
+    def storage_bytes(self) -> int:
+        return coo_storage_bytes(self.nnz)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)

@@ -1,0 +1,81 @@
+"""Compressed Sparse Row — the classical format used by Sputnik/cuSPARSE.
+
+Storage per paper Eq. 3 ::
+
+    Stor_CSR = (2B + 4B) * NNZ + 4B * (M + 1)
+
+i.e. FP16 values, 32-bit column indices, 32-bit row pointers.  At ~50 %
+sparsity the 4-byte column index dwarfs the 2-byte value it locates, which
+is exactly the indexing-overhead pathology Section 3.2.1 identifies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import SparseFormat, require_2d
+
+__all__ = ["CSRMatrix", "csr_storage_bytes"]
+
+
+def csr_storage_bytes(m: int, nnz: int) -> int:
+    """Analytic CSR size (paper Eq. 3)."""
+    return (2 + 4) * nnz + 4 * (m + 1)
+
+
+class CSRMatrix(SparseFormat):
+    """CSR with FP16 values, ``int32`` column indices and row pointers."""
+
+    name = "csr"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        row_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        values: np.ndarray,
+    ):
+        super().__init__(shape)
+        self.row_ptr = np.asarray(row_ptr, dtype=np.int32)
+        self.col_idx = np.asarray(col_idx, dtype=np.int32)
+        self.values = np.asarray(values, dtype=np.float16)
+        if self.row_ptr.size != self.m + 1:
+            raise ValueError("row_ptr must have M + 1 entries")
+        if self.col_idx.size != self.values.size:
+            raise ValueError("col_idx and values must have equal length")
+        if int(self.row_ptr[-1]) != self.values.size:
+            raise ValueError("row_ptr[-1] must equal NNZ")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = require_2d(dense)
+        m, k = dense.shape
+        mask = dense != 0
+        nnz_per_row = mask.sum(axis=1)
+        row_ptr = np.concatenate(([0], np.cumsum(nnz_per_row))).astype(np.int32)
+        rows, cols = np.nonzero(mask)
+        del rows  # nonzero scans row-major, so order already matches row_ptr
+        values = dense[mask]
+        return cls((m, k), row_ptr, cols.astype(np.int32), values)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float16)
+        row_ids = np.repeat(
+            np.arange(self.m), np.diff(self.row_ptr.astype(np.int64))
+        )
+        out[row_ids, self.col_idx] = self.values
+        return out
+
+    def storage_bytes(self) -> int:
+        return csr_storage_bytes(self.m, self.nnz)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def row_slice(self, row: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(columns, values) of one row — the unit Sputnik's 1-D tiling walks."""
+        lo, hi = int(self.row_ptr[row]), int(self.row_ptr[row + 1])
+        return self.col_idx[lo:hi], self.values[lo:hi]

@@ -1,0 +1,71 @@
+"""Name-keyed access to concrete sparse formats.
+
+TCA-BME lives in :mod:`repro.core`; a thin adapter gives it the common
+:class:`~repro.formats.base.SparseFormat` surface so compression studies
+can iterate all formats uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from ..core.tca_bme import TCABMEMatrix
+from ..core.tiles import DEFAULT_TILE_CONFIG, TileConfig
+from .base import SparseFormat
+from .bsr import BSRMatrix
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .sparta import SparTAMatrix
+from .tiled_csl import TiledCSLMatrix
+
+__all__ = ["TCABMEFormat", "FORMATS", "get_format", "encode_as"]
+
+
+class TCABMEFormat(SparseFormat):
+    """:class:`SparseFormat` adapter around :class:`TCABMEMatrix`."""
+
+    name = "tca-bme"
+
+    def __init__(self, inner: TCABMEMatrix):
+        super().__init__(inner.shape)
+        self.inner = inner
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, config: TileConfig = DEFAULT_TILE_CONFIG
+    ) -> "TCABMEFormat":
+        return cls(TCABMEMatrix.from_dense(dense, config))
+
+    def to_dense(self) -> np.ndarray:
+        return self.inner.to_dense()
+
+    def storage_bytes(self) -> int:
+        return self.inner.storage_bytes()
+
+    @property
+    def nnz(self) -> int:
+        return self.inner.nnz
+
+
+#: All concrete formats, keyed by their short name.
+FORMATS: Dict[str, Type[SparseFormat]] = {
+    cls.name: cls
+    for cls in (CSRMatrix, TiledCSLMatrix, SparTAMatrix, BSRMatrix, COOMatrix, TCABMEFormat)
+}
+
+
+def get_format(name: str) -> Type[SparseFormat]:
+    """Look up a format class by name; raises ``KeyError`` with options."""
+    try:
+        return FORMATS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; available: {sorted(FORMATS)}"
+        ) from None
+
+
+def encode_as(name: str, dense: np.ndarray) -> SparseFormat:
+    """Encode ``dense`` in the named format."""
+    return get_format(name).from_dense(dense)

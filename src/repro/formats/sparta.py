@@ -1,0 +1,142 @@
+"""SparTA's composable format: a 2:4 structured part plus a CSR residual.
+
+SparTA (OSDI '22) decomposes an unstructured-sparse matrix into
+
+* a **2:4 semi-structured part** consumable by Sparse Tensor Cores: along
+  every group of 4 consecutive elements of a row, up to 2 non-zeros are
+  kept, each stored as an FP16 value plus a 2-bit in-group position.  The
+  structured part is dense in its compressed form — exactly ``M * K / 2``
+  value slots regardless of actual sparsity; and
+* a **CSR residual** holding whatever non-zeros did not fit (the 3rd and
+  4th non-zero of a group), executed on CUDA cores.
+
+Storage per paper Eq. 5 ::
+
+    Stor_SparTA = (2B + B/4) * (M * K / 2) + Stor_CSR(residual NNZ)
+
+Under a uniform non-zero distribution the residual size follows Eq. 4,
+implemented in :func:`expected_residual_nnz`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import SparseFormat, require_2d
+from .csr import CSRMatrix, csr_storage_bytes
+
+__all__ = [
+    "SparTAMatrix",
+    "sparta_storage_bytes",
+    "expected_residual_nnz",
+]
+
+
+def expected_residual_nnz(m: int, k: int, sparsity: float) -> float:
+    """Expected CSR-residual non-zeros under uniform sparsity (paper Eq. 4).
+
+    A 4-element group overflows when it has 3 non-zeros (1 overflow, which
+    happens w.p. ``4 * (1-s)^3 * s``) or 4 non-zeros (2 overflows, w.p.
+    ``(1-s)^4``); Eq. 4 weights the two cases accordingly.
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    s = sparsity
+    d = 1.0 - s
+    groups = (m * k) / 4.0
+    return groups * (4.0 * d**3 * s + 2.0 * d**4)
+
+
+def sparta_storage_bytes(m: int, k: int, residual_nnz: int) -> float:
+    """Analytic SparTA size (paper Eq. 5)."""
+    structured = (2.0 + 0.25) * (m * k / 2.0)
+    return structured + csr_storage_bytes(m, residual_nnz)
+
+
+class SparTAMatrix(SparseFormat):
+    """The 2:4 + CSR decomposition of one weight matrix.
+
+    ``structured_values`` has shape ``(M, K // 2)`` (two slots per
+    4-group); ``structured_meta`` gives each slot's 2-bit position within
+    its group.  Groups with fewer than two non-zeros leave trailing slots
+    zero.  ``residual`` is a standard :class:`CSRMatrix` over the same
+    logical shape, disjoint from the structured part.
+    """
+
+    name = "sparta"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        structured_values: np.ndarray,
+        structured_meta: np.ndarray,
+        residual: CSRMatrix,
+    ):
+        super().__init__(shape)
+        self.structured_values = np.asarray(structured_values, dtype=np.float16)
+        self.structured_meta = np.asarray(structured_meta, dtype=np.uint8)
+        if self.structured_values.shape != self.structured_meta.shape:
+            raise ValueError("structured values/meta shape mismatch")
+        if np.any(self.structured_meta > 3):
+            raise ValueError("2:4 metadata must be 2-bit (0..3)")
+        self.residual = residual
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparTAMatrix":
+        dense = require_2d(dense)
+        m, k = dense.shape
+        pk = -(-k // 4) * 4
+        padded = np.zeros((m, pk), dtype=np.float16)
+        padded[:, :k] = dense
+
+        groups = padded.reshape(m, pk // 4, 4)
+        mask = groups != 0
+        # Rank each non-zero within its group (1-based, zero at zeros).
+        rank = np.cumsum(mask, axis=2) * mask
+
+        slot_vals = np.zeros((m, pk // 4, 2), dtype=np.float16)
+        slot_meta = np.zeros((m, pk // 4, 2), dtype=np.uint8)
+        for slot in (1, 2):
+            hit = rank == slot  # at most one position per group
+            present = hit.any(axis=2)
+            pos = hit.argmax(axis=2)
+            picked = np.take_along_axis(groups, pos[..., None], axis=2)[..., 0]
+            slot_vals[..., slot - 1] = np.where(present, picked, np.float16(0))
+            slot_meta[..., slot - 1] = np.where(present, pos, 0).astype(np.uint8)
+
+        residual_dense = np.where(rank >= 3, groups, np.float16(0)).reshape(m, pk)
+        residual = CSRMatrix.from_dense(residual_dense[:, :k])
+
+        return cls(
+            (m, k),
+            slot_vals.reshape(m, pk // 2),
+            slot_meta.reshape(m, pk // 2),
+            residual,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        m, k = self.shape
+        pk = -(-k // 4) * 4
+        out = np.zeros((m, pk), dtype=np.float16)
+        vals = self.structured_values.reshape(m, pk // 4, 2)
+        meta = self.structured_meta.reshape(m, pk // 4, 2).astype(np.intp)
+        group_base = np.arange(pk // 4, dtype=np.intp) * 4
+        cols = group_base[None, :, None] + meta  # (M, groups, 2)
+        rows = np.broadcast_to(np.arange(m, dtype=np.intp)[:, None, None], cols.shape)
+        present = vals != 0
+        out[rows[present], cols[present]] = vals[present]
+        result = out[:, :k]
+        return np.asarray(result + self.residual.to_dense(), dtype=np.float16)
+
+    def storage_bytes(self) -> int:
+        return int(round(sparta_storage_bytes(self.m, self.k, self.residual.nnz)))
+
+    @property
+    def structured_nnz(self) -> int:
+        return int(np.count_nonzero(self.structured_values))
+
+    @property
+    def nnz(self) -> int:
+        return self.structured_nnz + self.residual.nnz

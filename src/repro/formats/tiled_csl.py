@@ -1,0 +1,141 @@
+"""Tiled-CSL — Flash-LLM's sparse format (Xia et al., VLDB 2023).
+
+The matrix is cut into thread-block tiles (64 x 64 by default).  Each
+non-zero is stored as one 32-bit word packing the FP16 value with a 16-bit
+intra-tile location; a ``TileOffsets`` array records where each tile's run
+starts.  Storage per paper Eq. 2 ::
+
+    Stor_Tiled-CSL = 4B * NT + 4B * NNZ
+
+The 16-bit per-element location index makes the indexing overhead equal to
+the payload itself — the reason Tiled-CSL's compression ratio sinks below
+1 under ~50 % sparsity (Fig. 3).  Flash-LLM's kernel loads these packed
+words into registers and *unpacks* them into shared memory ("load as
+sparse, compute as dense"), a data path the kernel model charges for.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import SparseFormat, require_2d
+
+__all__ = ["TiledCSLMatrix", "tiled_csl_storage_bytes"]
+
+#: Flash-LLM's thread-block tile (rows x cols).
+DEFAULT_TILE: Tuple[int, int] = (64, 64)
+
+
+def tiled_csl_storage_bytes(num_tiles: int, nnz: int) -> int:
+    """Analytic Tiled-CSL size (paper Eq. 2)."""
+    return 4 * num_tiles + 4 * nnz
+
+
+class TiledCSLMatrix(SparseFormat):
+    """Tiled-CSL container.
+
+    ``locations`` holds the 16-bit intra-tile linear offsets (row-major
+    within the tile); ``values`` the corresponding FP16 payloads; both are
+    ordered tile-by-tile (tiles row-major over the matrix).  On the GPU the
+    two live interleaved in one 32-bit ``NonZeros`` stream; we keep them in
+    parallel arrays, which is byte-equivalent.
+    """
+
+    name = "tiled-csl"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        tile_offsets: np.ndarray,
+        locations: np.ndarray,
+        values: np.ndarray,
+        tile_shape: Tuple[int, int] = DEFAULT_TILE,
+    ):
+        super().__init__(shape)
+        self.tile_shape = (int(tile_shape[0]), int(tile_shape[1]))
+        if self.tile_shape[0] * self.tile_shape[1] > 1 << 16:
+            raise ValueError("tile must be addressable by a 16-bit location")
+        self.tile_offsets = np.asarray(tile_offsets, dtype=np.uint32)
+        self.locations = np.asarray(locations, dtype=np.uint16)
+        self.values = np.asarray(values, dtype=np.float16)
+        if self.locations.size != self.values.size:
+            raise ValueError("locations and values must have equal length")
+        if int(self.tile_offsets[-1]) != self.values.size:
+            raise ValueError("last tile offset must equal NNZ")
+
+    # ---- geometry -----------------------------------------------------------------
+
+    @property
+    def tile_grid(self) -> Tuple[int, int]:
+        th, tw = self.tile_shape
+        return -(-self.m // th), -(-self.k // tw)
+
+    @property
+    def num_tiles(self) -> int:
+        rows, cols = self.tile_grid
+        return rows * cols
+
+    # ---- codec ----------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, tile_shape: Tuple[int, int] = DEFAULT_TILE
+    ) -> "TiledCSLMatrix":
+        dense = require_2d(dense)
+        m, k = dense.shape
+        th, tw = tile_shape
+        pm, pk = -(-m // th) * th, -(-k // tw) * tw
+        padded = np.zeros((pm, pk), dtype=np.float16)
+        padded[:m, :k] = dense
+
+        # Tile-major view: (tile_row, tile_col, r, c) -> (ntiles, th*tw)
+        tiles = (
+            padded.reshape(pm // th, th, pk // tw, tw)
+            .transpose(0, 2, 1, 3)
+            .reshape(-1, th * tw)
+        )
+        mask = tiles != 0
+        nnz_per_tile = mask.sum(axis=1)
+        tile_offsets = np.concatenate(([0], np.cumsum(nnz_per_tile))).astype(
+            np.uint32
+        )
+        tile_ids, flat_locs = np.nonzero(mask)
+        del tile_ids  # scan order already groups by tile
+        values = tiles[mask]
+        return cls(
+            (m, k),
+            tile_offsets,
+            flat_locs.astype(np.uint16),
+            values,
+            (th, tw),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        th, tw = self.tile_shape
+        rows, cols = self.tile_grid
+        tiles = np.zeros((rows * cols, th * tw), dtype=np.float16)
+        tile_ids = np.repeat(
+            np.arange(rows * cols), np.diff(self.tile_offsets.astype(np.int64))
+        )
+        tiles[tile_ids, self.locations] = self.values
+        padded = (
+            tiles.reshape(rows, cols, th, tw)
+            .transpose(0, 2, 1, 3)
+            .reshape(rows * th, cols * tw)
+        )
+        return np.ascontiguousarray(padded[: self.m, : self.k])
+
+    def storage_bytes(self) -> int:
+        return tiled_csl_storage_bytes(self.num_tiles, self.nnz)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def tile_slice(self, tile: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(locations, values) run of one tile, as the kernel unpacks it."""
+        lo = int(self.tile_offsets[tile])
+        hi = int(self.tile_offsets[tile + 1])
+        return self.locations[lo:hi], self.values[lo:hi]

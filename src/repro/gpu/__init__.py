@@ -1,0 +1,102 @@
+"""GPU substrate: device specs, memory/occupancy/roofline models, and the
+mechanistic kernel cost simulator standing in for RTX4090/A6000 silicon."""
+
+from .accelerators import ACCELERATORS, AcceleratorSpec, cross_accelerator_cr, get_accelerator
+from .cache import CacheStats, SetAssociativeCache, x_panel_dram_bytes
+from .energy import EnergyEstimate, EnergyModel, kernel_energy
+from .calibration import CALIBRATIONS, KernelCalibration, get_calibration
+from .instructions import (
+    ISSUE_THROUGHPUT,
+    InstructionMix,
+    flash_llm_instruction_mix,
+    spinfer_instruction_mix,
+)
+from .pipeline import PipelineConfig, PipelineTrace, TaskEvent, simulate_pipeline
+from .smbd_program import (
+    build_naive_decode,
+    build_two_phase_decode,
+    run_bitmaptile_decode,
+)
+from .warp_sim import Instr, WarpProgram, WarpResult, WarpSimulator
+from .memory import (
+    BANK_WIDTH_BYTES,
+    NUM_BANKS,
+    bank_of,
+    count_bank_conflicts,
+    dram_transfer_seconds,
+    expected_random_scatter_replays,
+)
+from .occupancy import OccupancyResult, occupancy
+from .roofline import (
+    RooflinePoint,
+    attainable_tflops,
+    ci_gemm,
+    ci_optimal,
+    ci_spmm,
+    is_memory_bound,
+    roofline_point,
+)
+from .simulator import KernelProfile, LaunchShape, Traffic, Work, simulate_kernel
+from .specs import A100_SXM, A6000, GPUS, H100_PCIE, RTX3090, RTX4090, GPUSpec, get_gpu
+from .tensor_core import mma_m16n8k16, warp_tile_matmul
+
+__all__ = [
+    "A100_SXM",
+    "ACCELERATORS",
+    "AcceleratorSpec",
+    "PipelineConfig",
+    "PipelineTrace",
+    "TaskEvent",
+    "cross_accelerator_cr",
+    "get_accelerator",
+    "simulate_pipeline",
+    "Instr",
+    "WarpProgram",
+    "WarpResult",
+    "WarpSimulator",
+    "build_naive_decode",
+    "build_two_phase_decode",
+    "run_bitmaptile_decode",
+    "CacheStats",
+    "SetAssociativeCache",
+    "x_panel_dram_bytes",
+    "ISSUE_THROUGHPUT",
+    "InstructionMix",
+    "flash_llm_instruction_mix",
+    "spinfer_instruction_mix",
+    "EnergyEstimate",
+    "EnergyModel",
+    "kernel_energy",
+    "A6000",
+    "H100_PCIE",
+    "RTX3090",
+    "BANK_WIDTH_BYTES",
+    "CALIBRATIONS",
+    "GPUS",
+    "GPUSpec",
+    "KernelCalibration",
+    "KernelProfile",
+    "LaunchShape",
+    "NUM_BANKS",
+    "OccupancyResult",
+    "RTX4090",
+    "RooflinePoint",
+    "Traffic",
+    "Work",
+    "attainable_tflops",
+    "bank_of",
+    "ci_gemm",
+    "ci_optimal",
+    "ci_spmm",
+    "count_bank_conflicts",
+    "dram_transfer_seconds",
+    "expected_random_scatter_replays",
+    "get_calibration",
+    "get_gpu",
+    "is_memory_bound",
+    "mma_m16n8k16",
+    "occupancy",
+    "roofline_point",
+    "simulate_kernel",
+    "warp_tile_matmul",
+]

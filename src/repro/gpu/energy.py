@@ -1,0 +1,89 @@
+"""Energy model for the SpMM kernels (extension; no paper counterpart).
+
+Data movement dominates GPU energy: a DRAM access costs orders of
+magnitude more per byte than an on-chip FLOP.  Since TCA-BME's entire
+mechanism is moving fewer DRAM bytes, it saves energy even where the
+kernel is not time-bound by bandwidth.  The model prices a kernel launch
+with standard per-operation energies (7 nm-class figures from the
+accelerator-architecture literature) applied to the cost model's byte
+and FLOP counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernels.base import SpMMKernel, SpMMProblem
+from .simulator import KernelProfile
+from .specs import GPUSpec, RTX4090
+
+__all__ = ["EnergyModel", "EnergyEstimate", "kernel_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energies, picojoules."""
+
+    dram_pj_per_byte: float = 80.0
+    l2_pj_per_byte: float = 8.0
+    tc_pj_per_flop: float = 0.4
+    cuda_pj_per_flop: float = 1.0
+    int_pj_per_op: float = 0.8
+    #: Static (leakage + clocking) power while the kernel runs, watts.
+    static_watts: float = 80.0
+
+    def __post_init__(self) -> None:
+        for name in ("dram_pj_per_byte", "l2_pj_per_byte", "tc_pj_per_flop",
+                     "cuda_pj_per_flop", "int_pj_per_op", "static_watts"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass
+class EnergyEstimate:
+    """Energy breakdown of one launch, joules."""
+
+    kernel: str
+    dram_j: float
+    compute_j: float
+    decode_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dram_j + self.compute_j + self.decode_j + self.static_j
+
+    @property
+    def dram_share(self) -> float:
+        return self.dram_j / self.total_j if self.total_j else 0.0
+
+
+def kernel_energy(
+    kernel: SpMMKernel,
+    problem: SpMMProblem,
+    gpu: GPUSpec = RTX4090,
+    model: EnergyModel = EnergyModel(),
+) -> EnergyEstimate:
+    """Price one kernel launch's energy from its cost-model profile."""
+    profile: KernelProfile = kernel.profile(problem, gpu)
+    work = kernel._work(problem)
+
+    dram_j = profile.dram_bytes * model.dram_pj_per_byte * 1e-12
+    compute_j = (
+        work.tc_flops * model.tc_pj_per_flop
+        + work.cuda_flops * model.cuda_pj_per_flop
+    ) * 1e-12
+    decode_j = (
+        work.decode_values
+        * kernel.calibration.decode_ops_per_value
+        * model.int_pj_per_op
+        * 1e-12
+    )
+    static_j = model.static_watts * profile.time_s
+    return EnergyEstimate(
+        kernel=kernel.name,
+        dram_j=dram_j,
+        compute_j=compute_j,
+        decode_j=decode_j,
+        static_j=static_j,
+    )

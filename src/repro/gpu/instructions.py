@@ -1,0 +1,147 @@
+"""Instruction-mix accounting for the SpMM kernels.
+
+Table 1's issue-slot and warp-cycles-per-instruction counters are
+functions of *how many instructions* a kernel issues, not just how many
+bytes it moves.  This module enumerates the warp-level instruction mix
+of the SpInfer and Flash-LLM kernels mechanically from the tile
+geometry — LDGSTS loads per GroupTile, ldmatrix per XTile, mma per
+TCTile, PopCount/LDS per decoded value — and prices issue bandwidth
+with a per-opcode throughput table (Ampere/Ada figures).
+
+The counts also expose the data-path difference of paper Fig. 7: the
+Flash-LLM mix contains the register-file round trip (LDG into registers,
+STS scatter into shared, LDS back out) that SpInfer's direct
+LDGSTS-into-shared path deletes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.tca_bme import tca_bme_storage_bytes
+from ..kernels.base import SpMMProblem
+from .specs import GPUSpec
+
+__all__ = [
+    "ISSUE_THROUGHPUT",
+    "InstructionMix",
+    "spinfer_instruction_mix",
+    "flash_llm_instruction_mix",
+]
+
+#: Warp-instructions retired per SM per cycle, by opcode class
+#: (dual-issue ALU, one LSU port, one TC port — standard Ampere/Ada).
+ISSUE_THROUGHPUT: Dict[str, float] = {
+    "LDGSTS128": 0.25,  # global->shared async copy, 16B/lane
+    "LDG128": 0.25,  # global load into registers
+    "STS": 1.0,  # shared store
+    "LDS": 1.0,  # shared load
+    "LDSM": 0.5,  # ldmatrix.x4
+    "POPC": 2.0,  # integer pipe (paired with LOP3)
+    "LOP": 2.0,  # bit logic / shifts
+    "HMMA": 0.5,  # mma.m16n8k16
+    "SYNC": 0.25,  # barriers / cp.async fences
+}
+
+#: Bytes per warp-wide 128-bit vector load (32 lanes x 16 B).
+_WARP_VEC_BYTES = 512
+
+
+@dataclass
+class InstructionMix:
+    """Warp-instruction counts for one kernel launch."""
+
+    kernel: str
+    counts: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, opcode: str, count: float) -> None:
+        if opcode not in ISSUE_THROUGHPUT:
+            raise KeyError(
+                f"unknown opcode class {opcode!r}; known: {sorted(ISSUE_THROUGHPUT)}"
+            )
+        if count < 0:
+            raise ValueError("instruction count cannot be negative")
+        self.counts[opcode] = self.counts.get(opcode, 0.0) + count
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+    def issue_cycles_per_sm(self, gpu: GPUSpec) -> float:
+        """SM-cycles needed to issue the mix, spread over the chip."""
+        cycles = sum(
+            count / ISSUE_THROUGHPUT[op] for op, count in self.counts.items()
+        )
+        return cycles / gpu.sm_count
+
+    def issue_seconds(self, gpu: GPUSpec) -> float:
+        return self.issue_cycles_per_sm(gpu) / (gpu.boost_clock_ghz * 1e9)
+
+    def share(self, opcode: str) -> float:
+        return self.counts.get(opcode, 0.0) / self.total if self.total else 0.0
+
+
+def spinfer_instruction_mix(
+    problem: SpMMProblem, gt: int = 64
+) -> InstructionMix:
+    """Warp instructions of the SpInfer-SpMM launch (Algorithm 1).
+
+    Per GroupTile iteration: one LDGSTS stream for bitmaps+values and one
+    for the XTile; SMBD issues 1 POPC + ~3 LOP per lane-register plus one
+    LDS per surviving value; each TCTile row then runs ``N/8`` mma.
+    """
+    mix = InstructionMix(kernel="spinfer")
+    m, k, n = problem.m, problem.k, problem.n
+    density = 1.0 - problem.sparsity
+
+    weight_bytes = tca_bme_storage_bytes(m, k, problem.nnz)
+    x_bytes = 2.0 * k * n * math.ceil(m / gt)  # every block row streams X
+    mix.add("LDGSTS128", (weight_bytes + x_bytes) / _WARP_VEC_BYTES)
+
+    num_bt = (m / 8) * (k / 8)
+    mix.add("POPC", num_bt)  # one MaskedPopCount issue per BitmapTile-warp
+    mix.add("LOP", 3.0 * num_bt)  # mask build, bit test, offset math
+    mix.add("LDS", problem.nnz / 32.0)  # one predicated 2B load per value
+
+    num_tctile = (m / 16) * (k / 16)
+    mix.add("LDSM", num_tctile * max(1.0, n / 16.0))  # XTile fragments
+    mix.add("HMMA", num_tctile * max(1.0, n / 8.0))
+
+    iterations = math.ceil(m / gt) * math.ceil(k / gt)
+    mix.add("SYNC", 3.0 * iterations)  # commits, waits, barrier
+    return mix
+
+
+def flash_llm_instruction_mix(
+    problem: SpMMProblem, tile: int = 64
+) -> InstructionMix:
+    """Warp instructions of Flash-LLM's Load-as-Sparse-Compute-as-Dense.
+
+    The Tiled-CSL words ride LDG into the register file, scatter into
+    shared with STS (bank-conflicted — the replays show up as extra STS
+    issue), reload through the normal LDS path, then run the same dense
+    mma schedule as SpInfer.
+    """
+    mix = InstructionMix(kernel="flash_llm")
+    m, k, n = problem.m, problem.k, problem.n
+    nnz = problem.nnz
+
+    nonzeros_bytes = 4.0 * nnz  # 32-bit packed (value, location) words
+    x_bytes = 2.0 * k * n * math.ceil(m / tile)
+    mix.add("LDG128", nonzeros_bytes / _WARP_VEC_BYTES)
+    mix.add("LDGSTS128", x_bytes / _WARP_VEC_BYTES)
+
+    # Register-file unpack: one STS per non-zero (x3.4 for bank replays),
+    # plus location decode bit logic.
+    mix.add("STS", 3.4 * nnz / 32.0)
+    mix.add("LOP", 2.0 * nnz / 32.0)
+    # Dense tiles then reload via LDS/ldmatrix for the mma schedule.
+    num_tctile = (m / 16) * (k / 16)
+    mix.add("LDSM", num_tctile * (1.0 + max(1.0, n / 16.0)))
+    mix.add("HMMA", num_tctile * max(1.0, n / 8.0))
+
+    iterations = math.ceil(m / tile) * math.ceil(k / tile)
+    mix.add("SYNC", 3.0 * iterations)
+    return mix

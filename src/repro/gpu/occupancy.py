@@ -1,0 +1,87 @@
+"""SM occupancy calculator.
+
+Occupancy — resident warps per SM relative to the hardware maximum — is
+limited by whichever per-block resource runs out first: registers, shared
+memory, or the thread/warp caps.  The paper's Fig. 12 links SpInfer's low
+register footprint (sparse data decoded in shared memory, not parked in
+registers) to higher occupancy and therefore better latency hiding; this
+module turns per-kernel resource usage into that occupancy number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import GPUSpec
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+#: Register allocation granularity (registers are allocated per warp in
+#: chunks on Ampere/Ada).
+_REG_ALLOC_UNIT = 256
+_WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel config."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float  # fraction of max warps resident
+    limiter: str  # "registers" | "shared" | "threads" | "blocks"
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= 0.999
+
+
+def occupancy(
+    gpu: GPUSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_bytes_per_block: int,
+    max_blocks_per_sm: int = 32,
+) -> OccupancyResult:
+    """Compute resident blocks/warps per SM for a kernel configuration."""
+    if threads_per_block <= 0 or threads_per_block % _WARP_SIZE:
+        raise ValueError("threads_per_block must be a positive multiple of 32")
+    if registers_per_thread <= 0:
+        raise ValueError("registers_per_thread must be positive")
+    if shared_bytes_per_block < 0:
+        raise ValueError("shared memory cannot be negative")
+    if shared_bytes_per_block > gpu.max_shared_per_block_kb * 1024:
+        raise ValueError(
+            f"block needs {shared_bytes_per_block} B shared memory; "
+            f"{gpu.name} allows at most {gpu.max_shared_per_block_kb} KB"
+        )
+
+    warps_per_block = threads_per_block // _WARP_SIZE
+
+    # Registers: allocated per warp, rounded up to the allocation unit.
+    regs_per_warp = registers_per_thread * _WARP_SIZE
+    regs_per_warp = -(-regs_per_warp // _REG_ALLOC_UNIT) * _REG_ALLOC_UNIT
+    blocks_by_regs = gpu.registers_per_sm // (regs_per_warp * warps_per_block)
+
+    blocks_by_shared = (
+        gpu.shared_mem_per_sm_kb * 1024 // shared_bytes_per_block
+        if shared_bytes_per_block
+        else max_blocks_per_sm
+    )
+    blocks_by_threads = gpu.max_threads_per_sm // threads_per_block
+
+    limits = {
+        "registers": blocks_by_regs,
+        "shared": blocks_by_shared,
+        "threads": blocks_by_threads,
+        "blocks": max_blocks_per_sm,
+    }
+    limiter = min(limits, key=limits.__getitem__)
+    blocks = max(0, int(limits[limiter]))
+    warps = min(blocks * warps_per_block, gpu.max_warps_per_sm)
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / gpu.max_warps_per_sm,
+        limiter=limiter,
+    )

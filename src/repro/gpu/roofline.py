@@ -1,0 +1,99 @@
+"""Roofline model for the GEMM/SpMM analysis of paper Section 3.2.2.
+
+Compute intensity (CI) definitions follow the paper exactly (FP16
+operands, FLOPs per byte of weight + activation traffic, constants
+folded out as in Eqs. 6–8):
+
+* GEMM:      ``CI = M*N / (M + N)``                      (Eq. 6)
+* SpMM:      ``CI = M*N / (M / CR + N)``                 (Eq. 7)
+* Optimal:   ``CI = M*N / (M * (1 - s) + N)``            (Eq. 8)
+
+A kernel's attainable throughput is ``min(peak, CI * bandwidth)``; all
+decode-phase LLM SpMM shapes sit far left of the ridge, which is why CR —
+and hence indexing overhead — controls performance there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import GPUSpec
+
+__all__ = [
+    "ci_gemm",
+    "ci_spmm",
+    "ci_optimal",
+    "attainable_tflops",
+    "RooflinePoint",
+    "roofline_point",
+    "is_memory_bound",
+]
+
+
+def _check_mn(m: int, n: int) -> None:
+    if m <= 0 or n <= 0:
+        raise ValueError("M and N must be positive")
+
+
+def ci_gemm(m: int, n: int) -> float:
+    """Compute intensity of dense GEMM (paper Eq. 6), FLOP per FP16 element."""
+    _check_mn(m, n)
+    return (m * n) / (m + n)
+
+
+def ci_spmm(m: int, n: int, cr: float) -> float:
+    """Compute intensity of SpMM under a format with compression ratio ``cr``
+    (paper Eq. 7).  ``cr < 1`` (index-bloated formats) *lowers* CI below
+    the dense GEMM baseline."""
+    _check_mn(m, n)
+    if cr <= 0:
+        raise ValueError(f"compression ratio must be positive, got {cr}")
+    return (m * n) / (m / cr + n)
+
+
+def ci_optimal(m: int, n: int, sparsity: float) -> float:
+    """Upper-bound CI with zero indexing overhead (paper Eq. 8)."""
+    _check_mn(m, n)
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    return (m * n) / (m * (1.0 - sparsity) + n)
+
+
+def attainable_tflops(ci: float, gpu: GPUSpec, element_bytes: int = 2) -> float:
+    """Roofline-attainable TFLOP/s at compute intensity ``ci``.
+
+    ``ci`` is in FLOPs per *element*; ``element_bytes`` converts it to
+    FLOPs per byte before applying the bandwidth roof.
+    """
+    if ci <= 0:
+        raise ValueError("compute intensity must be positive")
+    flops_per_byte = ci / element_bytes
+    bw_roof = flops_per_byte * gpu.dram_bandwidth_bytes
+    return min(gpu.tc_fp16_flops, bw_roof) / 1e12
+
+
+def is_memory_bound(ci: float, gpu: GPUSpec, element_bytes: int = 2) -> bool:
+    """True when the bandwidth roof binds at this CI."""
+    return (ci / element_bytes) < gpu.ridge_ci
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One (kernel, shape) point on the roofline plot (paper Fig. 4)."""
+
+    label: str
+    ci: float
+    attainable_tflops: float
+    memory_bound: bool
+
+
+def roofline_point(
+    label: str, ci: float, gpu: GPUSpec, element_bytes: int = 2
+) -> RooflinePoint:
+    """Locate a kernel/shape on a GPU's roofline."""
+    return RooflinePoint(
+        label=label,
+        ci=ci,
+        attainable_tflops=attainable_tflops(ci, gpu, element_bytes),
+        memory_bound=is_memory_bound(ci, gpu, element_bytes),
+    )

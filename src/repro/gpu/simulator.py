@@ -1,0 +1,250 @@
+"""Mechanistic kernel-execution cost model.
+
+The simulator prices one kernel launch from first principles:
+
+``t_mem``
+    DRAM bytes (weights in their exact encoded size + activations +
+    outputs + split-K workspace) over achieved bandwidth.
+``t_compute``
+    Tensor-Core and/or CUDA-core FLOPs over achieved throughput, scaled
+    by the occupancy-derived utilisation.
+``t_decode``
+    Sparse-decode work (SMBD popcounts and loads, Tiled-CSL unpacking,
+    …) priced per value on the integer pipes, inflated by shared-memory
+    bank replays.
+
+With the asynchronous pipeline the three streams overlap — the kernel
+costs ``max(t_mem, t_compute + exposed decode)`` where only the
+non-hidden decode residue is exposed (paper Section 4.3.4).  Without it,
+the per-iteration stages serialise.  Nsight-style counters (Fig. 12 /
+Table 1) fall out of the same quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .calibration import KernelCalibration
+from .occupancy import OccupancyResult, occupancy
+from .specs import GPUSpec
+
+__all__ = ["LaunchShape", "Traffic", "Work", "KernelProfile", "simulate_kernel"]
+
+#: Bytes one warp-wide LDGSTS.128 / LDG.128 instruction moves (32 x 16 B).
+_BYTES_PER_WARP_LOAD = 512
+#: FLOPs of one mma.m16n8k16 (2 * 16 * 8 * 16).
+_FLOPS_PER_MMA = 4096
+#: Issue slots per SM per cycle (4 schedulers on Ampere/Ada).
+_ISSUE_SLOTS_PER_SM = 4
+
+
+@dataclass(frozen=True)
+class LaunchShape:
+    """Grid geometry of a launch."""
+
+    grid_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks <= 0:
+            raise ValueError("grid must contain at least one block")
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """DRAM traffic of one launch, in bytes."""
+
+    weight_bytes: float
+    activation_bytes: float = 0.0
+    output_bytes: float = 0.0
+    workspace_bytes: float = 0.0  # split-K partials written + re-read
+
+    def __post_init__(self) -> None:
+        for name in ("weight_bytes", "activation_bytes", "output_bytes", "workspace_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+    @property
+    def total(self) -> float:
+        return (
+            self.weight_bytes
+            + self.activation_bytes
+            + self.output_bytes
+            + self.workspace_bytes
+        )
+
+
+@dataclass(frozen=True)
+class Work:
+    """Arithmetic and decode work of one launch."""
+
+    tc_flops: float = 0.0
+    cuda_flops: float = 0.0
+    decode_values: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("tc_flops", "cuda_flops", "decode_values"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass
+class KernelProfile:
+    """Predicted time plus Nsight-style counters for one launch."""
+
+    kernel: str
+    gpu: str
+    time_s: float
+    t_mem_s: float
+    t_tc_s: float
+    t_cuda_s: float
+    t_decode_s: float
+    t_decode_exposed_s: float
+    dram_bytes: float
+    bandwidth_utilization: float  # fraction of DRAM peak over the launch
+    tc_utilization: float  # fraction of TC peak over the launch
+    registers_per_thread: int
+    occupancy: OccupancyResult
+    wave_utilization: float
+    bank_conflict_replays: float
+    issue_slot_busy: float
+    warp_cycles_per_inst: float
+    warp_instructions: float = field(repr=False, default=0.0)
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_s * 1e3
+
+    @property
+    def time_us(self) -> float:
+        return self.time_s * 1e6
+
+    @property
+    def tflops(self) -> float:
+        """Achieved dense-equivalent TFLOP/s (TC + CUDA-core FLOPs)."""
+        total_flops = 0.0
+        if self.time_s > 0:
+            total_flops = (self._tc_flops + self._cuda_flops) / self.time_s
+        return total_flops / 1e12
+
+    # Stashed for tflops; not part of the public counter set.
+    _tc_flops: float = field(repr=False, default=0.0)
+    _cuda_flops: float = field(repr=False, default=0.0)
+
+
+def simulate_kernel(
+    gpu: GPUSpec,
+    cal: KernelCalibration,
+    shape: LaunchShape,
+    traffic: Traffic,
+    work: Work,
+    occupancy_override: Optional[OccupancyResult] = None,
+) -> KernelProfile:
+    """Price one kernel launch on ``gpu`` under calibration ``cal``."""
+    occ = occupancy_override or occupancy(
+        gpu,
+        threads_per_block=cal.threads_per_block,
+        registers_per_thread=cal.registers_per_thread,
+        shared_bytes_per_block=cal.shared_bytes_per_block,
+    )
+    if occ.blocks_per_sm == 0:
+        raise ValueError(
+            f"kernel {cal.name} cannot fit a single block on {gpu.name}"
+        )
+
+    # Wave quantisation: the final partial wave leaves SMs idle.
+    blocks_per_wave = occ.blocks_per_sm * gpu.sm_count
+    waves = math.ceil(shape.grid_blocks / blocks_per_wave)
+    wave_util = shape.grid_blocks / (waves * blocks_per_wave)
+    # A single partial wave cannot exploit full-chip bandwidth either, but
+    # the effect saturates quickly; clamp so tiny grids aren't priced as
+    # if they used one SM's worth of bandwidth.
+    eff_util = max(wave_util, 0.25)
+
+    bw = gpu.dram_bandwidth_bytes
+    t_mem = traffic.total / (bw * cal.mem_efficiency * eff_util)
+
+    t_tc = 0.0
+    if work.tc_flops:
+        if cal.tc_efficiency <= 0:
+            raise ValueError(f"kernel {cal.name} has no Tensor-Core path")
+        t_tc = work.tc_flops / (gpu.tc_fp16_flops * cal.tc_efficiency * eff_util)
+
+    t_cuda = 0.0
+    if work.cuda_flops:
+        if cal.cuda_efficiency <= 0:
+            raise ValueError(f"kernel {cal.name} has no CUDA-core path")
+        t_cuda = work.cuda_flops / (
+            gpu.cuda_fp16_flops * cal.cuda_efficiency * eff_util
+        )
+
+    t_decode = 0.0
+    if work.decode_values:
+        decode_ops = work.decode_values * cal.decode_ops_per_value
+        t_decode = (
+            decode_ops * cal.bank_conflict_factor / (gpu.int_ops * eff_util)
+        )
+
+    t_compute = t_tc + t_cuda
+    exposed_decode = t_decode * (1.0 - cal.decode_overlap)
+    # Pipelined composition: the critical stage hides a ``stage_overlap``
+    # fraction of the rest; the residue serialises (Section 4.3.4).
+    critical = max(t_mem, t_compute + exposed_decode)
+    serial_sum = t_mem + t_compute + exposed_decode
+    t_exec = critical + (1.0 - cal.stage_overlap) * (serial_sum - critical)
+
+    time_s = t_exec + cal.launch_overhead_us * 1e-6
+
+    # ---- counters -----------------------------------------------------------
+    bw_util = traffic.total / (time_s * bw)
+    tc_util = work.tc_flops / gpu.tc_fp16_flops / time_s if work.tc_flops else 0.0
+
+    load_warp_insts = traffic.total / _BYTES_PER_WARP_LOAD
+    mma_warp_insts = work.tc_flops / _FLOPS_PER_MMA
+    cuda_warp_insts = work.cuda_flops / (2 * 32)  # 1 FMA lane-op each
+    decode_warp_insts = (
+        work.decode_values * cal.decode_ops_per_value / 32 if work.decode_values else 0.0
+    )
+    warp_insts = (
+        load_warp_insts + mma_warp_insts + cuda_warp_insts + decode_warp_insts
+    )
+
+    clock_hz = gpu.boost_clock_ghz * 1e9
+    issue_capacity = time_s * clock_hz * gpu.sm_count * _ISSUE_SLOTS_PER_SM
+    issue_slot_busy = min(1.0, warp_insts / issue_capacity) if issue_capacity else 0.0
+
+    resident_warps = occ.warps_per_sm * gpu.sm_count * wave_util
+    warp_cycles_per_inst = (
+        time_s * clock_hz * resident_warps / warp_insts if warp_insts else 0.0
+    )
+
+    replays = (
+        work.decode_values / 32 * (cal.bank_conflict_factor - 1.0)
+        if work.decode_values
+        else 0.0
+    )
+
+    profile = KernelProfile(
+        kernel=cal.name,
+        gpu=gpu.name,
+        time_s=time_s,
+        t_mem_s=t_mem,
+        t_tc_s=t_tc,
+        t_cuda_s=t_cuda,
+        t_decode_s=t_decode,
+        t_decode_exposed_s=exposed_decode,
+        dram_bytes=traffic.total,
+        bandwidth_utilization=bw_util,
+        tc_utilization=tc_util,
+        registers_per_thread=cal.registers_per_thread,
+        occupancy=occ,
+        wave_utilization=wave_util,
+        bank_conflict_replays=replays,
+        issue_slot_busy=issue_slot_busy,
+        warp_cycles_per_inst=warp_cycles_per_inst,
+        warp_instructions=warp_insts,
+    )
+    profile._tc_flops = work.tc_flops
+    profile._cuda_flops = work.cuda_flops
+    return profile

@@ -1,0 +1,194 @@
+"""GPU device specifications used by the cost model.
+
+Numbers come from vendor datasheets / whitepapers for the two evaluation
+platforms of the paper (RTX 4090, RTX A6000) plus an A100 for generality.
+Tensor-Core peaks are the *dense* FP16 rates with FP32 accumulation — the
+`mma.m16n8k16.f32.f16.f16.f32` path SpInfer uses.
+
+The interconnect fields describe the multi-GPU links of the paper's two
+testbeds: the 4090 box is PCIe-only (30.5 GB/s measured), the A6000 box
+has pairwise NVLink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["GPUSpec", "RTX4090", "A6000", "A100_SXM", "H100_PCIE", "RTX3090", "GPUS", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Hardware parameters of one GPU model."""
+
+    name: str
+    arch: str
+    sm_count: int
+    boost_clock_ghz: float
+    #: Dense FP16 Tensor-Core peak with FP32 accumulate, in TFLOP/s.
+    tc_fp16_tflops: float
+    #: FP16 CUDA-core peak (2:1 over FP32 on these parts), in TFLOP/s.
+    cuda_fp16_tflops: float
+    #: FP32 CUDA-core peak, in TFLOP/s.
+    cuda_fp32_tflops: float
+    #: Integer/bit-op throughput available to SMBD, in Tera-ops/s.
+    int_tops: float
+    dram_bandwidth_gbs: float
+    dram_capacity_gb: float
+    l2_cache_mb: float
+    shared_mem_per_sm_kb: int
+    max_shared_per_block_kb: int
+    registers_per_sm: int
+    max_threads_per_sm: int
+    max_warps_per_sm: int
+    #: Whether cp.async / LDGSTS (Ampere+) is available.
+    has_async_copy: bool = True
+    #: Bandwidth of the inter-GPU link for tensor parallelism, GB/s per dir.
+    interconnect_gbs: float = 30.5
+    interconnect: str = "pcie"
+    #: One-way link latency for a collective hop, microseconds.
+    interconnect_latency_us: float = field(default=8.0)
+
+    @property
+    def dram_bandwidth_bytes(self) -> float:
+        return self.dram_bandwidth_gbs * 1e9
+
+    @property
+    def dram_capacity_bytes(self) -> float:
+        return self.dram_capacity_gb * 1e9
+
+    @property
+    def tc_fp16_flops(self) -> float:
+        return self.tc_fp16_tflops * 1e12
+
+    @property
+    def cuda_fp16_flops(self) -> float:
+        return self.cuda_fp16_tflops * 1e12
+
+    @property
+    def int_ops(self) -> float:
+        return self.int_tops * 1e12
+
+    @property
+    def ridge_ci(self) -> float:
+        """Roofline ridge point (FLOP/byte) for the Tensor-Core peak."""
+        return self.tc_fp16_flops / self.dram_bandwidth_bytes
+
+
+RTX4090 = GPUSpec(
+    name="RTX4090",
+    arch="Ada Lovelace (sm_89)",
+    sm_count=128,
+    boost_clock_ghz=2.52,
+    tc_fp16_tflops=165.2,
+    cuda_fp16_tflops=82.6,
+    cuda_fp32_tflops=82.6,
+    int_tops=41.3,
+    dram_bandwidth_gbs=1008.0,
+    dram_capacity_gb=24.0,
+    l2_cache_mb=72.0,
+    shared_mem_per_sm_kb=100,
+    max_shared_per_block_kb=99,
+    registers_per_sm=65536,
+    max_threads_per_sm=1536,
+    max_warps_per_sm=48,
+    interconnect_gbs=30.5,  # PCIe, as measured in the paper's testbed
+    interconnect="pcie",
+)
+
+A6000 = GPUSpec(
+    name="A6000",
+    arch="Ampere (sm_86)",
+    sm_count=84,
+    boost_clock_ghz=1.80,
+    tc_fp16_tflops=154.8,
+    cuda_fp16_tflops=38.7,
+    cuda_fp32_tflops=38.7,
+    int_tops=19.4,
+    dram_bandwidth_gbs=768.0,
+    dram_capacity_gb=48.0,
+    l2_cache_mb=6.0,
+    shared_mem_per_sm_kb=100,
+    max_shared_per_block_kb=99,
+    registers_per_sm=65536,
+    max_threads_per_sm=1536,
+    max_warps_per_sm=48,
+    interconnect_gbs=112.5,  # pairwise NVLink
+    interconnect="nvlink",
+)
+
+A100_SXM = GPUSpec(
+    name="A100-SXM",
+    arch="Ampere (sm_80)",
+    sm_count=108,
+    boost_clock_ghz=1.41,
+    tc_fp16_tflops=312.0,
+    cuda_fp16_tflops=78.0,
+    cuda_fp32_tflops=19.5,
+    int_tops=19.5,
+    dram_bandwidth_gbs=2039.0,
+    dram_capacity_gb=80.0,
+    l2_cache_mb=40.0,
+    shared_mem_per_sm_kb=164,
+    max_shared_per_block_kb=163,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    interconnect_gbs=300.0,
+    interconnect="nvlink",
+)
+
+H100_PCIE = GPUSpec(
+    name="H100-PCIe",
+    arch="Hopper (sm_90)",
+    sm_count=114,
+    boost_clock_ghz=1.76,
+    tc_fp16_tflops=756.0,
+    cuda_fp16_tflops=102.4,
+    cuda_fp32_tflops=51.2,
+    int_tops=25.6,
+    dram_bandwidth_gbs=2039.0,
+    dram_capacity_gb=80.0,
+    l2_cache_mb=50.0,
+    shared_mem_per_sm_kb=228,
+    max_shared_per_block_kb=227,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    interconnect_gbs=64.0,  # PCIe Gen5
+    interconnect="pcie",
+)
+
+RTX3090 = GPUSpec(
+    name="RTX3090",
+    arch="Ampere (sm_86)",
+    sm_count=82,
+    boost_clock_ghz=1.70,
+    tc_fp16_tflops=142.0,
+    cuda_fp16_tflops=35.6,
+    cuda_fp32_tflops=35.6,
+    int_tops=17.8,
+    dram_bandwidth_gbs=936.0,
+    dram_capacity_gb=24.0,
+    l2_cache_mb=6.0,
+    shared_mem_per_sm_kb=100,
+    max_shared_per_block_kb=99,
+    registers_per_sm=65536,
+    max_threads_per_sm=1536,
+    max_warps_per_sm=48,
+    interconnect_gbs=25.0,
+    interconnect="pcie",
+)
+
+GPUS: Dict[str, GPUSpec] = {
+    g.name: g for g in (RTX4090, A6000, A100_SXM, H100_PCIE, RTX3090)
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU by name; raises ``KeyError`` listing the options."""
+    try:
+        return GPUS[name]
+    except KeyError:
+        raise KeyError(f"unknown GPU {name!r}; available: {sorted(GPUS)}") from None

@@ -1,0 +1,103 @@
+"""Numeric model of the FP16 Tensor-Core ``mma.m16n8k16`` instruction.
+
+:func:`mma_m16n8k16` executes the instruction at warp granularity on
+fragment tensors laid out exactly as the hardware distributes them across
+lanes (see :mod:`repro.core.mma_layout`).  Arithmetic matches the
+hardware contract: FP16 multiplicands, FP32 accumulation.
+
+:func:`warp_tile_matmul` composes mma calls over a 16x16 A tile and a
+16xN B panel the way one warp of the SpInfer kernel does — the path the
+functional kernel uses after SMBD has populated the A fragments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.mma_layout import (
+    MMA_K,
+    MMA_M,
+    MMA_N,
+    WARP_SIZE,
+    gather_b_fragments,
+    gather_cd_fragments,
+    scatter_a_fragments,
+    scatter_cd_fragments,
+)
+
+__all__ = ["mma_m16n8k16", "warp_tile_matmul"]
+
+
+def mma_m16n8k16(
+    a_frags: np.ndarray, b_frags: np.ndarray, c_frags: np.ndarray
+) -> np.ndarray:
+    """One warp-wide mma: ``D = A (16x16 f16) @ B (16x8 f16) + C (f32)``.
+
+    Fragments use the lane layouts of :mod:`repro.core.mma_layout`:
+    ``a_frags (32, 4, 2)`` f16, ``b_frags (32, 2, 2)`` f16, ``c_frags
+    (32, 4)`` f32.  Returns the D fragments, shape ``(32, 4)`` f32.
+
+    Internally the operands are reassembled to matrices and multiplied in
+    FP32 — numerically identical to the hardware's FP16-multiply /
+    FP32-accumulate for these operand magnitudes (each dot product is 16
+    terms; products of two FP16 values are exact in FP32).
+    """
+    a_frags = np.asarray(a_frags)
+    b_frags = np.asarray(b_frags)
+    c_frags = np.asarray(c_frags, dtype=np.float32)
+    if a_frags.shape != (WARP_SIZE, 4, 2):
+        raise ValueError(f"A fragments must be (32, 4, 2), got {a_frags.shape}")
+    if b_frags.shape != (WARP_SIZE, 2, 2):
+        raise ValueError(f"B fragments must be (32, 2, 2), got {b_frags.shape}")
+    if c_frags.shape != (WARP_SIZE, 4):
+        raise ValueError(f"C fragments must be (32, 4), got {c_frags.shape}")
+
+    a = scatter_a_fragments(a_frags).astype(np.float32)
+    # B gathers/scatters share index maps; rebuild B via the C/D scatter of
+    # its transpose-free layout: easiest is an explicit inverse gather.
+    b = _scatter_b_fragments(b_frags).astype(np.float32)
+    c = scatter_cd_fragments(c_frags)
+    d = a @ b + c
+    return gather_cd_fragments(d)
+
+
+def _scatter_b_fragments(frags: np.ndarray) -> np.ndarray:
+    """Reassemble the 16x8 B tile from fragments ``(32, 2, 2)``."""
+    from ..core.mma_layout import b_fragment_index
+
+    tile = np.zeros((MMA_K, MMA_N), dtype=frags.dtype)
+    for lane in range(WARP_SIZE):
+        for reg in range(2):
+            for half in (0, 1):
+                r, c = b_fragment_index(lane, reg, half)
+                tile[r, c] = frags[lane, reg, half]
+    return tile
+
+
+def warp_tile_matmul(
+    a_frags: np.ndarray, b_panel: np.ndarray, acc: np.ndarray
+) -> np.ndarray:
+    """Multiply one decoded 16x16 A tile by a 16xN B panel via mma calls.
+
+    ``b_panel`` is ``(16, N)`` f16 with ``N`` a multiple of 8 (each mma
+    consumes an 16x8 slice); ``acc`` is the running ``(16, N)`` f32
+    accumulator.  Returns the updated accumulator.  This mirrors the
+    innermost loop of the SpInfer kernel: fragments stay resident while
+    the B panel streams through ``ldmatrix`` loads.
+    """
+    b_panel = np.asarray(b_panel)
+    acc = np.asarray(acc, dtype=np.float32)
+    if b_panel.shape[0] != MMA_K:
+        raise ValueError(f"B panel must have {MMA_K} rows, got {b_panel.shape}")
+    if b_panel.shape[1] % MMA_N:
+        raise ValueError(f"B panel columns must be a multiple of {MMA_N}")
+    if acc.shape != (MMA_M, b_panel.shape[1]):
+        raise ValueError("accumulator shape must match (16, N)")
+
+    out = acc.copy()
+    for j in range(0, b_panel.shape[1], MMA_N):
+        b_frags = gather_b_fragments(b_panel[:, j : j + MMA_N])
+        c_frags = gather_cd_fragments(out[:, j : j + MMA_N])
+        d_frags = mma_m16n8k16(a_frags, b_frags, c_frags)
+        out[:, j : j + MMA_N] = scatter_cd_fragments(d_frags)
+    return out

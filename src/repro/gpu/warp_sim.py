@@ -1,0 +1,263 @@
+"""Warp-level instruction simulator.
+
+SpInfer's decoder is written at the PTX level (paper Listing 1 and
+Algorithm 2); the claims about SMBD — one ``MaskedPopCount`` per lane
+per register, phase II reusing phase I's count — are claims about an
+*instruction sequence*.  This module provides a small SIMT interpreter
+(32 lanes in lockstep, per-lane registers, shared memory with the
+32-bank conflict model, predicated execution) so those sequences can be
+written down as programs, executed, and cycle-counted.
+
+The ISA is a minimal SASS-like subset sufficient for SMBD:
+
+===========  =====================================================
+``MOV``      ``rd = imm`` or ``rd = rs``
+``S_REG``    ``rd = special`` (``laneid``)
+``ADD/SUB``  integer arithmetic (operands: registers or immediates)
+``SHL/SHR``  logical shifts
+``AND/OR``   bitwise ops
+``POPC``     population count (the ``__popcll`` intrinsic)
+``SETP``     predicate ``pd = (rs != 0)``
+``SEL``      ``rd = pd ? ra : rb``
+``LDS``      shared-memory load (2 bytes), predicated, bank-modelled
+``NOP``      scheduling filler
+===========  =====================================================
+
+Timing: in-order issue, one instruction per cycle per warp, plus a
+register scoreboard — an instruction stalls until its sources' results
+are ready (ALU latency 4, POPC 8, LDS 22 + bank replays).  This is the
+standard simplified Ampere timing model used in microbenchmark papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Instr", "WarpProgram", "WarpResult", "WarpSimulator", "WARP_SIZE"]
+
+WARP_SIZE = 32
+
+Operand = Union[int, str]  # register name or immediate
+
+#: Result latency (cycles) per opcode class.
+_LATENCY = {
+    "MOV": 4,
+    "S_REG": 4,
+    "ADD": 4,
+    "SUB": 4,
+    "SHL": 4,
+    "SHR": 4,
+    "AND": 4,
+    "OR": 4,
+    "SEL": 4,
+    "SETP": 4,
+    "POPC": 8,
+    "LDS": 22,
+    "NOP": 1,
+}
+
+_ALU_OPS = {"MOV", "ADD", "SUB", "SHL", "SHR", "AND", "OR", "POPC"}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One warp instruction."""
+
+    opcode: str
+    dest: Optional[str] = None
+    srcs: Sequence[Operand] = ()
+    #: Predicate register guarding execution (``None`` = always).
+    pred: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode not in _LATENCY:
+            raise ValueError(
+                f"unknown opcode {self.opcode!r}; supported: {sorted(_LATENCY)}"
+            )
+
+
+@dataclass
+class WarpProgram:
+    """An instruction sequence plus metadata."""
+
+    name: str
+    instructions: List[Instr] = field(default_factory=list)
+
+    def emit(self, opcode: str, dest: Optional[str] = None,
+             *srcs: Operand, pred: Optional[str] = None) -> "WarpProgram":
+        self.instructions.append(Instr(opcode, dest, srcs, pred))
+        return self
+
+    def count(self, opcode: str) -> int:
+        return sum(1 for i in self.instructions if i.opcode == opcode)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class WarpResult:
+    """Execution outcome."""
+
+    registers: Dict[str, np.ndarray]  # per-lane values, int64
+    predicates: Dict[str, np.ndarray]
+    cycles: int
+    instructions_issued: int
+    lds_replays: int
+
+    def lane_values(self, reg: str) -> np.ndarray:
+        try:
+            return self.registers[reg]
+        except KeyError:
+            raise KeyError(f"register {reg!r} was never written") from None
+
+
+class WarpSimulator:
+    """Executes a :class:`WarpProgram` over 32 lockstep lanes."""
+
+    def __init__(self, shared_memory: Optional[np.ndarray] = None):
+        # Shared memory as an array of bytes (uint8).
+        self.shared = (
+            np.zeros(0, dtype=np.uint8)
+            if shared_memory is None
+            else np.asarray(shared_memory, dtype=np.uint8)
+        )
+
+    # ---- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _read(regs: Dict[str, np.ndarray], op: Operand) -> np.ndarray:
+        if isinstance(op, str):
+            try:
+                return regs[op]
+            except KeyError:
+                raise KeyError(f"read of unwritten register {op!r}") from None
+        # Immediates are 64-bit patterns; wrap into the signed register
+        # representation (top-bit-set bitmaps stay bit-exact).
+        value = int(op) & 0xFFFFFFFFFFFFFFFF
+        return np.full(WARP_SIZE, value, dtype=np.uint64).astype(np.int64)
+
+    def _lds16(self, addrs: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Predicated 2-byte shared loads; returns raw uint16 as int64."""
+        out = np.zeros(WARP_SIZE, dtype=np.int64)
+        for lane in range(WARP_SIZE):
+            if not active[lane]:
+                continue
+            a = int(addrs[lane])
+            if a < 0 or a + 2 > self.shared.size:
+                raise IndexError(
+                    f"lane {lane} LDS out of bounds: address {a} of "
+                    f"{self.shared.size} bytes"
+                )
+            out[lane] = int(self.shared[a]) | (int(self.shared[a + 1]) << 8)
+        return out
+
+    @staticmethod
+    def _bank_replays(addrs: np.ndarray, active: np.ndarray) -> int:
+        """Extra cycles from bank conflicts on one LDS."""
+        live = addrs[active]
+        if live.size == 0:
+            return 0
+        words = live // 4
+        banks = words % 32
+        worst = 1
+        for b in np.unique(banks):
+            worst = max(worst, len(np.unique(words[banks == b])))
+        return worst - 1
+
+    # ---- execution -----------------------------------------------------------------
+
+    def run(self, program: WarpProgram) -> WarpResult:
+        regs: Dict[str, np.ndarray] = {}
+        preds: Dict[str, np.ndarray] = {}
+        ready: Dict[str, int] = {}  # cycle each register's value is ready
+        cycle = 0
+        issued = 0
+        total_replays = 0
+
+        for instr in program.instructions:
+            # Scoreboard: wait for source operands (and predicate).
+            wait = 0
+            for op in instr.srcs:
+                if isinstance(op, str) and op in ready:
+                    wait = max(wait, ready[op])
+            if instr.pred is not None and instr.pred in ready:
+                wait = max(wait, ready[instr.pred])
+            cycle = max(cycle, wait)
+            cycle += 1  # issue
+            issued += 1
+
+            active = (
+                preds[instr.pred].astype(bool)
+                if instr.pred is not None
+                else np.ones(WARP_SIZE, dtype=bool)
+            )
+
+            op = instr.opcode
+            latency = _LATENCY[op]
+            if op == "NOP":
+                continue
+            if op == "S_REG":
+                result = np.arange(WARP_SIZE, dtype=np.int64)
+            elif op == "MOV":
+                result = self._read(regs, instr.srcs[0])
+            elif op in ("ADD", "SUB", "SHL", "SHR", "AND", "OR"):
+                a = self._read(regs, instr.srcs[0])
+                b = self._read(regs, instr.srcs[1])
+                if op == "ADD":
+                    result = a + b
+                elif op == "SUB":
+                    result = a - b
+                elif op == "SHL":
+                    result = (a.astype(np.uint64) << b.astype(np.uint64)).astype(np.int64)
+                elif op == "SHR":
+                    result = (a.astype(np.uint64) >> b.astype(np.uint64)).astype(np.int64)
+                elif op == "AND":
+                    result = a & b
+                else:
+                    result = a | b
+            elif op == "POPC":
+                a = self._read(regs, instr.srcs[0]).astype(np.uint64)
+                result = np.array(
+                    [bin(int(v)).count("1") for v in a], dtype=np.int64
+                )
+            elif op == "SETP":
+                a = self._read(regs, instr.srcs[0])
+                preds[instr.dest] = (a != 0).astype(np.int64)
+                ready[instr.dest] = cycle + latency
+                continue
+            elif op == "SEL":
+                pd = preds[str(instr.srcs[0])].astype(bool)
+                a = self._read(regs, instr.srcs[1])
+                b = self._read(regs, instr.srcs[2])
+                result = np.where(pd, a, b)
+            elif op == "LDS":
+                addrs = self._read(regs, instr.srcs[0])
+                replays = self._bank_replays(addrs, active)
+                total_replays += replays
+                latency += replays
+                result = self._lds16(addrs, active)
+            else:  # pragma: no cover - guarded by Instr validation
+                raise AssertionError(op)
+
+            if instr.dest is not None:
+                old = regs.get(instr.dest)
+                if instr.pred is not None and old is not None:
+                    result = np.where(active, result, old)
+                elif instr.pred is not None:
+                    result = np.where(active, result, 0)
+                regs[instr.dest] = result
+                ready[instr.dest] = cycle + latency
+
+        # Drain: the warp retires when every pending result lands.
+        finish = max([cycle] + list(ready.values()))
+        return WarpResult(
+            registers=regs,
+            predicates=preds,
+            cycles=finish,
+            instructions_issued=issued,
+            lds_replays=total_replays,
+        )

@@ -1,0 +1,169 @@
+"""Checkpoint serialization for encoded sparse weights.
+
+A deployment framework must persist pruned-and-encoded weights — the
+paper's artifact converts OPT checkpoints into its formats on disk.
+This module provides versioned ``.npz`` serialization for:
+
+* single :class:`~repro.core.tca_bme.TCABMEMatrix` tensors,
+* :class:`~repro.core.quant.QuantizedTCABME` tensors, and
+* whole checkpoints (name -> encoded matrix), as one file.
+
+Loads validate structural invariants before returning, so a corrupted
+file fails loudly rather than silently decoding garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from .core.quant import QuantizedTCABME
+from .core.tca_bme import TCABMEMatrix, encode
+from .core.tiles import TileConfig
+
+__all__ = [
+    "FORMAT_VERSION",
+    "save_tca_bme",
+    "load_tca_bme",
+    "save_quantized",
+    "load_quantized",
+    "save_checkpoint",
+    "load_checkpoint",
+    "encode_checkpoint",
+]
+
+FORMAT_VERSION = 1
+_MAGIC = "repro-tca-bme"
+
+
+def _config_array(config: TileConfig) -> np.ndarray:
+    return np.array(
+        [config.bt_h, config.bt_w, config.tt_h, config.tt_w, config.gt_h, config.gt_w],
+        dtype=np.int64,
+    )
+
+
+def _config_from_array(arr: np.ndarray) -> TileConfig:
+    vals = [int(v) for v in np.asarray(arr).reshape(-1)]
+    if len(vals) != 6:
+        raise ValueError("malformed tile-config record")
+    return TileConfig(*vals)
+
+
+def _matrix_fields(matrix: TCABMEMatrix, prefix: str = "") -> Dict[str, np.ndarray]:
+    return {
+        f"{prefix}shape": np.array(matrix.shape, dtype=np.int64),
+        f"{prefix}gtile_offsets": matrix.gtile_offsets,
+        f"{prefix}values": matrix.values,
+        f"{prefix}bitmaps": matrix.bitmaps,
+        f"{prefix}tile_config": _config_array(matrix.config),
+    }
+
+
+def _matrix_from_fields(data: Mapping[str, np.ndarray], prefix: str = "") -> TCABMEMatrix:
+    try:
+        matrix = TCABMEMatrix(
+            shape=tuple(int(v) for v in data[f"{prefix}shape"]),
+            gtile_offsets=np.asarray(data[f"{prefix}gtile_offsets"], dtype=np.uint32),
+            values=np.asarray(data[f"{prefix}values"], dtype=np.float16),
+            bitmaps=np.asarray(data[f"{prefix}bitmaps"], dtype=np.uint64),
+            config=_config_from_array(data[f"{prefix}tile_config"]),
+        )
+    except KeyError as exc:
+        raise ValueError(f"checkpoint is missing field {exc}") from None
+    matrix.validate()
+    return matrix
+
+
+def _header() -> Dict[str, np.ndarray]:
+    return {
+        "magic": np.array(_MAGIC),
+        "version": np.array(FORMAT_VERSION, dtype=np.int64),
+    }
+
+
+def _check_header(data: Mapping[str, np.ndarray], path: str) -> None:
+    if "magic" not in data or str(data["magic"]) != _MAGIC:
+        raise ValueError(f"{path} is not a repro TCA-BME file")
+    version = int(data["version"])
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses format version {version}; this build reads "
+            f"up to {FORMAT_VERSION}"
+        )
+
+
+def save_tca_bme(path: str, matrix: TCABMEMatrix) -> str:
+    """Serialize one encoded matrix; returns the path written."""
+    np.savez_compressed(path, **_header(), **_matrix_fields(matrix))
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_tca_bme(path: str) -> TCABMEMatrix:
+    """Load and validate one encoded matrix."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_header(data, path)
+        return _matrix_from_fields(data)
+
+
+def save_quantized(path: str, q: QuantizedTCABME) -> str:
+    """Serialize a quantized matrix (codes + scales + indexing)."""
+    np.savez_compressed(
+        path,
+        **_header(),
+        **_matrix_fields(q.inner),
+        codes=q.codes,
+        scales=q.scales,
+        bits=np.array(q.bits, dtype=np.int64),
+        group_size=np.array(q.group_size, dtype=np.int64),
+    )
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_quantized(path: str) -> QuantizedTCABME:
+    with np.load(path, allow_pickle=False) as data:
+        _check_header(data, path)
+        inner = _matrix_from_fields(data)
+        q = QuantizedTCABME(
+            inner=inner,
+            codes=np.asarray(data["codes"], dtype=np.int8),
+            scales=np.asarray(data["scales"], dtype=np.float16),
+            bits=int(data["bits"]),
+            group_size=int(data["group_size"]),
+        )
+    if q.codes.size != inner.nnz:
+        raise ValueError("quantized code count does not match NNZ")
+    return q
+
+
+def save_checkpoint(path: str, tensors: Mapping[str, TCABMEMatrix]) -> str:
+    """Serialize a named set of encoded matrices into one file."""
+    if not tensors:
+        raise ValueError("checkpoint must contain at least one tensor")
+    fields: Dict[str, np.ndarray] = dict(_header())
+    fields["tensor_names"] = np.array(sorted(tensors), dtype=np.str_)
+    for name in tensors:
+        if "/" in name:
+            raise ValueError(f"tensor name {name!r} may not contain '/'")
+        fields.update(_matrix_fields(tensors[name], prefix=f"{name}/"))
+    np.savez_compressed(path, **fields)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(path: str) -> Dict[str, TCABMEMatrix]:
+    """Load a multi-tensor checkpoint; every tensor is validated."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_header(data, path)
+        names = [str(n) for n in data["tensor_names"]]
+        return {
+            name: _matrix_from_fields(data, prefix=f"{name}/") for name in names
+        }
+
+
+def encode_checkpoint(
+    path: str, dense_tensors: Mapping[str, np.ndarray]
+) -> str:
+    """Convenience: encode dense tensors and save in one step."""
+    encoded = {name: encode(w) for name, w in dense_tensors.items()}
+    return save_checkpoint(path, encoded)

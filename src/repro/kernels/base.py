@@ -1,0 +1,194 @@
+"""Common machinery for SpMM/GEMM kernels.
+
+Every kernel in this package has two faces:
+
+``run(w_dense, x)``
+    A *functional* implementation in numpy that executes the kernel's
+    actual algorithm (bitmap decode, Tiled-CSL unpack, 2:4 split, block
+    skipping, ...) and returns the numerically correct FP32 product
+    ``W @ X``.  These paths are validated against dense matmul in tests.
+
+``profile(problem, gpu)``
+    A *performance* prediction from the mechanistic cost model
+    (:mod:`repro.gpu.simulator`), using the format's exact storage
+    equations for traffic and the kernel's calibration constants.
+
+The paper computes ``O = W_sparse (M x K) @ X (K x N)`` with a tall
+weight matrix and a skinny activation panel (decode phase: N = batch
+size).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..gpu.calibration import KernelCalibration, get_calibration
+from ..gpu.occupancy import occupancy
+from ..gpu.simulator import (
+    KernelProfile,
+    LaunchShape,
+    Traffic,
+    Work,
+    simulate_kernel,
+)
+from ..gpu.specs import GPUSpec, RTX4090
+
+__all__ = ["SpMMProblem", "SpMMKernel", "choose_split_k"]
+
+#: Thread-block output tile (rows) shared by the tiled kernels; matches
+#: the GroupTile height / Flash-LLM's TILE_M.
+TILE_M = 64
+#: Thread-block output tile (columns); decode-phase N (8..32) fits one.
+TILE_N = 32
+#: K-dimension slice processed per iteration (GroupTile width).
+TILE_K = 64
+
+
+@dataclass(frozen=True)
+class SpMMProblem:
+    """One ``O = W @ X`` instance: ``W`` is ``m x k`` sparse, ``X`` is
+    ``k x n`` dense FP16."""
+
+    m: int
+    k: int
+    n: int
+    sparsity: float
+    #: Fraction of 16x16 blocks containing a non-zero, when known from the
+    #: actual mask (clustered scientific patterns); SMaT falls back to the
+    #: uniform-sparsity estimate when absent.
+    block_occupancy: Optional[float] = None
+    #: Measured 2:4-overflow non-zeros, when known; SparTA falls back to
+    #: the Eq. 4 expectation when absent.
+    sparta_residual_nnz: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.k <= 0 or self.n <= 0:
+            raise ValueError("problem dimensions must be positive")
+        if not 0.0 <= self.sparsity <= 1.0:
+            raise ValueError(f"sparsity must be in [0, 1], got {self.sparsity}")
+        if self.block_occupancy is not None and not 0.0 <= self.block_occupancy <= 1.0:
+            raise ValueError("block_occupancy must be in [0, 1]")
+        if self.sparta_residual_nnz is not None and self.sparta_residual_nnz < 0:
+            raise ValueError("sparta_residual_nnz cannot be negative")
+
+    @property
+    def nnz(self) -> int:
+        return int(round(self.m * self.k * (1.0 - self.sparsity)))
+
+    @property
+    def dense_flops(self) -> float:
+        return 2.0 * self.m * self.k * self.n
+
+    @property
+    def sparse_flops(self) -> float:
+        return 2.0 * self.nnz * self.n
+
+
+def choose_split_k(
+    problem: SpMMProblem, gpu: GPUSpec, cal: KernelCalibration
+) -> int:
+    """Pick the split-K factor the way CUTLASS-style launch heuristics do:
+    raise it until the grid can occupy the whole chip (paper Section
+    4.3.1), bounded by the number of K tiles."""
+    occ = occupancy(
+        gpu,
+        threads_per_block=cal.threads_per_block,
+        registers_per_thread=cal.registers_per_thread,
+        shared_bytes_per_block=cal.shared_bytes_per_block,
+    )
+    base_grid = math.ceil(problem.m / TILE_M) * math.ceil(problem.n / TILE_N)
+    target = max(1, occ.blocks_per_sm) * gpu.sm_count
+    max_split = max(1, problem.k // TILE_K)
+    split = 1
+    while split < max_split and base_grid * split < target:
+        split *= 2
+    return min(split, max_split)
+
+
+class SpMMKernel(abc.ABC):
+    """Base class wiring the functional and simulated faces together."""
+
+    #: Calibration-table key; subclasses must set it.
+    name: str = "abstract"
+
+    def __init__(self, calibration: Optional[KernelCalibration] = None):
+        self.calibration = calibration or get_calibration(self.name)
+
+    # ---- functional path ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def run(self, w_dense: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Execute the kernel's algorithm; returns ``W @ X`` as float32."""
+
+    @staticmethod
+    def _check_operands(w_dense: np.ndarray, x: np.ndarray) -> None:
+        if w_dense.ndim != 2 or x.ndim != 2:
+            raise ValueError("operands must be 2-D")
+        if w_dense.shape[1] != x.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: W is {w_dense.shape}, X is {x.shape}"
+            )
+
+    # ---- simulated path ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _traffic(self, problem: SpMMProblem) -> Traffic:
+        """DRAM traffic from the kernel's storage format (excl. workspace)."""
+
+    @abc.abstractmethod
+    def _work(self, problem: SpMMProblem) -> Work:
+        """Arithmetic + decode work of the launch."""
+
+    def _uses_split_k(self) -> bool:
+        return True
+
+    def _grid_blocks(self, problem: SpMMProblem, split_k: int) -> int:
+        """Launch grid of the kernel; tiled output decomposition by default."""
+        return (
+            math.ceil(problem.m / TILE_M)
+            * math.ceil(problem.n / TILE_N)
+            * split_k
+        )
+
+    def profile(
+        self, problem: SpMMProblem, gpu: GPUSpec = RTX4090
+    ) -> KernelProfile:
+        """Predict the kernel's execution profile for ``problem`` on ``gpu``."""
+        cal = self.calibration
+        if cal.tc_n_half > 0:
+            # Skinny output panels cap the TC pipe (see KernelCalibration).
+            cal = replace(cal, tc_efficiency=cal.tc_efficiency_at(problem.n, gpu))
+        split_k = choose_split_k(problem, gpu, cal) if self._uses_split_k() else 1
+        grid = self._grid_blocks(problem, split_k)
+        traffic = self._traffic(problem)
+        if split_k > 1:
+            # FP32 partials written by every slice, then re-read and reduced.
+            workspace = 2.0 * (4.0 * problem.m * problem.n * split_k)
+            traffic = Traffic(
+                weight_bytes=traffic.weight_bytes,
+                activation_bytes=traffic.activation_bytes,
+                output_bytes=traffic.output_bytes,
+                workspace_bytes=traffic.workspace_bytes + workspace,
+            )
+        return simulate_kernel(
+            gpu, cal, LaunchShape(grid_blocks=grid), traffic, self._work(problem)
+        )
+
+    # ---- shared traffic helpers ------------------------------------------------------
+
+    @staticmethod
+    def _activation_bytes(problem: SpMMProblem) -> float:
+        """X panel traffic: read once (it fits L2 for decode-phase N)."""
+        return 2.0 * problem.k * problem.n
+
+    @staticmethod
+    def _output_bytes(problem: SpMMProblem) -> float:
+        return 2.0 * problem.m * problem.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,50 @@
+"""cuSPARSE-style generic CSR SpMM — the vendor library baseline.
+
+cuSPARSE's CSR algorithms are tuned for scientific matrices (high
+sparsity, many dense columns).  On LLM decode shapes — a tall weight
+matrix against an 8–32 column panel at 40–70 % sparsity — its row-split
+gathers are badly uncoalesced and it lands an order of magnitude behind
+cuBLAS (paper Fig. 10 reports SpInfer 18–25x faster).  Numerics are the
+same CSR product as Sputnik's; only the achieved efficiencies differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix, csr_storage_bytes
+from ..gpu.simulator import Traffic, Work
+from .base import SpMMKernel, SpMMProblem
+from .sputnik import csr_spmm
+
+__all__ = ["CuSparseKernel"]
+
+
+class CuSparseKernel(SpMMKernel):
+    """Generic CSR SpMM with scientific-workload heuristics."""
+
+    name = "cusparse"
+
+    def run(self, w_dense: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._check_operands(w_dense, x)
+        return csr_spmm(CSRMatrix.from_dense(w_dense), x)
+
+    def _uses_split_k(self) -> bool:
+        return False
+
+    def _grid_blocks(self, problem: SpMMProblem, split_k: int) -> int:
+        # 1-D row tiling: one thread block per 32-row strip.
+        return max(1, -(-problem.m // 32)) * split_k
+
+    def _traffic(self, problem: SpMMProblem) -> Traffic:
+        return Traffic(
+            weight_bytes=float(csr_storage_bytes(problem.m, problem.nnz)),
+            activation_bytes=self._activation_bytes(problem),
+            output_bytes=self._output_bytes(problem),
+        )
+
+    def _work(self, problem: SpMMProblem) -> Work:
+        return Work(
+            cuda_flops=problem.sparse_flops,
+            decode_values=float(problem.nnz),
+        )

@@ -1,0 +1,150 @@
+"""Dynamic activation sparsity — the paper's Section 6 future-work item.
+
+SpInfer targets static *weight* sparsity; Deja Vu / PowerInfer-style
+systems exploit runtime *activation* sparsity instead.  Section 6 notes
+that combining the two "would require adaptive sparse encoding".  This
+module prototypes that combination on top of TCA-BME:
+
+The K dimension of ``W @ X`` is tiled in GroupTile columns (64 rows of
+``X``).  A K-slice whose activation rows are all (near-)zero contributes
+nothing to the product, so the kernel can skip the corresponding
+GroupTiles *of the already-encoded weight matrix* — no re-encoding, just
+a runtime slice mask derived from ``X``.  Weight traffic, decode work
+and Tensor-Core math all shrink by the inactive fraction.
+
+Skipping exactly-zero slices is lossless; a magnitude threshold
+(CATS-style) trades bounded error for more skipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.smbd import decode_group_fast
+from ..core.tca_bme import TCABMEMatrix, encode
+from ..gpu.simulator import KernelProfile
+from ..gpu.specs import GPUSpec, RTX4090
+from .base import SpMMProblem
+from .spinfer import SpInferKernel
+
+__all__ = ["ActivationSliceMask", "DynamicSpInferKernel", "relu_sparsify"]
+
+
+def relu_sparsify(x: np.ndarray) -> np.ndarray:
+    """ReLU the activations — the sparsity source Deja Vu-style systems
+    exploit (OPT's FFN activations are ReLU outputs)."""
+    x = np.asarray(x, dtype=np.float16)
+    return np.maximum(x, np.float16(0))
+
+
+@dataclass
+class ActivationSliceMask:
+    """Which GroupTile-column K-slices of ``X`` are active."""
+
+    active: np.ndarray  # bool, one per K-slice of gt_w rows
+    slice_rows: int
+
+    @property
+    def active_fraction(self) -> float:
+        return float(self.active.mean()) if self.active.size else 1.0
+
+    @classmethod
+    def from_activations(
+        cls, x: np.ndarray, slice_rows: int = 64, threshold: float = 0.0
+    ) -> "ActivationSliceMask":
+        """Mark a slice active if any element's magnitude exceeds
+        ``threshold`` (0.0 = lossless: skip only exactly-zero slices)."""
+        if slice_rows <= 0:
+            raise ValueError("slice_rows must be positive")
+        if threshold < 0:
+            raise ValueError("threshold cannot be negative")
+        x = np.asarray(x)
+        k = x.shape[0]
+        slices = -(-k // slice_rows)
+        active = np.zeros(slices, dtype=bool)
+        for s in range(slices):
+            block = x[s * slice_rows : (s + 1) * slice_rows]
+            active[s] = bool((np.abs(block.astype(np.float32)) > threshold).any())
+        return cls(active=active, slice_rows=slice_rows)
+
+
+class DynamicSpInferKernel(SpInferKernel):
+    """SpInfer-SpMM with runtime K-slice skipping.
+
+    ``threshold = 0`` skips only exactly-zero activation slices
+    (lossless); larger thresholds approximate, zeroing sub-threshold
+    slices before the multiply.
+    """
+
+    def __init__(self, threshold: float = 0.0):
+        super().__init__(variant="full")
+        if threshold < 0:
+            raise ValueError("threshold cannot be negative")
+        self.threshold = threshold
+        self.last_slice_mask: Optional[ActivationSliceMask] = None
+
+    def run_encoded(self, w: TCABMEMatrix, x: np.ndarray) -> np.ndarray:
+        if w.k != x.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: W is {w.shape}, X is {x.shape}"
+            )
+        cfg = w.config
+        mask = ActivationSliceMask.from_activations(
+            x, slice_rows=cfg.gt_w, threshold=self.threshold
+        )
+        self.last_slice_mask = mask
+
+        x32 = np.asarray(x, dtype=np.float16).astype(np.float32)
+        pm, pk = cfg.padded_shape(w.m, w.k)
+        if pk != x32.shape[0]:
+            pad = np.zeros((pk - x32.shape[0], x32.shape[1]), dtype=np.float32)
+            x32 = np.vstack([x32, pad])
+
+        out = np.zeros((pm, x32.shape[1]), dtype=np.float32)
+        for g, (gr, gc) in enumerate(cfg.iter_group_tiles(w.m, w.k)):
+            k_slice = gc // cfg.gt_w
+            if k_slice < mask.active.size and not mask.active[k_slice]:
+                continue  # dead activations: skip load + decode + mma
+            tile, _stats = decode_group_fast(
+                w.group_bitmaps(g), w.group_values(g), cfg
+            )
+            out[gr : gr + cfg.gt_h] += tile.astype(np.float32) @ x32[
+                gc : gc + cfg.gt_w
+            ]
+        return out[: w.m]
+
+    def run(self, w_dense: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._check_operands(w_dense, x)
+        return self.run_encoded(encode(w_dense, self.tile_config), x)
+
+    # ---- cost model --------------------------------------------------------------
+
+    def profile_dynamic(
+        self,
+        problem: SpMMProblem,
+        active_fraction: float,
+        gpu: GPUSpec = RTX4090,
+    ) -> KernelProfile:
+        """Profile with a known fraction of active K-slices.
+
+        Weight traffic, decode work and mma math scale with the active
+        fraction; the activation panel is still scanned once to build
+        the slice mask.
+        """
+        if not 0.0 < active_fraction <= 1.0:
+            raise ValueError("active_fraction must be in (0, 1]")
+        scaled = SpMMProblem(
+            m=problem.m,
+            k=max(64, int(problem.k * active_fraction) // 64 * 64),
+            n=problem.n,
+            sparsity=problem.sparsity,
+        )
+        profile = self.profile(scaled, gpu)
+        # Add the full X scan the slice-mask construction needs.
+        extra_x = 2.0 * (problem.k - scaled.k) * problem.n
+        profile.dram_bytes += extra_x
+        profile.time_s += extra_x / gpu.dram_bandwidth_bytes
+        return profile

@@ -1,0 +1,64 @@
+"""Sputnik — CUDA-core CSR SpMM (Gale et al., SC'20).
+
+Sputnik applies one-dimensional tiling over CSR rows with reverse-offset
+memory alignment and vector loads; it is the strongest CUDA-core SpMM for
+deep-learning sparsity, but it forgoes Tensor Cores entirely and pays
+CSR's 6-bytes-per-non-zero weight traffic (Eq. 3) — at 50 % sparsity
+that is *1.5x the dense matrix*, which is why it trails cuBLAS on LLM
+shapes (paper Fig. 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix, csr_storage_bytes
+from ..gpu.simulator import Traffic, Work
+from .base import SpMMKernel, SpMMProblem
+
+__all__ = ["SputnikKernel", "csr_spmm"]
+
+
+def csr_spmm(w: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Row-parallel CSR SpMM: each row gathers its columns of ``X`` and
+    accumulates — the access pattern Sputnik's 1-D tiling vectorises."""
+    if w.k != x.shape[0]:
+        raise ValueError(f"inner dimensions disagree: W is {w.shape}, X is {x.shape}")
+    x32 = np.asarray(x, dtype=np.float16).astype(np.float32)
+    out = np.zeros((w.m, x32.shape[1]), dtype=np.float32)
+    row_ids = np.repeat(np.arange(w.m), np.diff(w.row_ptr.astype(np.int64)))
+    contributions = w.values.astype(np.float32)[:, None] * x32[w.col_idx]
+    np.add.at(out, row_ids, contributions)
+    return out
+
+
+class SputnikKernel(SpMMKernel):
+    """CSR SpMM on CUDA cores with 1-D row tiling."""
+
+    name = "sputnik"
+
+    def run(self, w_dense: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._check_operands(w_dense, x)
+        return csr_spmm(CSRMatrix.from_dense(w_dense), x)
+
+    def _uses_split_k(self) -> bool:
+        return False
+
+    def _grid_blocks(self, problem: SpMMProblem, split_k: int) -> int:
+        # 1-D row tiling: one thread block per 8-row strip.
+        return max(1, -(-problem.m // 8)) * split_k  # row-parallel decomposition, no K split
+
+    def _traffic(self, problem: SpMMProblem) -> Traffic:
+        return Traffic(
+            weight_bytes=float(csr_storage_bytes(problem.m, problem.nnz)),
+            activation_bytes=self._activation_bytes(problem),
+            output_bytes=self._output_bytes(problem),
+        )
+
+    def _work(self, problem: SpMMProblem) -> Work:
+        # Only surviving values are multiplied (the one upside of skipping
+        # Tensor Cores), plus per-value index handling.
+        return Work(
+            cuda_flops=problem.sparse_flops,
+            decode_values=float(problem.nnz),
+        )

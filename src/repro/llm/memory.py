@@ -1,0 +1,128 @@
+"""Inference memory accounting (paper Figs. 13-14 OOM walls, Fig. 2).
+
+Per-GPU memory during generation decomposes into:
+
+* **layer weights** — dense FP16 for FasterTransformer/DeepSpeed, the
+  sparse format's exact storage for SpInfer (TCA-BME, Eq. 9) and
+  Flash-LLM (Tiled-CSL, Eq. 2), sharded across tensor-parallel ranks;
+* **embeddings / LM head** — kept dense (pruning papers leave them);
+* **KV cache** — ``2 (K and V) x layers x kv_size x context x batch`` FP16
+  entries, sharded over ranks;
+* **activations** — transient per-token workspace (scales with batch and
+  the widest layer);
+* **runtime overhead** — CUDA context, cuBLAS workspaces, fragmentation.
+
+The OOM behaviour in the paper (Flash-LLM failing where SpInfer runs)
+falls straight out of the weight-format term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats.analytic import (
+    storage_tca_bme,
+    storage_tiled_csl,
+)
+from ..gpu.specs import GPUSpec
+from .models import ModelConfig
+
+__all__ = ["MemoryBreakdown", "estimate_memory", "WEIGHT_FORMATS"]
+
+#: CUDA context + library workspaces + allocator slack, bytes per GPU.
+RUNTIME_OVERHEAD_BYTES = 1.6e9
+
+#: Weight-format storage models, keyed by framework weight format.
+WEIGHT_FORMATS = {
+    "dense": lambda m, k, s: 2.0 * m * k,
+    "tca-bme": storage_tca_bme,
+    "tiled-csl": storage_tiled_csl,
+}
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU memory during decoding, in bytes."""
+
+    weights: float
+    embeddings: float
+    kv_cache: float
+    activations: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.weights
+            + self.embeddings
+            + self.kv_cache
+            + self.activations
+            + self.overhead
+        )
+
+    @property
+    def total_gb(self) -> float:
+        return self.total / 1e9
+
+    def fits(self, gpu: GPUSpec) -> bool:
+        """Whether this footprint fits one GPU's DRAM."""
+        return self.total <= gpu.dram_capacity_bytes
+
+
+def estimate_memory(
+    model: ModelConfig,
+    weight_format: str,
+    sparsity: float,
+    batch_size: int,
+    context_len: int,
+    tensor_parallel: int = 1,
+) -> MemoryBreakdown:
+    """Per-GPU memory for decoding at the given configuration.
+
+    ``context_len`` is the maximum prompt + generated length the KV cache
+    must hold; ``sparsity`` applies only to the prunable layer weights.
+    """
+    if weight_format not in WEIGHT_FORMATS:
+        raise KeyError(
+            f"unknown weight format {weight_format!r}; "
+            f"available: {sorted(WEIGHT_FORMATS)}"
+        )
+    if batch_size <= 0 or context_len <= 0 or tensor_parallel <= 0:
+        raise ValueError("batch, context and tensor_parallel must be positive")
+    if weight_format == "dense" and sparsity != 0.0:
+        raise ValueError("dense weight storage cannot encode sparsity savings")
+
+    storage = WEIGHT_FORMATS[weight_format]
+    layer_weights = sum(
+        storage(w.m, w.k, sparsity) * w.count for w in model.weight_matrices()
+    )
+    weights = model.num_layers * layer_weights / tensor_parallel
+
+    # Token embedding + tied LM head (stored once) + position embeddings.
+    embeddings = 2.0 * model.vocab_size * model.hidden_size + (
+        2.0 * model.max_position_embeddings * model.hidden_size
+    )
+    embeddings /= tensor_parallel
+
+    kv_cache = (
+        2.0  # K and V
+        * model.num_layers
+        * model.kv_size
+        * context_len
+        * batch_size
+        * 2.0  # FP16
+        / tensor_parallel
+    )
+
+    widest = max(
+        max(w.m, w.k) for w in model.weight_matrices()
+    )
+    activations = 4.0 * batch_size * widest * 2.0 / tensor_parallel * 8
+
+    return MemoryBreakdown(
+        weights=weights,
+        embeddings=embeddings,
+        kv_cache=kv_cache,
+        activations=activations,
+        overhead=RUNTIME_OVERHEAD_BYTES,
+    )

@@ -1,0 +1,247 @@
+"""Transformer model zoo — the shapes behind every experiment.
+
+Configurations reproduce the public architectures of the models the paper
+evaluates (Section 5.1): the OPT series, LLaMA-2/3, Qwen2 and the
+Mixtral-8x7B MoE.  From each config we enumerate the per-layer weight
+matrices — these ``(M, K)`` shapes are the kernel benchmark's dataset
+(Fig. 10) and the inference simulator's cost inventory (Figs. 13-15).
+
+Shape conventions match the paper: a linear layer with weight
+``W (M x K)`` maps a ``K``-dim input to an ``M``-dim output; the SpMM is
+``W @ X`` with ``X (K x N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["WeightMatrix", "ModelConfig", "MODELS", "get_model", "kernel_matrix_zoo"]
+
+
+@dataclass(frozen=True)
+class WeightMatrix:
+    """One pruned weight matrix of a transformer layer."""
+
+    name: str
+    m: int  # output dimension
+    k: int  # input dimension
+    #: Instances per layer (e.g. gated FFNs have two up-projections).
+    count: int = 1
+
+    @property
+    def params(self) -> int:
+        return self.m * self.k * self.count
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of one LLM."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    ffn_size: int
+    num_heads: int
+    num_kv_heads: int
+    vocab_size: int
+    #: "relu" (OPT-style 2-matmul FFN) or "silu" (gated 3-matmul FFN).
+    ffn_style: str = "relu"
+    #: MoE experts per layer (1 = dense model).
+    num_experts: int = 1
+    #: Experts activated per token (top-k routing).
+    experts_per_token: int = 1
+    max_position_embeddings: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads:
+            raise ValueError("hidden size must divide evenly among heads")
+        if self.num_heads % self.num_kv_heads:
+            raise ValueError("query heads must divide evenly among KV heads")
+        if self.ffn_style not in ("relu", "silu"):
+            raise ValueError(f"unknown FFN style {self.ffn_style!r}")
+        if self.experts_per_token > self.num_experts:
+            raise ValueError("cannot activate more experts than exist")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_size(self) -> int:
+        """Width of the K (or V) projection output under GQA."""
+        return self.num_kv_heads * self.head_dim
+
+    def weight_matrices(self) -> List[WeightMatrix]:
+        """Per-layer prunable weight matrices (attention + FFN).
+
+        QKV is enumerated fused, as inference engines execute it; MoE
+        FFN matrices are listed once per expert.
+        """
+        h, f = self.hidden_size, self.ffn_size
+        mats = [
+            WeightMatrix("attn.qkv_proj", h + 2 * self.kv_size, h),
+            WeightMatrix("attn.out_proj", h, h),
+        ]
+        e = self.num_experts
+        if self.ffn_style == "silu":
+            mats.append(WeightMatrix("ffn.gate_up_proj", 2 * f, h, count=e))
+            mats.append(WeightMatrix("ffn.down_proj", h, f, count=e))
+        else:
+            mats.append(WeightMatrix("ffn.fc1", f, h, count=e))
+            mats.append(WeightMatrix("ffn.fc2", h, f, count=e))
+        return mats
+
+    def layer_params(self) -> int:
+        """Prunable parameters per transformer layer."""
+        return sum(w.params for w in self.weight_matrices())
+
+    def total_params(self) -> int:
+        """Approximate total parameters (layers + embeddings)."""
+        return self.num_layers * self.layer_params() + (
+            self.vocab_size * self.hidden_size
+        )
+
+    def weight_bytes_dense(self) -> int:
+        """FP16 bytes of all prunable layer weights."""
+        return 2 * self.num_layers * self.layer_params()
+
+
+def _opt(name: str, layers: int, hidden: int, heads: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        num_layers=layers,
+        hidden_size=hidden,
+        ffn_size=4 * hidden,
+        num_heads=heads,
+        num_kv_heads=heads,
+        vocab_size=50272,
+        ffn_style="relu",
+        max_position_embeddings=2048,
+    )
+
+
+MODELS: Dict[str, ModelConfig] = {
+    m.name: m
+    for m in (
+        _opt("opt-13b", 40, 5120, 40),
+        _opt("opt-30b", 48, 7168, 56),
+        _opt("opt-66b", 64, 9216, 72),
+        _opt("opt-175b", 96, 12288, 96),
+        ModelConfig(
+            name="llama2-7b",
+            num_layers=32,
+            hidden_size=4096,
+            ffn_size=11008,
+            num_heads=32,
+            num_kv_heads=32,
+            vocab_size=32000,
+            ffn_style="silu",
+            max_position_embeddings=4096,
+        ),
+        ModelConfig(
+            name="llama2-13b",
+            num_layers=40,
+            hidden_size=5120,
+            ffn_size=13824,
+            num_heads=40,
+            num_kv_heads=40,
+            vocab_size=32000,
+            ffn_style="silu",
+            max_position_embeddings=4096,
+        ),
+        ModelConfig(
+            name="llama2-70b",
+            num_layers=80,
+            hidden_size=8192,
+            ffn_size=28672,
+            num_heads=64,
+            num_kv_heads=8,
+            vocab_size=32000,
+            ffn_style="silu",
+            max_position_embeddings=4096,
+        ),
+        ModelConfig(
+            name="llama3-8b",
+            num_layers=32,
+            hidden_size=4096,
+            ffn_size=14336,
+            num_heads=32,
+            num_kv_heads=8,
+            vocab_size=128256,
+            ffn_style="silu",
+            max_position_embeddings=8192,
+        ),
+        ModelConfig(
+            name="llama3-70b",
+            num_layers=80,
+            hidden_size=8192,
+            ffn_size=28672,
+            num_heads=64,
+            num_kv_heads=8,
+            vocab_size=128256,
+            ffn_style="silu",
+            max_position_embeddings=8192,
+        ),
+        ModelConfig(
+            name="qwen2-7b",
+            num_layers=28,
+            hidden_size=3584,
+            ffn_size=18944,
+            num_heads=28,
+            num_kv_heads=4,
+            vocab_size=152064,
+            ffn_style="silu",
+            max_position_embeddings=32768,
+        ),
+        ModelConfig(
+            name="qwen2-72b",
+            num_layers=80,
+            hidden_size=8192,
+            ffn_size=29568,
+            num_heads=64,
+            num_kv_heads=8,
+            vocab_size=152064,
+            ffn_style="silu",
+            max_position_embeddings=32768,
+        ),
+        ModelConfig(
+            name="mixtral-8x7b",
+            num_layers=32,
+            hidden_size=4096,
+            ffn_size=14336,
+            num_heads=32,
+            num_kv_heads=8,
+            vocab_size=32000,
+            ffn_style="silu",
+            num_experts=8,
+            experts_per_token=2,
+            max_position_embeddings=32768,
+        ),
+    )
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model configuration by name."""
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}") from None
+
+
+def kernel_matrix_zoo() -> List[Tuple[str, int, int]]:
+    """Distinct ``(label, M, K)`` weight shapes across the zoo.
+
+    This is the matrix dataset of the kernel benchmark (paper Fig. 10):
+    every unique weight shape from every evaluated model.
+    """
+    seen = set()
+    out: List[Tuple[str, int, int]] = []
+    for model in MODELS.values():
+        for w in model.weight_matrices():
+            key = (w.m, w.k)
+            if key not in seen:
+                seen.add(key)
+                out.append((f"{model.name}:{w.name}", w.m, w.k))
+    return out

@@ -1,0 +1,122 @@
+"""Weight offloading — the FlexGen/llama.cpp complementarity claim.
+
+Section 2.3 lists offloading engines as orthogonal work SpInfer "can be
+combined with ... to further enhance performance".  The combination is
+mechanical: an offloaded decode step streams each layer's weights from
+host RAM over PCIe, so the step time is bounded by weight *bytes over
+the link* — exactly what TCA-BME compresses.  A model that does not fit
+the GPU at FP16 may fit entirely after encoding; when it still does not,
+compression shrinks the streamed remainder.
+
+The model here: pin as many layers as fit in GPU DRAM (after KV cache),
+stream the rest per decode step, overlap transfer with compute
+(double-buffered layer prefetch, the standard offloading design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats.analytic import storage_tca_bme
+from ..gpu.specs import GPUSpec, get_gpu
+from .memory import RUNTIME_OVERHEAD_BYTES
+from .models import ModelConfig, get_model
+
+__all__ = ["OffloadPlan", "plan_offload", "offloaded_decode_step_seconds"]
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """Placement of one model's layers across GPU and host."""
+
+    model: str
+    weight_format: str
+    sparsity: float
+    layer_bytes: float
+    resident_layers: int
+    streamed_layers: int
+    kv_reserved_bytes: float
+
+    @property
+    def total_layers(self) -> int:
+        return self.resident_layers + self.streamed_layers
+
+    @property
+    def resident_fraction(self) -> float:
+        return self.resident_layers / self.total_layers if self.total_layers else 0.0
+
+    @property
+    def streamed_bytes_per_step(self) -> float:
+        """Host->GPU traffic per decode step (each streamed layer once)."""
+        return self.streamed_layers * self.layer_bytes
+
+
+def _layer_bytes(model: ModelConfig, weight_format: str, sparsity: float) -> float:
+    if weight_format == "dense":
+        if sparsity != 0.0:
+            raise ValueError("dense storage cannot encode sparsity savings")
+        return float(2.0 * model.layer_params())
+    if weight_format == "tca-bme":
+        return float(
+            sum(
+                storage_tca_bme(w.m, w.k, sparsity) * w.count
+                for w in model.weight_matrices()
+            )
+        )
+    raise KeyError(f"unknown weight format {weight_format!r}")
+
+
+def plan_offload(
+    model_name: str,
+    weight_format: str,
+    sparsity: float,
+    gpu_name: str = "RTX4090",
+    batch_size: int = 8,
+    context_len: int = 512,
+) -> OffloadPlan:
+    """Pin layers greedily until GPU DRAM (minus KV + overhead) runs out."""
+    model = get_model(model_name)
+    gpu = get_gpu(gpu_name)
+    layer_bytes = _layer_bytes(model, weight_format, sparsity)
+    kv = 2.0 * model.num_layers * model.kv_size * context_len * batch_size * 2.0
+    embeddings = 2.0 * model.vocab_size * model.hidden_size
+    budget = (
+        gpu.dram_capacity_bytes - kv - embeddings - RUNTIME_OVERHEAD_BYTES
+    )
+    if budget < layer_bytes:
+        # At least one layer must be double-buffered on the GPU to run
+        # at all (streaming needs a landing buffer).
+        if budget < 2 * layer_bytes / model.num_layers:
+            raise ValueError(
+                f"{model_name} cannot run on {gpu_name} even fully offloaded "
+                f"(KV cache alone exceeds DRAM)"
+            )
+    resident = max(0, min(model.num_layers, int(budget // layer_bytes)))
+    return OffloadPlan(
+        model=model_name,
+        weight_format=weight_format,
+        sparsity=sparsity,
+        layer_bytes=layer_bytes,
+        resident_layers=resident,
+        streamed_layers=model.num_layers - resident,
+        kv_reserved_bytes=kv,
+    )
+
+
+def offloaded_decode_step_seconds(
+    plan: OffloadPlan,
+    compute_step_seconds: float,
+    gpu: GPUSpec = None,
+    gpu_name: str = "RTX4090",
+) -> float:
+    """One decode step under the plan.
+
+    Streamed layers prefetch over PCIe while resident (and previously
+    arrived) layers compute; with double buffering the step costs
+    ``max(transfer, compute)`` when anything is streamed.
+    """
+    if compute_step_seconds < 0:
+        raise ValueError("compute time cannot be negative")
+    gpu = gpu or get_gpu(gpu_name)
+    transfer = plan.streamed_bytes_per_step / (gpu.interconnect_gbs * 1e9)
+    return max(transfer, compute_step_seconds)

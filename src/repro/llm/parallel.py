@@ -1,0 +1,64 @@
+"""Tensor-parallel execution and communication model.
+
+The paper's multi-GPU runs use Megatron-style tensor parallelism inside
+FasterTransformer: attention and FFN weights are sharded column/row-wise
+across ranks, requiring one all-reduce after the attention output
+projection and one after the FFN down projection — two per layer per
+token batch.
+
+The communication model prices a ring all-reduce: each rank moves
+``2 * (G - 1) / G`` of the payload over its link, plus per-step latency.
+This is where the paper's RTX4090-vs-A6000 asymmetry comes from: the
+4090 box only has 30.5 GB/s PCIe, the A6000 box pairwise NVLink — so
+SpInfer's ability to fit a model on *fewer* GPUs pays double on the 4090
+cluster (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.specs import GPUSpec
+
+__all__ = ["CommModel", "allreduce_seconds", "shard_dim"]
+
+
+def shard_dim(dim: int, ranks: int) -> int:
+    """Per-rank share of a sharded dimension (ceil division)."""
+    if dim <= 0 or ranks <= 0:
+        raise ValueError("dimension and ranks must be positive")
+    return -(-dim // ranks)
+
+
+def allreduce_seconds(payload_bytes: float, ranks: int, gpu: GPUSpec) -> float:
+    """Ring all-reduce latency for ``payload_bytes`` across ``ranks``.
+
+    Single-rank all-reduce is free.  The ring moves ``2 (G-1)/G`` of the
+    payload through each link and takes ``2 (G-1)`` latency steps.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload cannot be negative")
+    if ranks <= 0:
+        raise ValueError("ranks must be positive")
+    if ranks == 1 or payload_bytes == 0:
+        return 0.0
+    volume = 2.0 * (ranks - 1) / ranks * payload_bytes
+    bandwidth = gpu.interconnect_gbs * 1e9
+    latency = 2.0 * (ranks - 1) * gpu.interconnect_latency_us * 1e-6
+    return volume / bandwidth + latency
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Per-layer communication for one forward pass of ``tokens`` tokens."""
+
+    gpu: GPUSpec
+    ranks: int
+
+    def layer_allreduce_seconds(self, hidden_size: int, tokens: int) -> float:
+        """Two all-reduces per layer (post-attention and post-FFN), each
+        moving the full ``tokens x hidden`` FP16 activation."""
+        if self.ranks == 1:
+            return 0.0
+        payload = 2.0 * hidden_size * tokens  # FP16 activations
+        return 2.0 * allreduce_seconds(payload, self.ranks, self.gpu)

@@ -1,0 +1,97 @@
+"""Deployment planning: pick batch size and GPU count.
+
+Utilities answering the operator questions the paper's Figs. 13-14
+implicitly answer: what batch maximises throughput under a latency
+budget, and how few GPUs can host the model at all.  Built entirely on
+the inference simulator, so every answer inherits the calibrated cost
+and memory models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .inference import InferenceConfig, InferenceResult, simulate_inference
+
+__all__ = ["DeploymentPlan", "best_batch", "min_gpus"]
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """One feasible deployment and its predicted service levels."""
+
+    batch_size: int
+    num_gpus: int
+    tokens_per_second: float
+    latency_s: float
+    memory_gb: float
+
+
+def _simulate(model, framework, gpu, num_gpus, batch, prompt_len, output_len,
+              sparsity) -> InferenceResult:
+    return simulate_inference(InferenceConfig(
+        model=model, framework=framework, gpu=gpu, num_gpus=num_gpus,
+        batch_size=batch, prompt_len=prompt_len, output_len=output_len,
+        sparsity=sparsity,
+    ))
+
+
+def best_batch(
+    model: str,
+    framework: str = "spinfer",
+    gpu: str = "RTX4090",
+    num_gpus: int = 1,
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    prompt_len: int = 64,
+    output_len: int = 256,
+    sparsity: float = 0.6,
+    max_latency_s: Optional[float] = None,
+) -> Optional[DeploymentPlan]:
+    """Largest-throughput feasible batch, optionally latency-capped.
+
+    Returns ``None`` when no batch fits memory (or meets the budget).
+    """
+    if not batches:
+        raise ValueError("need at least one candidate batch size")
+    best: Optional[DeploymentPlan] = None
+    for batch in sorted(batches):
+        r = _simulate(model, framework, gpu, num_gpus, batch,
+                      prompt_len, output_len, sparsity)
+        if r.oom:
+            continue
+        if max_latency_s is not None and r.total_s > max_latency_s:
+            continue
+        plan = DeploymentPlan(
+            batch_size=batch,
+            num_gpus=num_gpus,
+            tokens_per_second=r.tokens_per_second,
+            latency_s=r.total_s,
+            memory_gb=r.memory_gb,
+        )
+        if best is None or plan.tokens_per_second > best.tokens_per_second:
+            best = plan
+    return best
+
+
+def min_gpus(
+    model: str,
+    framework: str = "spinfer",
+    gpu: str = "RTX4090",
+    batch_size: int = 8,
+    prompt_len: int = 64,
+    output_len: int = 256,
+    sparsity: float = 0.6,
+    max_gpus: int = 8,
+) -> Optional[int]:
+    """Smallest power-of-two GPU count that fits the configuration."""
+    if max_gpus <= 0:
+        raise ValueError("max_gpus must be positive")
+    gpus = 1
+    while gpus <= max_gpus:
+        r = _simulate(model, framework, gpu, gpus, batch_size,
+                      prompt_len, output_len, sparsity)
+        if not r.oom:
+            return gpus
+        gpus *= 2
+    return None

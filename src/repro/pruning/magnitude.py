@@ -1,0 +1,55 @@
+"""Magnitude pruning — the classical unstructured baseline.
+
+Removes the smallest-|w| weights.  Two granularities are provided:
+per-matrix (rank weights globally within one layer) and per-row (each
+output neuron keeps the same fraction, which empirically preserves LLM
+accuracy better and is what Wanda-style methods use as their comparison
+point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["magnitude_prune", "magnitude_mask"]
+
+
+def magnitude_mask(
+    weights: np.ndarray, sparsity: float, per_row: bool = False
+) -> np.ndarray:
+    """Boolean keep-mask removing the smallest-magnitude weights.
+
+    Exactly ``round(sparsity * size)`` weights are dropped (per row when
+    ``per_row``).  Ties break deterministically by index.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {weights.shape}")
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+
+    score = np.abs(weights.astype(np.float32))
+    if per_row:
+        k = weights.shape[1]
+        drop = int(round(sparsity * k))
+        mask = np.ones_like(weights, dtype=bool)
+        if drop:
+            pruned_cols = np.argsort(score, axis=1, kind="stable")[:, :drop]
+            rows = np.repeat(np.arange(weights.shape[0]), drop)
+            mask[rows, pruned_cols.reshape(-1)] = False
+        return mask
+
+    drop = int(round(sparsity * weights.size))
+    mask = np.ones(weights.size, dtype=bool)
+    if drop:
+        order = np.argsort(score.reshape(-1), kind="stable")
+        mask[order[:drop]] = False
+    return mask.reshape(weights.shape)
+
+
+def magnitude_prune(
+    weights: np.ndarray, sparsity: float, per_row: bool = False
+) -> np.ndarray:
+    """Return the pruned float16 matrix."""
+    mask = magnitude_mask(weights, sparsity, per_row=per_row)
+    return np.where(mask, weights, 0).astype(np.float16)

@@ -1,0 +1,111 @@
+"""SparseGPT-style one-shot pruning (Frantar & Alistarh, ICML '23).
+
+SparseGPT prunes with second-order (OBS) error compensation: weights are
+processed in column blocks; within a block the least-salient weights —
+saliency ``w^2 / [H^-1]_jj`` with ``H = X X^T + λI`` the layer Hessian —
+are zeroed, and the *remaining* columns are updated to absorb the error
+through the inverse-Hessian row.  This implementation follows the
+published algorithm (blocked OBS sweep over columns with a Cholesky-
+derived inverse) at matrix granularity; it is the third pruning method
+the paper cites alongside Wanda and magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .wanda import synthetic_activations
+
+__all__ = ["sparsegpt_prune", "hessian_inverse"]
+
+
+def hessian_inverse(
+    activations: np.ndarray, damping: float = 0.01
+) -> np.ndarray:
+    """Damped inverse Hessian ``(X X^T / n + λ diag_mean I)^-1``.
+
+    ``activations`` is ``(samples, K)``; the Hessian is ``K x K``.  The
+    damping term is scaled by the mean diagonal as in the reference
+    implementation, keeping the inverse well conditioned for rank-
+    deficient calibration sets.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    if activations.ndim != 2:
+        raise ValueError("activations must be (samples, K)")
+    n, k = activations.shape
+    h = activations.T @ activations / n
+    mean_diag = float(np.trace(h)) / k
+    h += damping * max(mean_diag, 1e-8) * np.eye(k)
+    return np.linalg.inv(h)
+
+
+def sparsegpt_prune(
+    weights: np.ndarray,
+    sparsity: float,
+    activations: Optional[np.ndarray] = None,
+    block_size: int = 128,
+    damping: float = 0.01,
+    seed: int = 0,
+) -> np.ndarray:
+    """One-shot OBS pruning with error compensation.
+
+    Processes columns left to right in blocks of ``block_size``.  Within
+    the active block, each column ``j`` prunes its least-salient weights
+    (per-column quota meeting the global ``sparsity``) and propagates the
+    pruning error into the not-yet-processed columns via the inverse-
+    Hessian row — the update that lets SparseGPT stay accurate where raw
+    magnitude pruning degrades.
+    """
+    w = np.asarray(weights, dtype=np.float64).copy()
+    if w.ndim != 2:
+        raise ValueError(f"expected a 2-D weight matrix, got {w.shape}")
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    m, k = w.shape
+    if activations is None:
+        activations = synthetic_activations(k, seed=seed)
+
+    hinv = hessian_inverse(activations, damping)
+    # Cholesky of H^-1 gives the sequential-update coefficients; its
+    # diagonal squares are the per-column [H^-1]_jj saliency denominators.
+    hinv_chol = np.linalg.cholesky(hinv.T).T  # upper triangular
+
+    mask = np.ones((m, k), dtype=bool)
+    for start in range(0, k, block_size):
+        end = min(start + block_size, k)
+        w_block = w[:, start:end]
+        chol_block = hinv_chol[start:end, start:end]
+        diag = np.diag(chol_block) ** 2
+
+        # Select pruning targets within the block by OBS saliency.
+        saliency = w_block**2 / diag[None, :]
+        drop = int(round(sparsity * (end - start)))
+        block_mask = np.ones_like(w_block, dtype=bool)
+        if drop:
+            pruned = np.argsort(saliency, axis=1, kind="stable")[:, :drop]
+            rows = np.repeat(np.arange(m), drop)
+            block_mask[rows, pruned.reshape(-1)] = False
+
+        # Sequential OBS sweep: zero column j, push its error rightwards.
+        for j in range(end - start):
+            col = w_block[:, j].copy()
+            err = np.where(block_mask[:, j], 0.0, col) / chol_block[j, j]
+            w_block[:, j] = np.where(block_mask[:, j], col, 0.0)
+            if j + 1 < end - start:
+                w_block[:, j + 1 :] -= np.outer(err, chol_block[j, j + 1 :])
+        # Propagate the block's accumulated error to later blocks.
+        if end < k:
+            total_err = (
+                np.where(block_mask, 0.0, np.asarray(weights, dtype=np.float64)[:, start:end])
+            )
+            w[:, end:] -= (
+                total_err / np.diag(chol_block)[None, :] @ hinv_chol[start:end, end:]
+            )
+        mask[:, start:end] = block_mask
+        w[:, start:end] = w_block
+
+    return np.where(mask, w, 0.0).astype(np.float16)

@@ -1,0 +1,89 @@
+"""Tests for the cross-accelerator TCA-BME tilings (paper Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tca_bme import encode
+from repro.core.tiles import TileConfig
+from repro.gpu.accelerators import (
+    ACCELERATORS,
+    AcceleratorSpec,
+    cross_accelerator_cr,
+    get_accelerator,
+)
+
+
+def random_sparse(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+class TestRegistry:
+    def test_vendors_present(self):
+        vendors = {a.vendor for a in ACCELERATORS.values()}
+        assert vendors == {"NVIDIA", "AMD", "Intel", "Google"}
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown accelerator"):
+            get_accelerator("cerebras")
+
+    def test_nvidia_matches_paper_config(self):
+        cfg = get_accelerator("nvidia-tensor-core").tile_config()
+        assert (cfg.bt_h, cfg.bt_w) == (8, 8)
+        assert (cfg.tt_h, cfg.tt_w) == (16, 16)
+        assert (cfg.gt_h, cfg.gt_w) == (64, 64)
+
+
+class TestTileConfigs:
+    @pytest.mark.parametrize("name", sorted(ACCELERATORS))
+    def test_config_valid_and_aligned(self, name):
+        accel = get_accelerator(name)
+        cfg = accel.tile_config()
+        assert cfg.bt_h * cfg.bt_w == 64
+        assert cfg.tt_h == accel.unit_m and cfg.tt_w == accel.unit_k
+        assert cfg.gt_h % cfg.tt_h == 0 and cfg.gt_w % cfg.tt_w == 0
+
+    @pytest.mark.parametrize("name", sorted(ACCELERATORS))
+    def test_round_trip_under_each_tiling(self, name):
+        cfg = get_accelerator(name).tile_config()
+        w = random_sparse(200, 150, 0.55, seed=hash(name) % 1000)
+        enc = encode(w, cfg)
+        enc.validate()
+        assert np.array_equal(enc.to_dense(), w)
+
+    def test_amx_uses_wide_bitmap_tiles(self):
+        cfg = get_accelerator("intel-amx").tile_config()
+        # 16x32 unit tile: the 8x8 bitmap divides it, so squarest wins.
+        assert cfg.tt_w == 32
+
+    def test_non_square_bitmap_tile_round_trip(self):
+        cfg = TileConfig(bt_h=4, bt_w=16, tt_h=16, tt_w=32, gt_h=32, gt_w=64)
+        w = random_sparse(100, 100, 0.5, seed=9)
+        enc = encode(w, cfg)
+        assert np.array_equal(enc.to_dense(), w)
+
+    def test_rejects_non_64_cell_bitmap(self):
+        with pytest.raises(ValueError, match="64 cells"):
+            TileConfig(bt_h=4, bt_w=8)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(name="x", vendor="X", unit_name="u", unit_m=0, unit_k=16)
+        with pytest.raises(ValueError):
+            AcceleratorSpec(name="x", vendor="X", unit_name="u", unit_m=4, unit_k=8)
+
+
+class TestCrossAcceleratorCR:
+    def test_cr_roughly_tiling_invariant(self):
+        """Eq. 9's bitmap term is 0.125 B/element regardless of tile
+        shape, so CR varies only through offset-array granularity."""
+        crs = cross_accelerator_cr(4096, 4096, 0.6)
+        values = list(crs.values())
+        assert max(values) / min(values) < 1.05
+        assert all(cr > 1.9 for cr in values)  # ~2.16 at 60%
+
+    def test_cr_above_one_at_30pct_everywhere(self):
+        crs = cross_accelerator_cr(4096, 4096, 0.3)
+        assert all(cr > 1.0 for cr in crs.values())

@@ -1,0 +1,175 @@
+"""Unit and property tests for the bitmap primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap import (
+    BITMAP_TILE_BITS,
+    bitmap_from_block,
+    block_mask_from_bitmap,
+    expand_bitmap_rows,
+    lane_bit_indices,
+    masked_popcount,
+    popcount64,
+)
+
+uint64s = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestPopcount64:
+    def test_zero(self):
+        assert popcount64(0) == 0
+
+    def test_all_ones(self):
+        assert popcount64((1 << 64) - 1) == 64
+
+    def test_single_bits(self):
+        for i in range(64):
+            assert popcount64(1 << i) == 1
+
+    def test_known_pattern(self):
+        assert popcount64(0b1011) == 3
+        assert popcount64(0xAAAAAAAAAAAAAAAA) == 32
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount64(-1)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            popcount64(1 << 64)
+
+    def test_array_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 1 << 63, size=100, dtype=np.int64).astype(np.uint64)
+        vec = popcount64(arr)
+        for x, c in zip(arr, vec):
+            assert popcount64(int(x)) == c
+
+    def test_array_dtype(self):
+        out = popcount64(np.array([1, 3], dtype=np.uint64))
+        assert out.dtype == np.int64
+
+    @given(uint64s)
+    def test_matches_python_bitcount(self, x):
+        assert popcount64(x) == bin(x).count("1")
+
+    @given(uint64s, uint64s)
+    def test_subadditive_under_or(self, a, b):
+        assert popcount64(a | b) <= popcount64(a) + popcount64(b)
+
+
+class TestMaskedPopcount:
+    def test_lane_zero_is_always_zero(self):
+        assert masked_popcount((1 << 64) - 1, 0) == 0
+
+    def test_counts_preceding_bits_only(self):
+        # bits 0 and 1 set; lane 1 looks at bit 2, so 2 ones precede.
+        assert masked_popcount(0b11, 1) == 2
+
+    def test_excludes_own_bits(self):
+        # Lane 3 owns bits 6 and 7; those must not count.
+        bitmap = (1 << 6) | (1 << 7)
+        assert masked_popcount(bitmap, 3) == 0
+
+    def test_full_bitmap_per_lane(self):
+        full = (1 << 64) - 1
+        for lane in range(32):
+            assert masked_popcount(full, lane) == 2 * lane
+
+    def test_rejects_bad_lane(self):
+        with pytest.raises(ValueError):
+            masked_popcount(0, 32)
+        with pytest.raises(ValueError):
+            masked_popcount(0, -1)
+
+    def test_array_input(self):
+        arr = np.array([0b11, 0b1100], dtype=np.uint64)
+        out = masked_popcount(arr, 1)
+        assert list(out) == [2, 0]
+
+    @given(uint64s, st.integers(min_value=0, max_value=31))
+    def test_never_exceeds_total_popcount(self, bitmap, lane):
+        assert masked_popcount(bitmap, lane) <= popcount64(bitmap)
+
+    @given(uint64s, st.integers(min_value=0, max_value=30))
+    def test_monotone_in_lane(self, bitmap, lane):
+        assert masked_popcount(bitmap, lane) <= masked_popcount(bitmap, lane + 1)
+
+    @given(uint64s)
+    def test_reference_implementation(self, bitmap):
+        for lane in (0, 5, 17, 31):
+            expected = sum((bitmap >> i) & 1 for i in range(2 * lane))
+            assert masked_popcount(bitmap, lane) == expected
+
+
+class TestLaneBitIndices:
+    def test_phase_pairing(self):
+        for lane in range(32):
+            b0, b1 = lane_bit_indices(lane)
+            assert b0 == 2 * lane
+            assert b1 == 2 * lane + 1
+
+    def test_all_bits_covered_exactly_once(self):
+        seen = set()
+        for lane in range(32):
+            seen.update(lane_bit_indices(lane))
+        assert seen == set(range(BITMAP_TILE_BITS))
+
+    def test_rejects_bad_lane(self):
+        with pytest.raises(ValueError):
+            lane_bit_indices(32)
+
+
+class TestBitmapBlockCodec:
+    def test_empty_block(self):
+        assert bitmap_from_block(np.zeros((8, 8))) == 0
+
+    def test_full_block(self):
+        assert bitmap_from_block(np.ones((8, 8))) == (1 << 64) - 1
+
+    def test_row_major_bit_order(self):
+        block = np.zeros((8, 8))
+        block[1, 2] = 5.0
+        assert bitmap_from_block(block) == 1 << (1 * 8 + 2)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            bitmap_from_block(np.zeros((4, 4)))
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        block = rng.standard_normal((8, 8))
+        block[rng.random((8, 8)) < 0.5] = 0
+        mask = block_mask_from_bitmap(bitmap_from_block(block))
+        assert np.array_equal(mask, block != 0)
+
+    def test_mask_array_shape(self):
+        bitmaps = np.array([0, (1 << 64) - 1], dtype=np.uint64)
+        masks = block_mask_from_bitmap(bitmaps)
+        assert masks.shape == (2, 8, 8)
+        assert not masks[0].any()
+        assert masks[1].all()
+
+    @given(uint64s)
+    def test_population_preserved(self, bitmap):
+        mask = block_mask_from_bitmap(bitmap)
+        assert int(mask.sum()) == popcount64(bitmap)
+
+
+class TestExpandBitmapRows:
+    def test_bit_order_matches_block(self):
+        bitmap = np.array([1 << 9], dtype=np.uint64)  # element (1, 1)
+        rows = expand_bitmap_rows(bitmap)
+        assert rows.shape == (1, 64)
+        assert rows[0, 9]
+        assert rows.sum() == 1
+
+    def test_matches_block_mask(self):
+        rng = np.random.default_rng(2)
+        bitmaps = rng.integers(0, 1 << 63, size=10, dtype=np.int64).astype(np.uint64)
+        rows = expand_bitmap_rows(bitmaps)
+        masks = block_mask_from_bitmap(bitmaps)
+        assert np.array_equal(rows.reshape(10, 8, 8), masks)

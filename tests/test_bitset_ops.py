@@ -1,0 +1,137 @@
+"""Tests for bitmap algebra over encoded matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitset_ops import (
+    mask_columns,
+    pattern_density_per_tile,
+    pattern_overlap,
+)
+from repro.core.tca_bme import encode
+from repro.core.tiles import TileConfig
+from repro.pruning import magnitude_prune, uniform_mask, wanda_prune
+
+
+def random_sparse(m=128, k=96, sparsity=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+class TestPatternOverlap:
+    def test_self_overlap_is_one(self):
+        enc = encode(random_sparse(seed=1))
+        assert pattern_overlap(enc, enc) == 1.0
+
+    def test_disjoint_patterns(self):
+        w = random_sparse(64, 64, 0.0, seed=2)  # dense
+        even = w.copy()
+        even[1::2] = 0
+        odd = w.copy()
+        odd[::2] = 0
+        assert pattern_overlap(encode(even), encode(odd)) == 0.0
+
+    def test_empty_matrices(self):
+        z = encode(np.zeros((64, 64), np.float16))
+        assert pattern_overlap(z, z) == 1.0
+
+    def test_matches_dense_jaccard(self):
+        a = random_sparse(seed=3)
+        b = random_sparse(seed=4)
+        expected = ((a != 0) & (b != 0)).sum() / ((a != 0) | (b != 0)).sum()
+        assert pattern_overlap(encode(a), encode(b)) == pytest.approx(expected)
+
+    def test_pruning_methods_overlap_substantially(self):
+        """Magnitude and Wanda keep broadly similar supports — the reason
+        switching pruners does not perturb the kernel's behaviour."""
+        rng = np.random.default_rng(5)
+        w = rng.standard_normal((128, 128)).astype(np.float16)
+        mag = encode(magnitude_prune(w, 0.6, per_row=True))
+        wan = encode(wanda_prune(w, 0.6, seed=6))
+        assert pattern_overlap(mag, wan) > 0.3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_overlap(encode(random_sparse(64, 64)), encode(random_sparse(64, 96)))
+
+    def test_config_mismatch_rejected(self):
+        w = random_sparse(128, 128, seed=7)
+        a = encode(w)
+        b = encode(w, TileConfig(gt_h=32, gt_w=32))
+        with pytest.raises(ValueError):
+            pattern_overlap(a, b)
+
+
+class TestMaskColumns:
+    def test_matches_dense_reference(self):
+        w = random_sparse(seed=8)
+        keep = uniform_mask(1, w.shape[1], 0.5, seed=9)[0]
+        masked = mask_columns(encode(w), keep)
+        masked.validate()
+        expected = w.copy()
+        expected[:, ~keep] = 0
+        assert np.array_equal(masked.to_dense(), expected)
+
+    def test_keep_all_is_identity(self):
+        w = random_sparse(seed=10)
+        enc = encode(w)
+        out = mask_columns(enc, np.ones(w.shape[1], dtype=bool))
+        np.testing.assert_array_equal(out.bitmaps, enc.bitmaps)
+        np.testing.assert_array_equal(out.values, enc.values)
+
+    def test_drop_all_empties(self):
+        w = random_sparse(seed=11)
+        out = mask_columns(encode(w), np.zeros(w.shape[1], dtype=bool))
+        assert out.nnz == 0
+
+    def test_storage_shrinks(self):
+        w = random_sparse(seed=12)
+        enc = encode(w)
+        keep = np.ones(w.shape[1], dtype=bool)
+        keep[: w.shape[1] // 2] = False
+        out = mask_columns(enc, keep)
+        assert out.storage_bytes() < enc.storage_bytes()
+
+    def test_wrong_mask_length(self):
+        with pytest.raises(ValueError):
+            mask_columns(encode(random_sparse()), np.ones(3, dtype=bool))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        m=st.integers(min_value=1, max_value=90),
+        k=st.integers(min_value=1, max_value=90),
+        keep_seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_mask_columns_property(self, seed, m, k, keep_seed):
+        w = random_sparse(m, k, 0.5, seed)
+        keep = uniform_mask(1, k, 0.4, seed=keep_seed)[0]
+        out = mask_columns(encode(w), keep)
+        out.validate()
+        expected = w.copy()
+        expected[:, ~keep] = 0
+        assert np.array_equal(out.to_dense(), expected)
+
+
+class TestDensityPerTile:
+    def test_uniform_low_variation(self):
+        counts, cv = pattern_density_per_tile(encode(random_sparse(256, 256, seed=13)))
+        assert counts.sum() > 0
+        assert cv < 0.35
+
+    def test_clustered_high_variation(self):
+        from repro.pruning import clustered_mask
+
+        mask = clustered_mask(256, 256, 0.75, block=16, seed=14)
+        w = np.where(mask, np.float16(1.0), np.float16(0.0))
+        _counts, cv = pattern_density_per_tile(encode(w))
+        assert cv > 1.0
+
+    def test_empty(self):
+        counts, cv = pattern_density_per_tile(encode(np.zeros((64, 64), np.float16)))
+        assert counts.sum() == 0
+        assert cv == 0.0

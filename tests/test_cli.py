@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig01", "fig02", "fig03", "fig04", "fig09", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "tab01",
+            "abl_grouptile", "abl_splitk", "abl_mma_shape", "abl_quant",
+            "ext_serving", "ext_disagg", "ext_accuracy", "ext_offload",
+            "ext_memory",
+        }
+        assert expected == set(EXPERIMENTS)
+
+
+class TestBenchCommand:
+    def test_single_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        rc = main(["bench", "fig03"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Compression ratio" in out
+        assert (tmp_path / "fig03.txt").exists()
+
+    def test_gpu_override(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        rc = main(["bench", "tab01", "--gpu", "A6000", "--no-save"])
+        assert rc == 0
+        assert "A6000" not in str(tmp_path)  # nothing saved
+        assert "Kernel ablation" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["bench", "fig99", "--no-save"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_default_kernels(self, capsys):
+        rc = main(["profile", "--m", "4096", "--k", "4096", "--n", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spinfer" in out and "cublas_tc" in out
+        assert "vs_cublas" in out
+
+    def test_kernel_subset(self, capsys):
+        rc = main([
+            "profile", "--m", "2048", "--k", "2048",
+            "--kernels", "spinfer", "cublas_tc",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sputnik" not in out
+
+
+class TestEncodeCommand:
+    def test_basic(self, capsys):
+        rc = main(["encode", "--m", "256", "--k", "256", "--sparsity", "0.6"])
+        assert rc == 0
+        assert "CR" in capsys.readouterr().out
+
+    def test_all_formats(self, capsys):
+        rc = main(["encode", "--m", "128", "--k", "128", "--all-formats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tca-bme" in out and "csr" in out
+
+
+class TestSimulateCommand:
+    def test_fits(self, capsys):
+        rc = main([
+            "simulate", "--model", "opt-13b", "--framework", "spinfer",
+            "--gpus", "1", "--batch", "8", "--output-len", "64",
+        ])
+        assert rc == 0
+        assert "tokens/s" in capsys.readouterr().out
+
+    def test_oom_exit_code(self, capsys):
+        rc = main([
+            "simulate", "--model", "opt-66b", "--framework",
+            "fastertransformer", "--sparsity", "0.0", "--gpus", "1",
+        ])
+        assert rc == 1
+        assert "OOM" in capsys.readouterr().out
+
+
+class TestModelsCommand:
+    def test_lists_zoo(self, capsys):
+        rc = main(["models"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "opt-13b" in out and "mixtral-8x7b" in out
+
+
+class TestDispatchCommand:
+    def test_decode_shape(self, capsys):
+        rc = main(["dispatch", "--m", "28672", "--k", "8192", "--n", "16"])
+        assert rc == 0
+        assert "spinfer" in capsys.readouterr().out
+
+    def test_dense_fallback_prefill(self, capsys):
+        rc = main(["dispatch", "--m", "28672", "--k", "8192", "--n", "8192",
+                   "--dense-fallback"])
+        assert rc == 0
+        assert "cublas_tc" in capsys.readouterr().out
+
+
+class TestOffloadCommand:
+    def test_plan_printed(self, capsys):
+        rc = main(["offload", "--model", "opt-66b", "--format", "tca-bme"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resident layers" in out
+
+    def test_infeasible_exit_code(self, capsys):
+        rc = main(["offload", "--model", "opt-175b", "--format", "dense",
+                   "--sparsity", "0.0", "--batch", "32", "--context", "2048"])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_written(self, capsys, tmp_path, monkeypatch):
+        # Restrict the registry so the test stays fast.
+        import repro.cli as cli
+        from repro.bench import fig03_compression
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"fig03": fig03_compression})
+        out_path = str(tmp_path / "R.md")
+        rc = main(["report", "--output", out_path])
+        assert rc == 0
+        assert "report written" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_prints_table(self, capsys):
+        rc = main(["sweep", "--m", "2048", "--k", "2048", "--ns", "16",
+                   "--sparsities", "0.5", "--kernels", "spinfer"])
+        assert rc == 0
+        assert "Kernel sweep" in capsys.readouterr().out
+
+    def test_sweep_csv(self, capsys, tmp_path):
+        out = str(tmp_path / "s.csv")
+        rc = main(["sweep", "--m", "1024", "--k", "1024", "--ns", "8",
+                   "--sparsities", "0.6", "--csv", out])
+        assert rc == 0
+        assert "csv written" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Tests for the executable collectives and their timing models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.specs import A6000, RTX4090
+from repro.llm.collectives import (
+    allgather,
+    reduce_scatter,
+    ring_allreduce,
+    ring_allreduce_seconds,
+    tree_allreduce,
+    tree_allreduce_seconds,
+)
+from repro.llm.parallel import allreduce_seconds
+
+
+def buffers(ranks, n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n).astype(np.float32) for _ in range(ranks)]
+
+
+class TestRingAllReduce:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 8])
+    def test_sums_correctly(self, ranks):
+        bufs = buffers(ranks)
+        expected = np.sum(bufs, axis=0)
+        out = ring_allreduce(bufs)
+        assert len(out) == ranks
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-5)
+
+    def test_preserves_shape_and_dtype(self):
+        bufs = [np.ones((4, 5), dtype=np.float16) for _ in range(3)]
+        out = ring_allreduce(bufs)
+        assert out[0].shape == (4, 5)
+        assert out[0].dtype == np.float16
+
+    def test_uneven_chunking(self):
+        # n not divisible by ranks exercises the chunk bounds.
+        bufs = buffers(3, n=10, seed=1)
+        out = ring_allreduce(bufs)
+        np.testing.assert_allclose(out[1], np.sum(bufs, axis=0), rtol=1e-5)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(3), np.zeros(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+
+class TestTreeAllReduce:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 5, 8])
+    def test_sums_correctly(self, ranks):
+        bufs = buffers(ranks, seed=2)
+        expected = np.sum(bufs, axis=0)
+        for o in tree_allreduce(bufs):
+            np.testing.assert_allclose(o, expected, rtol=1e-5)
+
+
+class TestOtherCollectives:
+    def test_allgather(self):
+        shards = [np.full(2, r, dtype=np.float32) for r in range(3)]
+        out = allgather(shards)
+        expected = np.array([0, 0, 1, 1, 2, 2], dtype=np.float32)
+        for o in out:
+            np.testing.assert_array_equal(o, expected)
+
+    def test_reduce_scatter(self):
+        bufs = buffers(4, n=8, seed=3)
+        total = np.sum(bufs, axis=0)
+        out = reduce_scatter(bufs)
+        np.testing.assert_allclose(np.concatenate(out), total, rtol=1e-5)
+
+    def test_reduce_scatter_then_allgather_is_allreduce(self):
+        bufs = buffers(4, n=8, seed=4)
+        shards = reduce_scatter(bufs)
+        gathered = allgather(shards)[0]
+        np.testing.assert_allclose(gathered, np.sum(bufs, axis=0), rtol=1e-5)
+
+
+class TestTiming:
+    def test_ring_matches_closed_form(self):
+        """The stepwise ring schedule must equal parallel.py's formula."""
+        for ranks in (2, 3, 4, 8):
+            for payload in (1e4, 1e6, 1e8):
+                stepwise = ring_allreduce_seconds(payload, ranks, RTX4090)
+                closed = allreduce_seconds(payload, ranks, RTX4090)
+                assert stepwise == pytest.approx(closed, rel=1e-12)
+
+    def test_single_rank_free(self):
+        assert ring_allreduce_seconds(1e6, 1, RTX4090) == 0.0
+        assert tree_allreduce_seconds(1e6, 1, RTX4090) == 0.0
+
+    def test_tree_wins_for_tiny_payloads_on_pcie(self):
+        """Decode-step activations are tiny; with 4+ ranks the ring's
+        2(R-1) latency hops lose to the tree's 2 log2 R."""
+        tiny = 2 * 5120 * 8  # one decode step's activation payload
+        ring = ring_allreduce_seconds(tiny, 8, RTX4090)
+        tree = tree_allreduce_seconds(tiny, 8, RTX4090)
+        assert tree < ring
+
+    def test_ring_wins_for_large_payloads(self):
+        big = 1e9
+        ring = ring_allreduce_seconds(big, 8, A6000)
+        tree = tree_allreduce_seconds(big, 8, A6000)
+        assert ring < tree
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_seconds(-1, 2, RTX4090)
+        with pytest.raises(ValueError):
+            tree_allreduce_seconds(1.0, 0, RTX4090)

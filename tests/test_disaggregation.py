@@ -1,0 +1,82 @@
+"""Tests for disaggregated prefill/decode serving (paper Section 6)."""
+
+import pytest
+
+from repro.llm.disaggregation import (
+    DisaggregatedConfig,
+    compare_deployments,
+    simulate_disaggregated,
+)
+
+
+def cfg(**kw):
+    defaults = dict(
+        model="opt-13b",
+        prefill_framework="fastertransformer",
+        decode_framework="spinfer",
+        batch_size=16,
+        prompt_len=1024,
+        output_len=128,
+    )
+    defaults.update(kw)
+    return DisaggregatedConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cfg(prefill_gpus=0)
+        with pytest.raises(ValueError):
+            cfg(output_len=0)
+
+
+class TestSimulation:
+    def test_phases_positive(self):
+        r = simulate_disaggregated(cfg())
+        assert r.prefill.total_s > 0
+        assert r.kv_migration_s > 0
+        assert r.decode.total_s > 0
+        assert r.total_s == pytest.approx(
+            r.prefill.total_s + r.kv_migration_s + r.decode.total_s
+        )
+        assert r.tokens_per_second > 0
+
+    def test_kv_migration_scales_with_prompt(self):
+        short = simulate_disaggregated(cfg(prompt_len=128))
+        long = simulate_disaggregated(cfg(prompt_len=1024))
+        assert long.kv_migration_s == pytest.approx(
+            8 * short.kv_migration_s, rel=1e-6
+        )
+
+    def test_hybrid_prefill_uses_dense_speed(self):
+        """Dense prefill must be at least as fast as SpInfer prefill at
+        large N (Fig. 16's compute-bound regime)."""
+        hybrid = simulate_disaggregated(cfg())
+        all_spinfer = simulate_disaggregated(
+            cfg(prefill_framework="spinfer")
+        )
+        assert hybrid.prefill.total_s <= all_spinfer.prefill.total_s
+
+    def test_hybrid_decode_uses_spinfer_speed(self):
+        hybrid = simulate_disaggregated(cfg())
+        all_dense = simulate_disaggregated(
+            cfg(decode_framework="fastertransformer")
+        )
+        assert hybrid.decode.total_s < all_dense.decode.total_s
+
+
+class TestDeploymentComparison:
+    def test_hybrid_wins(self):
+        """Section 6's argument: with long prompts, dense prefill +
+        SpInfer decode beats both homogeneous deployments."""
+        results = compare_deployments(prompt_len=2048, output_len=128)
+        hybrid = results["dense-prefill + spinfer-decode"].total_s
+        assert hybrid < results["dense/dense"].total_s
+        assert hybrid <= results["spinfer/spinfer"].total_s * 1.001
+
+    def test_spinfer_decode_always_helps(self):
+        results = compare_deployments(prompt_len=256, output_len=256)
+        assert (
+            results["dense-prefill + spinfer-decode"].decode.total_s
+            < results["dense/dense"].decode.total_s
+        )

@@ -1,0 +1,127 @@
+"""Tests for the dynamic activation-sparsity extension."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.specs import RTX4090
+from repro.kernels import SpMMProblem
+from repro.kernels.dynamic import (
+    ActivationSliceMask,
+    DynamicSpInferKernel,
+    relu_sparsify,
+)
+
+
+def sparse_weight(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+def activations_with_dead_slices(k, n, dead_slices, slice_rows=64, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((k, n)).astype(np.float16)
+    for s in dead_slices:
+        x[s * slice_rows : (s + 1) * slice_rows] = 0
+    return x
+
+
+class TestSliceMask:
+    def test_all_active(self):
+        x = np.ones((128, 4), dtype=np.float16)
+        mask = ActivationSliceMask.from_activations(x)
+        assert mask.active.all()
+        assert mask.active_fraction == 1.0
+
+    def test_detects_dead_slices(self):
+        x = activations_with_dead_slices(256, 4, dead_slices=[1, 3])
+        mask = ActivationSliceMask.from_activations(x)
+        assert list(mask.active) == [True, False, True, False]
+        assert mask.active_fraction == 0.5
+
+    def test_threshold_widens_skipping(self):
+        x = np.full((128, 4), 0.01, dtype=np.float16)
+        exact = ActivationSliceMask.from_activations(x, threshold=0.0)
+        thresh = ActivationSliceMask.from_activations(x, threshold=0.1)
+        assert exact.active.all()
+        assert not thresh.active.any()
+
+    def test_partial_last_slice(self):
+        x = np.zeros((100, 2), dtype=np.float16)
+        x[99, 0] = 1.0
+        mask = ActivationSliceMask.from_activations(x, slice_rows=64)
+        assert list(mask.active) == [False, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationSliceMask.from_activations(np.zeros((8, 2)), slice_rows=0)
+        with pytest.raises(ValueError):
+            ActivationSliceMask.from_activations(np.zeros((8, 2)), threshold=-1)
+
+
+class TestDynamicKernel:
+    def test_lossless_with_exact_zero_slices(self):
+        """Skipping exactly-zero slices changes nothing numerically."""
+        w = sparse_weight(128, 256, 0.5)
+        x = activations_with_dead_slices(256, 8, dead_slices=[0, 2])
+        kernel = DynamicSpInferKernel(threshold=0.0)
+        out = kernel.run(w, x)
+        ref = w.astype(np.float32) @ x.astype(np.float32)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+        assert kernel.last_slice_mask.active_fraction == 0.5
+
+    def test_matches_static_kernel_when_dense_activations(self):
+        w = sparse_weight(128, 128, 0.6, seed=2)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((128, 8)).astype(np.float16)
+        out = DynamicSpInferKernel().run(w, x)
+        ref = w.astype(np.float32) @ x.astype(np.float32)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_relu_activations_create_skippable_slices(self):
+        w = sparse_weight(64, 256, 0.5, seed=4)
+        rng = np.random.default_rng(5)
+        # Strongly negative slices die under ReLU.
+        x = rng.standard_normal((256, 4)).astype(np.float16)
+        x[64:128] = -np.abs(x[64:128])
+        x_relu = relu_sparsify(x)
+        kernel = DynamicSpInferKernel()
+        out = kernel.run(w, x_relu)
+        ref = w.astype(np.float32) @ x_relu.astype(np.float32)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+        assert kernel.last_slice_mask.active_fraction < 1.0
+
+    def test_threshold_approximation_bounded(self):
+        w = sparse_weight(128, 256, 0.5, seed=6)
+        rng = np.random.default_rng(7)
+        x = (rng.standard_normal((256, 8)) * 0.01).astype(np.float16)
+        x[:64] = rng.standard_normal((64, 8)).astype(np.float16)  # one loud slice
+        kernel = DynamicSpInferKernel(threshold=0.2)
+        out = kernel.run(w, x)
+        ref = w.astype(np.float32) @ x.astype(np.float32)
+        rel = np.linalg.norm(out - ref) / np.linalg.norm(ref)
+        assert kernel.last_slice_mask.active_fraction == pytest.approx(0.25)
+        assert rel < 0.2  # bounded by the discarded slices' energy
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            DynamicSpInferKernel(threshold=-0.5)
+
+
+class TestDynamicProfile:
+    def test_skipping_reduces_time_and_traffic(self):
+        kernel = DynamicSpInferKernel()
+        prob = SpMMProblem(m=8192, k=8192, n=16, sparsity=0.6)
+        full = kernel.profile_dynamic(prob, active_fraction=1.0, gpu=RTX4090)
+        half = kernel.profile_dynamic(prob, active_fraction=0.5, gpu=RTX4090)
+        assert half.time_s < full.time_s
+        assert half.dram_bytes < full.dram_bytes
+
+    def test_validation(self):
+        kernel = DynamicSpInferKernel()
+        prob = SpMMProblem(m=1024, k=1024, n=16, sparsity=0.5)
+        with pytest.raises(ValueError):
+            kernel.profile_dynamic(prob, active_fraction=0.0)
+        with pytest.raises(ValueError):
+            kernel.profile_dynamic(prob, active_fraction=1.5)

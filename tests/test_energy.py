@@ -1,0 +1,55 @@
+"""Tests for the kernel energy model."""
+
+import pytest
+
+from repro.gpu.energy import EnergyModel, kernel_energy
+from repro.gpu.specs import RTX4090
+from repro.kernels import SpMMProblem, make_kernel
+
+PROB = SpMMProblem(m=28672, k=8192, n=16, sparsity=0.6)
+
+
+class TestEnergyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_pj_per_byte=-1.0)
+
+    def test_estimate_components_positive(self):
+        e = kernel_energy(make_kernel("spinfer"), PROB)
+        assert e.dram_j > 0
+        assert e.compute_j > 0
+        assert e.decode_j > 0
+        assert e.static_j > 0
+        assert e.total_j == pytest.approx(
+            e.dram_j + e.compute_j + e.decode_j + e.static_j
+        )
+
+    def test_dram_dominates_decode_kernels(self):
+        """Memory movement is the big energy ticket at decode shapes."""
+        e = kernel_energy(make_kernel("cublas_tc"), PROB)
+        assert e.dram_share > 0.4
+
+    def test_spinfer_saves_energy_over_cublas(self):
+        """Fewer DRAM bytes + shorter runtime = less energy, the whole
+        TCA-BME mechanism restated in joules."""
+        sp = kernel_energy(make_kernel("spinfer"), PROB)
+        cb = kernel_energy(make_kernel("cublas_tc"), PROB)
+        assert sp.total_j < cb.total_j
+        assert sp.dram_j < cb.dram_j
+
+    def test_energy_scales_with_sparsity(self):
+        low = kernel_energy(
+            make_kernel("spinfer"), SpMMProblem(m=8192, k=8192, n=16, sparsity=0.3)
+        )
+        high = kernel_energy(
+            make_kernel("spinfer"), SpMMProblem(m=8192, k=8192, n=16, sparsity=0.7)
+        )
+        assert high.total_j < low.total_j
+
+    def test_custom_model(self):
+        hot = EnergyModel(static_watts=300.0)
+        cold = EnergyModel(static_watts=10.0)
+        e_hot = kernel_energy(make_kernel("spinfer"), PROB, RTX4090, hot)
+        e_cold = kernel_energy(make_kernel("spinfer"), PROB, RTX4090, cold)
+        assert e_hot.static_j > e_cold.static_j
+        assert e_hot.dram_j == pytest.approx(e_cold.dram_j)

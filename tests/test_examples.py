@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run clean from a subprocess."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+EXAMPLES = sorted(
+    f for f in os.listdir(_EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_examples_present():
+    """The advertised example set exists."""
+    assert {
+        "quickstart.py",
+        "prune_and_compare_formats.py",
+        "kernel_explorer.py",
+        "serving_simulation.py",
+        "tiny_llm_generation.py",
+        "continuous_batching.py",
+        "extensions_tour.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"

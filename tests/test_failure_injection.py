@@ -1,0 +1,119 @@
+"""Failure-injection tests: corrupted structures must fail loudly.
+
+A sparse format whose decoder silently tolerates inconsistent metadata
+is a data-corruption machine; these tests corrupt each structural
+invariant and require a clear error (or detection by ``validate``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.smbd import decode_group
+from repro.core.tca_bme import TCABMEMatrix, encode
+from repro.formats import BSRMatrix, CSRMatrix, SparTAMatrix, TiledCSLMatrix
+
+
+def random_sparse(m, k, sparsity=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+class TestTCABMECorruption:
+    def _encoded(self, seed=0):
+        return encode(random_sparse(128, 128, seed=seed))
+
+    def test_truncated_values(self):
+        enc = self._encoded()
+        bad = TCABMEMatrix(enc.shape, enc.gtile_offsets, enc.values[:-3],
+                           enc.bitmaps, enc.config)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_nonzero_first_offset(self):
+        enc = self._encoded(1)
+        offsets = enc.gtile_offsets.copy()
+        offsets[0] = 5
+        bad = TCABMEMatrix(enc.shape, offsets, enc.values, enc.bitmaps, enc.config)
+        with pytest.raises(ValueError, match="start at 0"):
+            bad.validate()
+
+    def test_decreasing_offsets(self):
+        enc = self._encoded(2)
+        offsets = enc.gtile_offsets.copy()
+        if offsets.size > 2 and offsets[1] > 0:
+            offsets[1], offsets[2] = offsets[2], offsets[1] - 1
+            bad = TCABMEMatrix(enc.shape, offsets, enc.values, enc.bitmaps,
+                               enc.config)
+            with pytest.raises(ValueError):
+                bad.validate()
+
+    def test_flipped_bitmap_bit(self):
+        """A flipped bitmap bit breaks the popcount/value-count pact."""
+        enc = self._encoded(3)
+        bitmaps = enc.bitmaps.copy()
+        bitmaps[0] ^= np.uint64(1)
+        bad = TCABMEMatrix(enc.shape, enc.gtile_offsets, enc.values, bitmaps,
+                           enc.config)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_wrong_bitmap_count(self):
+        enc = self._encoded(4)
+        bad = TCABMEMatrix(enc.shape, enc.gtile_offsets, enc.values,
+                           enc.bitmaps[:-1], enc.config)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_decode_with_short_value_buffer_raises(self):
+        """SMBD reading past the value slice must not fabricate data."""
+        enc = self._encoded(5)
+        with pytest.raises(IndexError):
+            decode_group(enc.group_bitmaps(0), enc.group_values(0)[:1])
+
+
+class TestBaselineFormatCorruption:
+    def test_csr_row_ptr_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((4, 4), row_ptr=[0, 1, 1], col_idx=[0], values=[1.0])
+
+    def test_csr_nnz_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 4), row_ptr=[0, 1, 3], col_idx=[0, 1], values=[1.0, 2.0])
+
+    def test_tiled_csl_offset_mismatch(self):
+        with pytest.raises(ValueError):
+            TiledCSLMatrix(
+                (64, 64),
+                tile_offsets=np.array([0, 5], np.uint32),
+                locations=np.array([0, 1], np.uint16),
+                values=np.array([1.0, 2.0], np.float16),
+            )
+
+    def test_tiled_csl_location_value_mismatch(self):
+        with pytest.raises(ValueError):
+            TiledCSLMatrix(
+                (64, 64),
+                tile_offsets=np.array([0, 1], np.uint32),
+                locations=np.array([0, 1], np.uint16),
+                values=np.array([1.0], np.float16),
+            )
+
+    def test_sparta_meta_shape_mismatch(self):
+        sp = SparTAMatrix.from_dense(random_sparse(8, 8, seed=6))
+        with pytest.raises(ValueError):
+            SparTAMatrix(sp.shape, sp.structured_values,
+                         sp.structured_meta[:, :-1], sp.residual)
+
+    def test_bsr_block_count_mismatch(self):
+        b = BSRMatrix.from_dense(random_sparse(32, 32, seed=7))
+        with pytest.raises(ValueError):
+            BSRMatrix(b.shape, b.block_row_ptr, b.block_col_idx,
+                      b.blocks[:-1], b.block_shape)
+
+    def test_bsr_wrong_block_shape(self):
+        b = BSRMatrix.from_dense(random_sparse(32, 32, seed=8))
+        with pytest.raises(ValueError):
+            BSRMatrix(b.shape, b.block_row_ptr, b.block_col_idx,
+                      b.blocks.reshape(-1, 8, 32), (16, 16))

@@ -1,0 +1,70 @@
+"""Tests for GPU device specifications."""
+
+import pytest
+
+from repro.gpu.specs import A6000, GPUS, RTX4090, get_gpu
+
+
+class TestSpecs:
+    def test_lookup(self):
+        assert get_gpu("RTX4090") is RTX4090
+        assert get_gpu("A6000") is A6000
+
+    def test_unknown_gpu(self):
+        with pytest.raises(KeyError, match="unknown GPU"):
+            get_gpu("H100")
+
+    def test_registry_complete(self):
+        assert {"RTX4090", "A6000", "A100-SXM"} <= set(GPUS)
+
+    def test_paper_testbed_parameters(self):
+        # Platform 1: RTX4090, 24 GB, PCIe at 30.5 GB/s (Section 5).
+        assert RTX4090.dram_capacity_gb == 24.0
+        assert RTX4090.interconnect == "pcie"
+        assert RTX4090.interconnect_gbs == pytest.approx(30.5)
+        # Platform 2: A6000, 48 GB, pairwise NVLink.
+        assert A6000.dram_capacity_gb == 48.0
+        assert A6000.interconnect == "nvlink"
+        assert A6000.interconnect_gbs > RTX4090.interconnect_gbs
+
+    def test_derived_quantities(self):
+        assert RTX4090.dram_bandwidth_bytes == pytest.approx(1008e9)
+        assert RTX4090.tc_fp16_flops == pytest.approx(165.2e12)
+        # Ridge point: FLOP/byte where compute and bandwidth roofs meet.
+        assert RTX4090.ridge_ci == pytest.approx(165.2e12 / 1008e9)
+
+    def test_a6000_slower_than_4090(self):
+        assert A6000.dram_bandwidth_gbs < RTX4090.dram_bandwidth_gbs
+        assert A6000.tc_fp16_tflops < RTX4090.tc_fp16_tflops
+
+    def test_immutability(self):
+        with pytest.raises(Exception):
+            RTX4090.sm_count = 1
+
+
+class TestExtendedZoo:
+    def test_all_five_gpus_present(self):
+        assert {"RTX4090", "A6000", "A100-SXM", "H100-PCIe", "RTX3090"} == set(GPUS)
+
+    def test_kernels_profile_on_every_gpu(self):
+        from repro.kernels import SpMMProblem, make_kernel
+
+        prob = SpMMProblem(m=8192, k=8192, n=16, sparsity=0.6)
+        for gpu in GPUS.values():
+            p = make_kernel("spinfer").profile(prob, gpu)
+            assert p.time_s > 0, gpu.name
+
+    def test_spinfer_wins_on_bandwidth_starved_gpus(self):
+        """TCA-BME pays off wherever decode SpMM is memory-bound: both
+        paper testbeds plus the other consumer/PCIe parts.  The A100-SXM
+        is the deliberate exception — at 2 TB/s its decode matmuls stop
+        being bandwidth-limited and the model predicts dense GEMM holds
+        its own, which is why the paper targets workstation GPUs."""
+        from repro.kernels import SpMMProblem, make_kernel
+
+        prob = SpMMProblem(m=28672, k=8192, n=16, sparsity=0.6)
+        sp = make_kernel("spinfer")
+        cb = make_kernel("cublas_tc")
+        for name in ("RTX4090", "A6000", "RTX3090", "H100-PCIe"):
+            gpu = GPUS[name]
+            assert sp.profile(prob, gpu).time_s < cb.profile(prob, gpu).time_s, name

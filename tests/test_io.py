@@ -1,0 +1,121 @@
+"""Tests for checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.quant import QuantizedTCABME
+from repro.core.tca_bme import encode
+from repro.core.tiles import TileConfig
+from repro.io import (
+    encode_checkpoint,
+    load_checkpoint,
+    load_quantized,
+    load_tca_bme,
+    save_checkpoint,
+    save_quantized,
+    save_tca_bme,
+)
+
+
+def random_sparse(m, k, sparsity=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+class TestSingleMatrix:
+    def test_round_trip(self, tmp_path):
+        w = random_sparse(128, 96)
+        path = save_tca_bme(str(tmp_path / "w.npz"), encode(w))
+        loaded = load_tca_bme(path)
+        assert np.array_equal(loaded.to_dense(), w)
+
+    def test_custom_tile_config_preserved(self, tmp_path):
+        cfg = TileConfig(gt_h=32, gt_w=128)
+        w = random_sparse(64, 256, seed=1)
+        path = save_tca_bme(str(tmp_path / "w.npz"), encode(w, cfg))
+        loaded = load_tca_bme(path)
+        assert loaded.config == cfg
+        assert np.array_equal(loaded.to_dense(), w)
+
+    def test_rejects_non_repro_file(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro"):
+            load_tca_bme(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        w = random_sparse(64, 64, seed=2)
+        enc = encode(w)
+        path = str(tmp_path / "w.npz")
+        save_tca_bme(path, enc)
+        data = dict(np.load(path))
+        data["version"] = np.array(99, dtype=np.int64)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_tca_bme(path)
+
+    def test_corruption_detected(self, tmp_path):
+        w = random_sparse(64, 64, seed=3)
+        path = str(tmp_path / "w.npz")
+        save_tca_bme(path, encode(w))
+        data = dict(np.load(path))
+        data["values"] = data["values"][:-1]  # truncate the value stream
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_tca_bme(path)
+
+
+class TestQuantized:
+    def test_round_trip(self, tmp_path):
+        w = random_sparse(128, 128, seed=4)
+        q = QuantizedTCABME.from_dense(w, bits=8)
+        path = save_quantized(str(tmp_path / "q.npz"), q)
+        loaded = load_quantized(path)
+        assert loaded.bits == 8
+        np.testing.assert_array_equal(loaded.codes, q.codes)
+        np.testing.assert_array_equal(
+            loaded.to_dense(), q.to_dense()
+        )
+
+    def test_int4_round_trip(self, tmp_path):
+        w = random_sparse(64, 64, seed=5)
+        q = QuantizedTCABME.from_dense(w, bits=4, group_size=64)
+        loaded = load_quantized(save_quantized(str(tmp_path / "q4.npz"), q))
+        assert loaded.bits == 4 and loaded.group_size == 64
+
+
+class TestCheckpoint:
+    def test_multi_tensor_round_trip(self, tmp_path):
+        tensors = {
+            "layer0.qkv": random_sparse(96, 64, seed=6),
+            "layer0.out": random_sparse(64, 64, seed=7),
+            "layer1.fc1": random_sparse(128, 64, seed=8),
+        }
+        path = encode_checkpoint(str(tmp_path / "ckpt.npz"), tensors)
+        loaded = load_checkpoint(path)
+        assert set(loaded) == set(tensors)
+        for name, dense in tensors.items():
+            assert np.array_equal(loaded[name].to_dense(), dense)
+
+    def test_empty_checkpoint_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(str(tmp_path / "x.npz"), {})
+
+    def test_slash_in_name_rejected(self, tmp_path):
+        w = encode(random_sparse(64, 64, seed=9))
+        with pytest.raises(ValueError, match="may not contain"):
+            save_checkpoint(str(tmp_path / "x.npz"), {"a/b": w})
+
+    def test_checkpoint_smaller_than_dense(self, tmp_path):
+        import os
+
+        tensors = {"w": random_sparse(512, 512, sparsity=0.6, seed=10)}
+        path = encode_checkpoint(str(tmp_path / "c.npz"), tensors)
+        dense_path = str(tmp_path / "dense.npz")
+        np.savez(dense_path, w=tensors["w"])
+        # Compare uncompressed logical sizes via the encoded storage.
+        enc = encode(tensors["w"])
+        assert enc.storage_bytes() < 2 * 512 * 512
+        assert os.path.getsize(path) > 0

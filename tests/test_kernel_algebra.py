@@ -1,0 +1,107 @@
+"""Algebraic properties of the functional kernels.
+
+SpMM is linear algebra; the functional kernels must respect the algebra
+regardless of their internal tiling: column-block composition, scalar
+linearity, additivity over weight splits, and transpose-free row
+sharding.  These hold for *every* kernel, so they run across the
+registry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import KERNELS, make_kernel
+
+FUNCTIONAL = [k for k in sorted(KERNELS) if not k.startswith("spinfer_")]
+
+
+def case(m=96, k=64, n=12, sparsity=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    x = rng.standard_normal((k, n)).astype(np.float16)
+    return w, x
+
+
+class TestColumnComposition:
+    @pytest.mark.parametrize("name", FUNCTIONAL)
+    def test_output_columns_independent(self, name):
+        """run(W, [X1 | X2]) == [run(W, X1) | run(W, X2)]."""
+        w, x = case(seed=1)
+        kernel = make_kernel(name)
+        full = kernel.run(w, x)
+        left = kernel.run(w, x[:, :5])
+        right = kernel.run(w, x[:, 5:])
+        np.testing.assert_allclose(
+            full, np.hstack([left, right]), rtol=1e-5, atol=1e-5
+        )
+
+    @pytest.mark.parametrize("name", FUNCTIONAL)
+    def test_single_column(self, name):
+        w, x = case(seed=2)
+        kernel = make_kernel(name)
+        full = kernel.run(w, x)
+        one = kernel.run(w, x[:, 3:4])
+        np.testing.assert_allclose(full[:, 3:4], one, rtol=1e-5, atol=1e-5)
+
+
+class TestLinearity:
+    @pytest.mark.parametrize("name", FUNCTIONAL)
+    def test_scalar_on_x(self, name):
+        """run(W, 2X) == 2 run(W, X) (2 is exact in FP16)."""
+        w, x = case(seed=3)
+        kernel = make_kernel(name)
+        doubled = kernel.run(w, (2 * x.astype(np.float32)).astype(np.float16))
+        np.testing.assert_allclose(
+            doubled, 2 * kernel.run(w, x), rtol=1e-5, atol=1e-5
+        )
+
+    @pytest.mark.parametrize("name", FUNCTIONAL)
+    def test_additivity_over_weight_split(self, name):
+        """W = W1 + W2 with disjoint supports => outputs add."""
+        w, x = case(seed=4)
+        mask = np.zeros_like(w, dtype=bool)
+        mask[::2] = True  # even rows
+        w1 = np.where(mask, w, np.float16(0))
+        w2 = np.where(~mask, w, np.float16(0))
+        kernel = make_kernel(name)
+        combined = kernel.run(w1, x) + kernel.run(w2, x)
+        np.testing.assert_allclose(
+            combined, kernel.run(w, x), rtol=1e-5, atol=1e-5
+        )
+
+    @pytest.mark.parametrize("name", FUNCTIONAL)
+    def test_zero_matrix(self, name):
+        w = np.zeros((64, 64), dtype=np.float16)
+        x = case(seed=5)[1][:64]
+        assert not make_kernel(name).run(w, x).any()
+
+
+class TestPermutationEquivariance:
+    @pytest.mark.parametrize("name", FUNCTIONAL)
+    def test_row_permutation(self, name):
+        """Permuting W's rows permutes the output rows identically."""
+        w, x = case(seed=6)
+        rng = np.random.default_rng(7)
+        perm = rng.permutation(w.shape[0])
+        kernel = make_kernel(name)
+        np.testing.assert_allclose(
+            kernel.run(w[perm], x), kernel.run(w, x)[perm],
+            rtol=1e-5, atol=1e-5,
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    sparsity=st.floats(min_value=0.0, max_value=0.95),
+    split=st.integers(min_value=1, max_value=11),
+)
+def test_spinfer_column_composition_property(seed, sparsity, split):
+    w, x = case(sparsity=sparsity, seed=seed)
+    kernel = make_kernel("spinfer")
+    full = kernel.run(w, x)
+    parts = np.hstack([kernel.run(w, x[:, :split]), kernel.run(w, x[:, split:])])
+    np.testing.assert_allclose(full, parts, rtol=1e-5, atol=1e-5)

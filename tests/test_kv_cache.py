@@ -1,0 +1,124 @@
+"""Tests for the paged KV-cache allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.kv_cache import KVBlockAllocator
+
+
+def allocator(total=64, block=16):
+    return KVBlockAllocator(total_blocks=total, block_size=block)
+
+
+class TestAllocation:
+    def test_blocks_needed(self):
+        a = allocator()
+        assert a.blocks_needed(0) == 0
+        assert a.blocks_needed(1) == 1
+        assert a.blocks_needed(16) == 1
+        assert a.blocks_needed(17) == 2
+
+    def test_allocate_and_free(self):
+        a = allocator()
+        alloc = a.allocate(1, tokens=40)  # 3 blocks
+        assert len(alloc.block_ids) == 3
+        assert a.used_blocks == 3
+        assert a.free(1) == 3
+        assert a.used_blocks == 0
+
+    def test_distinct_blocks(self):
+        a = allocator()
+        x = a.allocate(1, 32)
+        y = a.allocate(2, 32)
+        assert not set(x.block_ids) & set(y.block_ids)
+
+    def test_out_of_memory(self):
+        a = allocator(total=2)
+        a.allocate(1, 32)
+        with pytest.raises(MemoryError):
+            a.allocate(2, 16)
+
+    def test_duplicate_sequence_rejected(self):
+        a = allocator()
+        a.allocate(1, 16)
+        with pytest.raises(KeyError):
+            a.allocate(1, 16)
+
+    def test_unknown_sequence(self):
+        with pytest.raises(KeyError):
+            allocator().free(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVBlockAllocator(0)
+        with pytest.raises(ValueError):
+            allocator().blocks_needed(-1)
+
+
+class TestAppend:
+    def test_append_within_block(self):
+        a = allocator()
+        a.allocate(1, 10)
+        assert a.append_token(1) is False  # block has room (10 -> 11)
+        assert a.sequence(1).tokens == 11
+
+    def test_append_crosses_block_boundary(self):
+        a = allocator()
+        a.allocate(1, 16)  # exactly one full block
+        assert a.append_token(1) is True
+        assert len(a.sequence(1).block_ids) == 2
+
+    def test_append_oom_rolls_back(self):
+        a = allocator(total=1)
+        a.allocate(1, 16)
+        with pytest.raises(MemoryError):
+            a.append_token(1)
+        assert a.sequence(1).tokens == 16  # rolled back
+
+
+class TestForking:
+    def test_fork_shares_blocks(self):
+        a = allocator()
+        parent = a.allocate(1, 32)
+        used_before = a.used_blocks
+        child = a.fork(1, 2)
+        assert child.block_ids == parent.block_ids
+        assert a.used_blocks == used_before  # zero-copy
+
+    def test_fork_refcount_protects_blocks(self):
+        a = allocator()
+        a.allocate(1, 32)
+        a.fork(1, 2)
+        assert a.free(1) == 0  # child still references everything
+        assert a.free(2) == 2  # last reference releases
+
+    def test_fork_unknown_parent(self):
+        with pytest.raises(KeyError):
+            allocator().fork(9, 10)
+
+
+class TestEfficiency:
+    def test_paging_slack_bounded(self):
+        a = allocator(total=256, block=16)
+        for i, tokens in enumerate((17, 33, 100, 5)):
+            a.allocate(i, tokens)
+        # Worst-case slack is block_size - 1 tokens per sequence.
+        assert 1.0 <= a.reserved_vs_paged_tokens() < 2.0
+
+    def test_utilization(self):
+        a = allocator(total=10)
+        a.allocate(1, 32)
+        assert a.utilization == pytest.approx(0.2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=10))
+    def test_allocate_free_conserves_blocks(self, sizes):
+        a = allocator(total=128)
+        for i, tokens in enumerate(sizes):
+            if a.can_allocate(tokens):
+                a.allocate(i, tokens)
+        for i in list(a._sequences):
+            a.free(i)
+        assert a.free_blocks == a.total_blocks
+        assert a.used_blocks == 0

@@ -1,0 +1,78 @@
+"""Tests for the inference memory model."""
+
+import pytest
+
+from repro.gpu.specs import RTX4090
+from repro.llm.memory import WEIGHT_FORMATS, estimate_memory
+from repro.llm.models import get_model
+
+
+class TestMemoryModel:
+    MODEL = get_model("opt-13b")
+
+    def _mem(self, fmt="dense", sparsity=0.0, **kw):
+        defaults = dict(batch_size=16, context_len=320, tensor_parallel=1)
+        defaults.update(kw)
+        return estimate_memory(self.MODEL, fmt, sparsity, **defaults)
+
+    def test_dense_weights_match_model(self):
+        mem = self._mem()
+        assert mem.weights == pytest.approx(self.MODEL.weight_bytes_dense(), rel=1e-6)
+
+    def test_sparse_saves_weights(self):
+        """Paper: 60% sparsity cuts OPT-13B memory roughly in half."""
+        dense = self._mem("dense", 0.0)
+        sparse = self._mem("tca-bme", 0.6)
+        reduction = 1 - sparse.weights / dense.weights
+        assert 0.45 < reduction < 0.60
+
+    def test_tiled_csl_saves_less_than_tca_bme(self):
+        tca = self._mem("tca-bme", 0.6)
+        csl = self._mem("tiled-csl", 0.6)
+        assert tca.weights < csl.weights
+
+    def test_tensor_parallel_shards_weights(self):
+        one = self._mem(tensor_parallel=1)
+        two = self._mem(tensor_parallel=2)
+        assert two.weights == pytest.approx(one.weights / 2)
+        assert two.kv_cache == pytest.approx(one.kv_cache / 2)
+        # Runtime overhead is per GPU, not sharded.
+        assert two.overhead == one.overhead
+
+    def test_kv_cache_scales_with_batch_and_context(self):
+        base = self._mem()
+        double_batch = self._mem(batch_size=32)
+        double_ctx = self._mem(context_len=640)
+        assert double_batch.kv_cache == pytest.approx(2 * base.kv_cache)
+        assert double_ctx.kv_cache == pytest.approx(2 * base.kv_cache)
+
+    def test_total_is_sum(self):
+        mem = self._mem()
+        assert mem.total == pytest.approx(
+            mem.weights + mem.embeddings + mem.kv_cache + mem.activations + mem.overhead
+        )
+        assert mem.total_gb == pytest.approx(mem.total / 1e9)
+
+    def test_fits_check(self):
+        # Dense OPT-13B does not fit one 24 GB RTX4090.
+        assert not self._mem("dense", 0.0).fits(RTX4090)
+        # 60%-sparse TCA-BME does (the paper's 1-GPU configurations).
+        assert self._mem("tca-bme", 0.6).fits(RTX4090)
+
+    def test_paper_fig2_weight_share(self):
+        """Fig. 2: model weights dominate memory (~87.6%)."""
+        mem = self._mem("dense", 0.0, batch_size=16, context_len=320,
+                        tensor_parallel=2)
+        share = (mem.weights + mem.embeddings) / (mem.total - mem.overhead)
+        assert 0.78 < share < 0.95
+
+    def test_validation(self):
+        with pytest.raises(KeyError, match="unknown weight format"):
+            self._mem("csr")
+        with pytest.raises(ValueError):
+            self._mem("dense", 0.5)
+        with pytest.raises(ValueError):
+            self._mem(batch_size=0)
+
+    def test_formats_registry(self):
+        assert {"dense", "tca-bme", "tiled-csl"} == set(WEIGHT_FORMATS)

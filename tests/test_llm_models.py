@@ -1,0 +1,107 @@
+"""Tests for the transformer model zoo."""
+
+import pytest
+
+from repro.llm.models import MODELS, ModelConfig, get_model, kernel_matrix_zoo
+
+
+class TestRegistry:
+    def test_paper_models_present(self):
+        expected = {
+            "opt-13b", "opt-30b", "opt-66b", "opt-175b",
+            "llama2-7b", "llama2-13b", "llama2-70b",
+            "llama3-8b", "llama3-70b",
+            "qwen2-7b", "qwen2-72b", "mixtral-8x7b",
+        }
+        assert expected == set(MODELS)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("gpt-5")
+
+
+class TestParameterCounts:
+    """Total parameters must match the models' nominal sizes."""
+
+    @pytest.mark.parametrize(
+        "name,billions,tol",
+        [
+            ("opt-13b", 13, 0.1),
+            ("opt-30b", 30, 0.1),
+            ("opt-66b", 66, 0.1),
+            ("opt-175b", 175, 0.1),
+            ("llama2-7b", 7, 0.12),
+            ("llama2-13b", 13, 0.1),
+            ("llama2-70b", 70, 0.1),
+            ("llama3-8b", 8, 0.1),
+            ("qwen2-7b", 7, 0.1),
+            ("qwen2-72b", 72, 0.1),
+            ("mixtral-8x7b", 47, 0.1),  # published total is ~46.7B
+        ],
+    )
+    def test_total_params(self, name, billions, tol):
+        params = get_model(name).total_params()
+        assert params == pytest.approx(billions * 1e9, rel=tol)
+
+
+class TestArchitectures:
+    def test_opt_uses_relu_ffn(self):
+        m = get_model("opt-13b")
+        names = [w.name for w in m.weight_matrices()]
+        assert "ffn.fc1" in names and "ffn.fc2" in names
+
+    def test_llama_uses_gated_ffn(self):
+        m = get_model("llama2-7b")
+        names = [w.name for w in m.weight_matrices()]
+        assert "ffn.gate_up_proj" in names and "ffn.down_proj" in names
+
+    def test_gqa_shrinks_qkv(self):
+        mha = get_model("llama2-13b")  # full MHA
+        gqa = get_model("llama2-70b")  # 8 KV heads
+        qkv_mha = next(w for w in mha.weight_matrices() if w.name == "attn.qkv_proj")
+        qkv_gqa = next(w for w in gqa.weight_matrices() if w.name == "attn.qkv_proj")
+        assert qkv_mha.m == 3 * mha.hidden_size
+        assert qkv_gqa.m == gqa.hidden_size + 2 * gqa.kv_size
+        assert gqa.kv_size < gqa.hidden_size
+
+    def test_moe_expert_count(self):
+        m = get_model("mixtral-8x7b")
+        ffn = [w for w in m.weight_matrices() if w.name.startswith("ffn.")]
+        assert all(w.count == 8 for w in ffn)
+        assert m.experts_per_token == 2
+
+    def test_weight_bytes_dense(self):
+        m = get_model("opt-13b")
+        assert m.weight_bytes_dense() == 2 * m.num_layers * m.layer_params()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=2, hidden_size=100, ffn_size=400,
+                        num_heads=3, num_kv_heads=3, vocab_size=1000)
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=2, hidden_size=128, ffn_size=512,
+                        num_heads=8, num_kv_heads=3, vocab_size=1000)
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=2, hidden_size=128, ffn_size=512,
+                        num_heads=8, num_kv_heads=8, vocab_size=1000,
+                        ffn_style="gelu")
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=2, hidden_size=128, ffn_size=512,
+                        num_heads=8, num_kv_heads=8, vocab_size=1000,
+                        num_experts=2, experts_per_token=4)
+
+
+class TestMatrixZoo:
+    def test_shapes_unique(self):
+        zoo = kernel_matrix_zoo()
+        shapes = [(m, k) for _l, m, k in zoo]
+        assert len(shapes) == len(set(shapes))
+
+    def test_contains_paper_fig1_shape(self):
+        """M/K = 28672/8192 (LLaMA2-70B FFN) is the paper's running example."""
+        shapes = {(m, k) for _l, m, k in kernel_matrix_zoo()}
+        assert (2 * 28672, 8192) in shapes or (28672, 8192) in shapes
+
+    def test_all_dims_positive(self):
+        for label, m, k in kernel_matrix_zoo():
+            assert m > 0 and k > 0, label

@@ -1,0 +1,67 @@
+"""Tests for the tensor-parallel communication model."""
+
+import pytest
+
+from repro.gpu.specs import A6000, RTX4090
+from repro.llm.parallel import CommModel, allreduce_seconds, shard_dim
+
+
+class TestShardDim:
+    def test_even_split(self):
+        assert shard_dim(5120, 2) == 2560
+
+    def test_ceil_division(self):
+        assert shard_dim(10, 4) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_dim(0, 2)
+        with pytest.raises(ValueError):
+            shard_dim(8, 0)
+
+
+class TestAllReduce:
+    def test_single_rank_free(self):
+        assert allreduce_seconds(1e9, 1, RTX4090) == 0.0
+
+    def test_zero_payload_free(self):
+        assert allreduce_seconds(0.0, 4, RTX4090) == 0.0
+
+    def test_scales_with_payload(self):
+        small = allreduce_seconds(1e6, 2, RTX4090)
+        large = allreduce_seconds(1e8, 2, RTX4090)
+        assert large > small
+
+    def test_nvlink_faster_than_pcie(self):
+        """The paper's A6000 box (NVLink) communicates faster than the
+        PCIe-only RTX4090 box."""
+        pcie = allreduce_seconds(1e8, 2, RTX4090)
+        nvlink = allreduce_seconds(1e8, 2, A6000)
+        assert nvlink < pcie
+
+    def test_ring_volume_factor(self):
+        # 2 ranks move 2*(1/2) = 1x payload; latency adds a constant.
+        t = allreduce_seconds(1e9, 2, RTX4090)
+        expected_volume = 1e9 / (RTX4090.interconnect_gbs * 1e9)
+        assert t == pytest.approx(
+            expected_volume + 2 * RTX4090.interconnect_latency_us * 1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allreduce_seconds(-1.0, 2, RTX4090)
+        with pytest.raises(ValueError):
+            allreduce_seconds(1.0, 0, RTX4090)
+
+
+class TestCommModel:
+    def test_single_gpu_no_comm(self):
+        comm = CommModel(gpu=RTX4090, ranks=1)
+        assert comm.layer_allreduce_seconds(5120, 16) == 0.0
+
+    def test_two_allreduces_per_layer(self):
+        comm = CommModel(gpu=RTX4090, ranks=2)
+        payload = 2.0 * 5120 * 16
+        assert comm.layer_allreduce_seconds(5120, 16) == pytest.approx(
+            2 * allreduce_seconds(payload, 2, RTX4090)
+        )

@@ -1,0 +1,128 @@
+"""Tests for the mma.m16n8k16 fragment layout maps."""
+
+import numpy as np
+import pytest
+
+from repro.core.mma_layout import (
+    MMA_K,
+    MMA_M,
+    MMA_N,
+    WARP_SIZE,
+    a_fragment_index,
+    b_fragment_index,
+    cd_fragment_index,
+    gather_a_fragments,
+    gather_b_fragments,
+    gather_cd_fragments,
+    quadrant_origin,
+    scatter_a_fragments,
+    scatter_cd_fragments,
+)
+
+
+class TestAFragmentLayout:
+    def test_bijective_coverage(self):
+        """Every element of the 16x16 A tile is owned by exactly one
+        (lane, register, half) slot."""
+        seen = set()
+        for lane in range(WARP_SIZE):
+            for reg in range(4):
+                for half in (0, 1):
+                    seen.add(a_fragment_index(lane, reg, half))
+        assert len(seen) == MMA_M * MMA_K
+
+    def test_quadrant_register_mapping(self):
+        # Column-major quadrants: Ra0 TL, Ra1 BL, Ra2 TR, Ra3 BR.
+        assert quadrant_origin(0) == (0, 0)
+        assert quadrant_origin(1) == (8, 0)
+        assert quadrant_origin(2) == (0, 8)
+        assert quadrant_origin(3) == (8, 8)
+
+    def test_ptx_documented_lane0(self):
+        # Lane 0 holds a0,a1 = row 0 cols 0,1 (PTX ISA figure).
+        assert a_fragment_index(0, 0, 0) == (0, 0)
+        assert a_fragment_index(0, 0, 1) == (0, 1)
+
+    def test_bitmap_lane_correspondence(self):
+        """Lane l's halves land on bits 2l and 2l+1 of the quadrant's
+        row-major bitmap — the invariant SMBD relies on."""
+        for lane in range(WARP_SIZE):
+            for reg in range(4):
+                qr, qc = quadrant_origin(reg)
+                r0, c0 = a_fragment_index(lane, reg, 0)
+                r1, c1 = a_fragment_index(lane, reg, 1)
+                assert (r0 - qr) * 8 + (c0 - qc) == 2 * lane
+                assert (r1 - qr) * 8 + (c1 - qc) == 2 * lane + 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            a_fragment_index(32, 0, 0)
+        with pytest.raises(ValueError):
+            a_fragment_index(0, 4, 0)
+        with pytest.raises(ValueError):
+            a_fragment_index(0, 0, 2)
+
+    def test_gather_scatter_inverse(self):
+        rng = np.random.default_rng(0)
+        tile = rng.standard_normal((16, 16)).astype(np.float16)
+        assert np.array_equal(scatter_a_fragments(gather_a_fragments(tile)), tile)
+
+    def test_gather_shape_checks(self):
+        with pytest.raises(ValueError):
+            gather_a_fragments(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            scatter_a_fragments(np.zeros((32, 4)))
+
+
+class TestBFragmentLayout:
+    def test_bijective_coverage(self):
+        seen = set()
+        for lane in range(WARP_SIZE):
+            for reg in range(2):
+                for half in (0, 1):
+                    seen.add(b_fragment_index(lane, reg, half))
+        assert len(seen) == MMA_K * MMA_N
+
+    def test_ptx_documented_lane0(self):
+        # Lane 0 holds b0,b1 at rows 0,1, column 0; Rb1 covers rows 8,9.
+        assert b_fragment_index(0, 0, 0) == (0, 0)
+        assert b_fragment_index(0, 0, 1) == (1, 0)
+        assert b_fragment_index(0, 1, 0) == (8, 0)
+
+    def test_rejects_bad_register(self):
+        with pytest.raises(ValueError):
+            b_fragment_index(0, 2, 0)
+
+    def test_gather_shape(self):
+        tile = np.arange(16 * 8, dtype=np.float16).reshape(16, 8)
+        frags = gather_b_fragments(tile)
+        assert frags.shape == (32, 2, 2)
+        assert frags[0, 0, 0] == tile[0, 0]
+
+
+class TestCDFragmentLayout:
+    def test_bijective_coverage(self):
+        seen = set()
+        for lane in range(WARP_SIZE):
+            for reg in range(4):
+                seen.add(cd_fragment_index(lane, reg))
+        assert len(seen) == MMA_M * MMA_N
+
+    def test_register_row_split(self):
+        # Regs 0,1 cover rows 0-7; regs 2,3 rows 8-15.
+        for lane in range(WARP_SIZE):
+            assert cd_fragment_index(lane, 0)[0] < 8
+            assert cd_fragment_index(lane, 2)[0] >= 8
+
+    def test_gather_scatter_inverse(self):
+        rng = np.random.default_rng(1)
+        tile = rng.standard_normal((16, 8)).astype(np.float32)
+        assert np.array_equal(
+            scatter_cd_fragments(gather_cd_fragments(tile)), tile
+        )
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            gather_cd_fragments(np.zeros((16, 16)))
+        with pytest.raises(ValueError):
+            scatter_cd_fragments(np.zeros((32, 2)))

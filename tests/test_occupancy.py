@@ -1,0 +1,60 @@
+"""Tests for the SM occupancy calculator."""
+
+import pytest
+
+from repro.gpu.occupancy import occupancy
+from repro.gpu.specs import RTX4090
+
+
+class TestOccupancy:
+    def test_small_kernel_full_occupancy(self):
+        r = occupancy(RTX4090, threads_per_block=128, registers_per_thread=32,
+                      shared_bytes_per_block=0)
+        assert r.occupancy == 1.0
+        assert r.warps_per_sm == RTX4090.max_warps_per_sm
+
+    def test_register_limited(self):
+        r = occupancy(RTX4090, threads_per_block=256, registers_per_thread=255,
+                      shared_bytes_per_block=0)
+        assert r.limiter == "registers"
+        assert r.occupancy < 1.0
+
+    def test_shared_memory_limited(self):
+        r = occupancy(RTX4090, threads_per_block=128, registers_per_thread=32,
+                      shared_bytes_per_block=90 * 1024)
+        assert r.limiter == "shared"
+        assert r.blocks_per_sm == 1
+
+    def test_thread_limited(self):
+        r = occupancy(RTX4090, threads_per_block=1024, registers_per_thread=32,
+                      shared_bytes_per_block=0)
+        assert r.blocks_per_sm == RTX4090.max_threads_per_sm // 1024
+
+    def test_more_registers_fewer_blocks(self):
+        low = occupancy(RTX4090, 128, 64, 16 * 1024)
+        high = occupancy(RTX4090, 128, 168, 16 * 1024)
+        assert high.blocks_per_sm <= low.blocks_per_sm
+
+    def test_warps_capped_by_hardware(self):
+        r = occupancy(RTX4090, threads_per_block=32, registers_per_thread=16,
+                      shared_bytes_per_block=0)
+        assert r.warps_per_sm <= RTX4090.max_warps_per_sm
+
+    def test_rejects_non_warp_multiple(self):
+        with pytest.raises(ValueError):
+            occupancy(RTX4090, threads_per_block=100, registers_per_thread=32,
+                      shared_bytes_per_block=0)
+
+    def test_rejects_oversized_shared(self):
+        with pytest.raises(ValueError):
+            occupancy(RTX4090, 128, 32, shared_bytes_per_block=200 * 1024)
+
+    def test_rejects_nonpositive_registers(self):
+        with pytest.raises(ValueError):
+            occupancy(RTX4090, 128, 0, 0)
+
+    def test_full_flag(self):
+        r = occupancy(RTX4090, 128, 32, 0)
+        assert r.full
+        r2 = occupancy(RTX4090, 256, 255, 0)
+        assert not r2.full

@@ -1,0 +1,73 @@
+"""Tests for the weight-offloading extension."""
+
+import pytest
+
+from repro.llm.offloading import (
+    OffloadPlan,
+    offloaded_decode_step_seconds,
+    plan_offload,
+)
+
+
+class TestPlanning:
+    def test_small_model_fully_resident(self):
+        plan = plan_offload("opt-13b", "tca-bme", 0.6, "RTX4090")
+        assert plan.streamed_layers == 0
+        assert plan.resident_fraction == 1.0
+        assert plan.streamed_bytes_per_step == 0.0
+
+    def test_big_dense_model_streams(self):
+        plan = plan_offload("opt-66b", "dense", 0.0, "RTX4090")
+        assert plan.streamed_layers > 0
+        assert plan.resident_layers + plan.streamed_layers == 64
+
+    def test_compression_pins_more_layers(self):
+        """TCA-BME at 60% must keep strictly more layers on the GPU."""
+        dense = plan_offload("opt-66b", "dense", 0.0, "RTX4090")
+        sparse = plan_offload("opt-66b", "tca-bme", 0.6, "RTX4090")
+        assert sparse.resident_layers > dense.resident_layers
+        assert sparse.layer_bytes < dense.layer_bytes
+
+    def test_kv_reserved(self):
+        small = plan_offload("opt-66b", "dense", 0.0, batch_size=1, context_len=64)
+        big = plan_offload("opt-66b", "dense", 0.0, batch_size=8, context_len=512)
+        assert big.kv_reserved_bytes > small.kv_reserved_bytes
+        assert big.resident_layers <= small.resident_layers
+
+    def test_dense_with_sparsity_rejected(self):
+        with pytest.raises(ValueError):
+            plan_offload("opt-13b", "dense", 0.6)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(KeyError):
+            plan_offload("opt-13b", "csr", 0.6)
+
+
+class TestStepTime:
+    def _plan(self, streamed, layer_bytes=1e9):
+        return OffloadPlan(
+            model="x", weight_format="dense", sparsity=0.0,
+            layer_bytes=layer_bytes, resident_layers=10 - streamed,
+            streamed_layers=streamed, kv_reserved_bytes=0.0,
+        )
+
+    def test_fully_resident_is_compute_bound(self):
+        t = offloaded_decode_step_seconds(self._plan(0), compute_step_seconds=0.01)
+        assert t == pytest.approx(0.01)
+
+    def test_streaming_bounded_by_pcie(self):
+        plan = self._plan(streamed=5, layer_bytes=1e9)  # 5 GB/step
+        t = offloaded_decode_step_seconds(plan, compute_step_seconds=0.01)
+        assert t == pytest.approx(5e9 / 30.5e9, rel=1e-3)
+
+    def test_compression_speeds_offloaded_decode(self):
+        """The §2.3 combination claim, end to end."""
+        dense = plan_offload("opt-66b", "dense", 0.0, "RTX4090")
+        sparse = plan_offload("opt-66b", "tca-bme", 0.6, "RTX4090")
+        t_dense = offloaded_decode_step_seconds(dense, compute_step_seconds=0.02)
+        t_sparse = offloaded_decode_step_seconds(sparse, compute_step_seconds=0.012)
+        assert t_sparse < t_dense
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            offloaded_decode_step_seconds(self._plan(0), compute_step_seconds=-1.0)

@@ -1,0 +1,99 @@
+"""Tests for numerically executed tensor-parallel SpMM."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import make_kernel
+from repro.kernels.parallel_spmm import (
+    column_parallel_spmm,
+    row_parallel_spmm,
+    shard_cols,
+    shard_rows,
+)
+
+
+def case(m=96, k=128, n=8, sparsity=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    x = rng.standard_normal((k, n)).astype(np.float16)
+    ref = w.astype(np.float32) @ x.astype(np.float32)
+    return w, x, ref
+
+
+class TestSharding:
+    def test_row_shards_cover(self):
+        w, _, _ = case()
+        shards = shard_rows(w, 3)
+        assert sum(s.shape[0] for s in shards) == w.shape[0]
+        np.testing.assert_array_equal(np.vstack(shards), w)
+
+    def test_col_shards_cover(self):
+        w, _, _ = case()
+        shards = shard_cols(w, 3)
+        assert sum(s.shape[1] for s in shards) == w.shape[1]
+        np.testing.assert_array_equal(np.hstack(shards), w)
+
+    def test_validation(self):
+        w, _, _ = case()
+        with pytest.raises(ValueError):
+            shard_rows(w, 0)
+        with pytest.raises(ValueError):
+            shard_cols(w, -1)
+
+
+class TestColumnParallel:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4])
+    def test_matches_reference(self, ranks):
+        w, x, ref = case(seed=ranks)
+        out = column_parallel_spmm(w, x, ranks)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_uneven_rows(self):
+        w, x, ref = case(m=100, seed=7)  # 100 rows over 3 ranks
+        out = column_parallel_spmm(w, x, 3)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_flash_llm_kernel(self):
+        w, x, ref = case(seed=8)
+        out = column_parallel_spmm(w, x, 2, kernel=make_kernel("flash_llm"))
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+
+class TestRowParallel:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4])
+    def test_matches_reference(self, ranks):
+        w, x, ref = case(seed=10 + ranks)
+        out = row_parallel_spmm(w, x, ranks)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_uneven_cols(self):
+        w, x, ref = case(k=130, seed=15)
+        out = row_parallel_spmm(w, x, 3)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_sparta_kernel(self):
+        w, x, ref = case(seed=16)
+        out = row_parallel_spmm(w, x, 2, kernel=make_kernel("sparta"))
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+
+class TestComposition:
+    def test_megatron_layer_pair(self):
+        """Column-parallel up-projection into row-parallel down-projection
+        (one FFN) equals the unsharded computation."""
+        rng = np.random.default_rng(20)
+        h, f, n = 64, 160, 4
+        w_up = rng.standard_normal((f, h)).astype(np.float16)
+        w_down = rng.standard_normal((h, f)).astype(np.float16)
+        w_up[rng.random((f, h)) < 0.5] = 0
+        w_down[rng.random((h, f)) < 0.5] = 0
+        x = rng.standard_normal((h, n)).astype(np.float16)
+
+        hidden = column_parallel_spmm(w_up, x, 2)
+        hidden = np.maximum(hidden, 0)  # ReLU
+        out = row_parallel_spmm(w_down, hidden.astype(np.float16), 2)
+
+        ref_h = np.maximum(w_up.astype(np.float32) @ x.astype(np.float32), 0)
+        ref = w_down.astype(np.float32) @ ref_h.astype(np.float16).astype(np.float32)
+        np.testing.assert_allclose(out, ref, rtol=2e-3, atol=2e-3)

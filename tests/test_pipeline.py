@@ -1,0 +1,155 @@
+"""Tests for the event-driven asynchronous-pipeline model."""
+
+import pytest
+
+from repro.gpu.pipeline import PipelineConfig, simulate_pipeline
+
+
+def cfg(**kw):
+    defaults = dict(
+        iterations=16, t_load_w=2.0, t_load_x=1.0, t_decode=0.5, t_compute=1.5
+    )
+    defaults.update(kw)
+    return PipelineConfig(**defaults)
+
+
+class TestValidation:
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            cfg(iterations=0)
+
+    def test_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            cfg(t_decode=-1.0)
+
+
+class TestScheduleCorrectness:
+    def test_dependencies_respected(self):
+        trace = simulate_pipeline(cfg())
+        by_task = {(e.name, e.iteration): e for e in trace.events}
+        for k in range(trace.config.iterations):
+            assert by_task[("decode", k)].start >= by_task[("load_w", k)].end
+            assert by_task[("compute", k)].start >= by_task[("decode", k)].end
+            assert by_task[("compute", k)].start >= by_task[("load_x", k)].end
+
+    def test_no_resource_overlap(self):
+        trace = simulate_pipeline(cfg())
+        for resource in ("mem", "cuda", "tc"):
+            evs = sorted(
+                (e for e in trace.events if e.resource == resource),
+                key=lambda e: e.start,
+            )
+            for a, b in zip(evs, evs[1:]):
+                assert b.start >= a.end
+
+    def test_total_time_bounds(self):
+        trace = simulate_pipeline(cfg())
+        c = trace.config
+        serial = c.iterations * (c.t_load_w + c.t_load_x + c.t_decode + c.t_compute)
+        critical = max(
+            c.iterations * (c.t_load_w + c.t_load_x),  # mem-bound floor
+            c.iterations * c.t_compute,  # tc-bound floor
+        )
+        assert critical <= trace.total_time <= serial
+
+    def test_busy_accounting(self):
+        trace = simulate_pipeline(cfg(iterations=4))
+        c = trace.config
+        assert trace.busy["mem"] == pytest.approx(4 * (c.t_load_w + c.t_load_x))
+        assert trace.busy["cuda"] == pytest.approx(4 * c.t_decode)
+        assert trace.busy["tc"] == pytest.approx(4 * c.t_compute)
+        for r in ("mem", "cuda", "tc"):
+            assert 0 < trace.utilization(r) <= 1.0
+
+    def test_single_iteration_is_serial(self):
+        trace = simulate_pipeline(cfg(iterations=1))
+        c = trace.config
+        # No overlap possible within one iteration on this dep graph.
+        assert trace.total_time == pytest.approx(
+            c.t_load_w + max(c.t_load_x, c.t_decode) + c.t_compute
+        )
+
+    def test_unknown_resource_raises(self):
+        trace = simulate_pipeline(cfg(iterations=2))
+        with pytest.raises(KeyError):
+            trace.utilization("dram")
+
+
+class TestPipelineEffects:
+    def test_double_buffering_hides_latency(self):
+        """Paper Fig. 9: prefetching into the alternate buffer overlaps
+        loads with compute.  Visible when loads and compute are of the
+        same order: with one buffer the next load must wait for the
+        consumer, serialising the chain."""
+        balanced = dict(t_load_w=0.5, t_load_x=1.0, t_decode=0.3, t_compute=1.5)
+        on = simulate_pipeline(cfg(double_buffering=True, **balanced))
+        off = simulate_pipeline(cfg(double_buffering=False, **balanced))
+        assert on.total_time < off.total_time
+
+    def test_memory_bound_pipeline_approaches_mem_floor(self):
+        c = cfg(iterations=64, t_load_w=4.0, t_load_x=2.0, t_decode=0.2,
+                t_compute=0.5)
+        trace = simulate_pipeline(c)
+        floor = 64 * (c.t_load_w + c.t_load_x)
+        assert trace.total_time <= floor * 1.1
+        assert trace.utilization("mem") > 0.9
+
+    def test_compute_bound_pipeline_keeps_tc_busy(self):
+        c = cfg(iterations=64, t_load_w=0.3, t_load_x=0.2, t_decode=0.1,
+                t_compute=2.0)
+        trace = simulate_pipeline(c)
+        assert trace.utilization("tc") > 0.9
+
+    def test_separate_groups_beat_fused_group(self):
+        """Fine-grained cp.async group management (Section 4.3.4): with a
+        fused group, SMBD stalls on the XTile load it does not need."""
+        sep = simulate_pipeline(cfg(separate_groups=True))
+        fused = simulate_pipeline(cfg(separate_groups=False))
+        assert sep.total_time <= fused.total_time
+        # The decode stage specifically starts earlier with separate groups.
+        first_decode_sep = min(e.start for e in sep.events_for("decode"))
+        first_decode_fused = min(e.start for e in fused.events_for("decode"))
+        assert first_decode_sep <= first_decode_fused
+
+    def test_decode_overlaps_tc_compute(self):
+        """SMBD for iteration k+1 runs while TC computes iteration k."""
+        trace = simulate_pipeline(
+            cfg(iterations=8, t_load_w=0.3, t_load_x=0.2, t_decode=0.4,
+                t_compute=2.0)
+        )
+        decodes = {e.iteration: e for e in trace.events_for("decode")}
+        computes = {e.iteration: e for e in trace.events_for("compute")}
+        overlapped = sum(
+            1
+            for k in range(1, 8)
+            if decodes[k].start < computes[k - 1].end
+        )
+        assert overlapped > 0
+
+    def test_stalls_shrink_with_double_buffering(self):
+        on = simulate_pipeline(cfg(iterations=32))
+        off = simulate_pipeline(cfg(iterations=32, double_buffering=False))
+        assert on.stalls("tc") <= off.stalls("tc")
+
+
+class TestGantt:
+    def test_render_shape(self):
+        trace = simulate_pipeline(cfg(iterations=4))
+        chart = trace.render_gantt(width=40, max_iterations=4)
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            assert line.endswith("|")
+            assert len(line) == len(lines[0])
+
+    def test_busy_resource_has_few_idle_cells(self):
+        c = cfg(iterations=16, t_load_w=4.0, t_load_x=2.0, t_decode=0.2,
+                t_compute=0.5)
+        chart = simulate_pipeline(c).render_gantt(width=60, max_iterations=16)
+        mem_row = chart.splitlines()[0]
+        assert mem_row.count(".") < 12  # memory nearly saturated
+
+    def test_rejects_bad_width(self):
+        trace = simulate_pipeline(cfg(iterations=2))
+        with pytest.raises(ValueError):
+            trace.render_gantt(width=0)

@@ -1,0 +1,58 @@
+"""Tests for deployment planning utilities."""
+
+import pytest
+
+from repro.llm.planning import best_batch, min_gpus
+
+
+class TestBestBatch:
+    def test_returns_feasible_plan(self):
+        plan = best_batch("opt-13b", "spinfer", num_gpus=1)
+        assert plan is not None
+        assert plan.tokens_per_second > 0
+        assert plan.memory_gb < 24.0
+
+    def test_bigger_batches_win_when_they_fit(self):
+        """Throughput grows with batch in the weight-bound decode regime."""
+        small_only = best_batch("opt-13b", "spinfer", num_gpus=1, batches=(1,))
+        free = best_batch("opt-13b", "spinfer", num_gpus=1, batches=(1, 8, 16))
+        assert free.tokens_per_second > small_only.tokens_per_second
+        assert free.batch_size > 1
+
+    def test_latency_budget_caps_batch(self):
+        uncapped = best_batch("opt-13b", "spinfer", num_gpus=1,
+                              batches=(1, 8, 32))
+        capped = best_batch("opt-13b", "spinfer", num_gpus=1,
+                            batches=(1, 8, 32),
+                            max_latency_s=uncapped.latency_s * 0.5)
+        if capped is not None:
+            assert capped.latency_s <= uncapped.latency_s * 0.5
+            assert capped.batch_size < uncapped.batch_size
+
+    def test_none_when_nothing_fits(self):
+        assert best_batch("opt-175b", "fastertransformer", sparsity=0.0,
+                          num_gpus=1, batches=(1,)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            best_batch("opt-13b", batches=())
+
+
+class TestMinGpus:
+    def test_sparse_needs_fewer_gpus(self):
+        """The Fig. 15 argument: SpInfer halves the GPU count."""
+        sparse = min_gpus("opt-30b", "spinfer", sparsity=0.6)
+        dense = min_gpus("opt-30b", "fastertransformer", sparsity=0.0)
+        assert sparse is not None and dense is not None
+        assert sparse < dense
+
+    def test_small_model_one_gpu(self):
+        assert min_gpus("opt-13b", "spinfer") == 1
+
+    def test_none_when_exceeds_cap(self):
+        assert min_gpus("opt-175b", "fastertransformer", sparsity=0.0,
+                        max_gpus=2) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_gpus("opt-13b", max_gpus=0)

@@ -1,0 +1,138 @@
+"""Tests for the quantized TCA-BME extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quant import (
+    QuantizedTCABME,
+    dequantize_values,
+    quantize_values,
+)
+
+
+def random_sparse(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+class TestValueQuantization:
+    def test_round_trip_small_error(self):
+        rng = np.random.default_rng(0)
+        vals = rng.standard_normal(1000).astype(np.float16)
+        codes, scales = quantize_values(vals, bits=8)
+        out = dequantize_values(codes, scales)
+        rel = np.abs(out.astype(np.float32) - vals.astype(np.float32))
+        assert rel.max() < 0.05
+
+    def test_int4_range(self):
+        rng = np.random.default_rng(1)
+        vals = rng.standard_normal(256).astype(np.float16)
+        codes, _ = quantize_values(vals, bits=4)
+        assert codes.min() >= -7 and codes.max() <= 7
+
+    def test_int8_range(self):
+        rng = np.random.default_rng(2)
+        vals = (rng.standard_normal(256) * 100).astype(np.float16)
+        codes, _ = quantize_values(vals, bits=8)
+        assert codes.min() >= -127 and codes.max() <= 127
+
+    def test_group_scales(self):
+        vals = np.concatenate([np.full(128, 1.0), np.full(128, 100.0)]).astype(
+            np.float16
+        )
+        codes, scales = quantize_values(vals, bits=8, group_size=128)
+        assert scales.size == 2
+        assert scales[1] > scales[0]
+        # Both groups use the full code range despite the 100x magnitude gap.
+        assert abs(int(codes[:128].max())) == 127
+        assert abs(int(codes[128:].max())) == 127
+
+    def test_empty_stream(self):
+        codes, scales = quantize_values(np.zeros(0, np.float16))
+        assert codes.size == 0 and scales.size == 0
+        assert dequantize_values(codes, scales).size == 0
+
+    def test_all_zero_group(self):
+        codes, scales = quantize_values(np.zeros(64, np.float16), group_size=64)
+        assert (codes == 0).all()
+        assert scales[0] == 1.0  # safe non-zero scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_values(np.zeros(8), bits=3)
+        with pytest.raises(ValueError):
+            quantize_values(np.zeros(8), group_size=0)
+        with pytest.raises(ValueError):
+            dequantize_values(np.zeros(100, np.int8), np.zeros(3, np.float16))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           bits=st.sampled_from([4, 8]))
+    def test_relative_error_bounded(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal(300).astype(np.float16)
+        codes, scales = quantize_values(vals, bits=bits)
+        out = dequantize_values(codes, scales)
+        # Error bounded by half a quantization step per group.
+        qmax = (1 << (bits - 1)) - 1
+        group_ids = np.arange(300) // 128
+        steps = scales.astype(np.float32)[group_ids]
+        err = np.abs(out.astype(np.float32) - vals.astype(np.float32))
+        assert (err <= steps * 0.51 + 1e-3).all()
+
+
+class TestQuantizedMatrix:
+    def test_pattern_preserved(self):
+        """Quantization never invents non-zeros; it may round a few tiny
+        survivors to zero (code 0), nothing more."""
+        w = random_sparse(128, 128, 0.6, seed=3)
+        q = QuantizedTCABME.from_dense(w, bits=8)
+        out = q.to_dense()
+        new_nonzeros = (out != 0) & (w == 0)
+        assert not new_nonzeros.any()
+        lost = int(((out == 0) & (w != 0)).sum())
+        assert lost < 0.01 * np.count_nonzero(w)
+
+    def test_int8_better_cr_than_fp16(self):
+        w = random_sparse(256, 256, 0.6, seed=4)
+        q8 = QuantizedTCABME.from_dense(w, bits=8)
+        assert q8.compression_ratio() > q8.inner.compression_ratio()
+
+    def test_int4_better_cr_than_int8(self):
+        w = random_sparse(256, 256, 0.6, seed=5)
+        q8 = QuantizedTCABME.from_dense(w, bits=8)
+        q4 = QuantizedTCABME.from_dense(w, bits=4)
+        assert q4.compression_ratio() > q8.compression_ratio()
+        assert q4.quantization_error() > q8.quantization_error()
+
+    def test_storage_accounting(self):
+        w = random_sparse(128, 128, 0.5, seed=6)
+        q = QuantizedTCABME.from_dense(w, bits=8, group_size=128)
+        indexing = 4 * q.inner.gtile_offsets.size + 8 * q.inner.bitmaps.size
+        expected = indexing + q.nnz + 2 * (-(-q.nnz // 128))
+        assert q.storage_bytes() == expected
+
+    def test_spmm_close_to_fp16(self):
+        rng = np.random.default_rng(7)
+        w = random_sparse(128, 96, 0.6, seed=8)
+        x = rng.standard_normal((96, 8)).astype(np.float16)
+        q = QuantizedTCABME.from_dense(w, bits=8)
+        ref = w.astype(np.float32) @ x.astype(np.float32)
+        out = q.spmm(x)
+        rel = np.linalg.norm(out - ref) / max(np.linalg.norm(ref), 1e-9)
+        assert rel < 0.02
+
+    def test_quantization_error_small_for_int8(self):
+        w = random_sparse(256, 256, 0.5, seed=9)
+        q = QuantizedTCABME.from_dense(w, bits=8)
+        assert q.quantization_error() < 0.01
+
+    def test_all_zero_matrix(self):
+        q = QuantizedTCABME.from_dense(np.zeros((64, 64), np.float16))
+        assert q.nnz == 0
+        assert q.quantization_error() == 0.0
+        assert not q.to_dense().any()

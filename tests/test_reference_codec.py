@@ -1,0 +1,64 @@
+"""Differential tests: vectorised encoder vs loop-based specification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reference import encode_reference
+from repro.core.tca_bme import encode
+from repro.core.tiles import TileConfig
+
+
+def random_sparse(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+def assert_identical(a, b):
+    assert a.shape == b.shape
+    np.testing.assert_array_equal(a.gtile_offsets, b.gtile_offsets)
+    np.testing.assert_array_equal(a.bitmaps, b.bitmaps)
+    np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("shape", [(64, 64), (128, 64), (64, 128), (70, 90)])
+    def test_same_arrays(self, shape):
+        w = random_sparse(*shape, sparsity=0.55, seed=shape[0] + shape[1])
+        assert_identical(encode(w), encode_reference(w))
+
+    @pytest.mark.parametrize("sparsity", [0.0, 0.5, 1.0])
+    def test_sparsity_extremes(self, sparsity):
+        w = random_sparse(64, 64, sparsity, seed=3)
+        assert_identical(encode(w), encode_reference(w))
+
+    def test_custom_config(self):
+        cfg = TileConfig(gt_h=32, gt_w=64)
+        w = random_sparse(96, 128, 0.5, seed=4)
+        assert_identical(encode(w, cfg), encode_reference(w, cfg))
+
+    def test_reference_round_trips(self):
+        w = random_sparse(96, 64, 0.5, seed=5)
+        enc = encode_reference(w)
+        enc.validate()
+        assert np.array_equal(enc.to_dense(), w)
+
+    def test_reference_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            encode_reference(np.zeros(8))
+        with pytest.raises(ValueError):
+            encode_reference(np.zeros((0, 4)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=70),
+        k=st.integers(min_value=1, max_value=70),
+        sparsity=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    def test_differential_property(self, m, k, sparsity, seed):
+        w = random_sparse(m, k, sparsity, seed)
+        assert_identical(encode(w), encode_reference(w))

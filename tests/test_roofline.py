@@ -1,0 +1,81 @@
+"""Tests for the roofline model (paper Eqs. 6-8, Fig. 4)."""
+
+import pytest
+
+from repro.gpu.roofline import (
+    attainable_tflops,
+    ci_gemm,
+    ci_optimal,
+    ci_spmm,
+    is_memory_bound,
+    roofline_point,
+)
+from repro.gpu.specs import RTX4090
+
+
+class TestComputeIntensity:
+    def test_eq6_gemm(self):
+        assert ci_gemm(4096, 16) == pytest.approx(4096 * 16 / (4096 + 16))
+
+    def test_eq7_spmm(self):
+        m, n, cr = 4096, 16, 2.0
+        assert ci_spmm(m, n, cr) == pytest.approx(m * n / (m / cr + n))
+
+    def test_eq8_optimal(self):
+        m, n, s = 4096, 16, 0.5
+        assert ci_optimal(m, n, s) == pytest.approx(m * n / (m * 0.5 + n))
+
+    def test_cr_one_recovers_gemm(self):
+        assert ci_spmm(1024, 32, 1.0) == pytest.approx(ci_gemm(1024, 32))
+
+    def test_higher_cr_higher_ci(self):
+        assert ci_spmm(4096, 16, 2.0) > ci_spmm(4096, 16, 0.7)
+
+    def test_cr_below_one_hurts(self):
+        """Index-bloated formats land *below* the dense GEMM CI."""
+        assert ci_spmm(4096, 16, 0.7) < ci_gemm(4096, 16)
+
+    def test_optimal_dominates_spmm_with_real_cr(self):
+        m, n, s = 4096, 16, 0.5
+        best_cr = 1.0 / (1.0 - s)  # zero-overhead format
+        assert ci_spmm(m, n, best_cr) == pytest.approx(ci_optimal(m, n, s))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            ci_gemm(0, 16)
+        with pytest.raises(ValueError):
+            ci_spmm(16, 16, 0.0)
+        with pytest.raises(ValueError):
+            ci_optimal(16, 16, 1.0)
+
+
+class TestRoofline:
+    def test_memory_bound_decode_shapes(self):
+        """Every decode-phase point is memory bound (paper Fig. 4)."""
+        for n in (8, 16, 32):
+            assert is_memory_bound(ci_gemm(28672, n), RTX4090)
+
+    def test_compute_bound_at_large_n(self):
+        ci = ci_gemm(28672, 16384)
+        assert not is_memory_bound(ci, RTX4090)
+
+    def test_attainable_clipped_at_peak(self):
+        huge_ci = 1e6
+        assert attainable_tflops(huge_ci, RTX4090) == pytest.approx(
+            RTX4090.tc_fp16_tflops
+        )
+
+    def test_attainable_scales_linearly_when_bound(self):
+        a = attainable_tflops(10.0, RTX4090)
+        b = attainable_tflops(20.0, RTX4090)
+        assert b == pytest.approx(2 * a)
+
+    def test_point_construction(self):
+        pt = roofline_point("gemm", ci_gemm(28672, 16), RTX4090)
+        assert pt.label == "gemm"
+        assert pt.memory_bound
+        assert 0 < pt.attainable_tflops < RTX4090.tc_fp16_tflops
+
+    def test_rejects_nonpositive_ci(self):
+        with pytest.raises(ValueError):
+            attainable_tflops(0.0, RTX4090)

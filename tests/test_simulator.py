@@ -1,0 +1,161 @@
+"""Tests for the kernel cost simulator."""
+
+import pytest
+
+from repro.gpu.calibration import CALIBRATIONS, get_calibration
+from repro.gpu.simulator import LaunchShape, Traffic, Work, simulate_kernel
+from repro.gpu.specs import A6000, RTX4090
+
+
+def _simple_launch(cal_name="cublas_tc", gpu=RTX4090, **kw):
+    cal = get_calibration(cal_name)
+    defaults = dict(
+        shape=LaunchShape(grid_blocks=1024),
+        traffic=Traffic(weight_bytes=1e8, activation_bytes=1e6, output_bytes=1e6),
+        work=Work(tc_flops=1e9),
+    )
+    defaults.update(kw)
+    return simulate_kernel(gpu, cal, **defaults)
+
+
+class TestInputValidation:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            LaunchShape(grid_blocks=0)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(ValueError):
+            Traffic(weight_bytes=-1.0)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            Work(tc_flops=-1.0)
+
+    def test_rejects_tc_work_on_cuda_kernel(self):
+        with pytest.raises(ValueError, match="no Tensor-Core path"):
+            _simple_launch("cusparse", work=Work(tc_flops=1e9))
+
+    def test_rejects_cuda_work_on_tc_only_kernel(self):
+        with pytest.raises(ValueError, match="no CUDA-core path"):
+            _simple_launch("cublas_tc", work=Work(cuda_flops=1e9))
+
+
+class TestProfileInvariants:
+    def test_time_positive_and_composed(self):
+        p = _simple_launch()
+        assert p.time_s > 0
+        assert p.time_s >= max(p.t_mem_s, p.t_tc_s)
+
+    def test_bandwidth_utilization_bounded(self):
+        p = _simple_launch()
+        assert 0 < p.bandwidth_utilization <= 1.0
+
+    def test_tc_utilization_bounded(self):
+        p = _simple_launch()
+        assert 0 <= p.tc_utilization <= 1.0
+
+    def test_memory_bound_launch_dominated_by_t_mem(self):
+        p = _simple_launch(work=Work(tc_flops=1e6))
+        assert p.time_s == pytest.approx(p.t_mem_s, rel=0.2)
+
+    def test_compute_bound_launch(self):
+        p = _simple_launch(
+            traffic=Traffic(weight_bytes=1e4), work=Work(tc_flops=1e13)
+        )
+        assert p.t_tc_s > p.t_mem_s
+        assert p.time_s >= p.t_tc_s
+
+    def test_traffic_total(self):
+        t = Traffic(weight_bytes=1.0, activation_bytes=2.0, output_bytes=3.0,
+                    workspace_bytes=4.0)
+        assert t.total == 10.0
+
+    def test_tflops_property(self):
+        p = _simple_launch()
+        assert p.tflops > 0
+        assert p.time_ms == pytest.approx(p.time_s * 1e3)
+        assert p.time_us == pytest.approx(p.time_s * 1e6)
+
+
+class TestWaveQuantisation:
+    def test_partial_wave_slower_per_byte(self):
+        big = _simple_launch(shape=LaunchShape(grid_blocks=4096))
+        tiny = _simple_launch(shape=LaunchShape(grid_blocks=8))
+        assert tiny.time_s > big.time_s * 0.9  # tiny grid can't go faster
+        assert tiny.wave_utilization < big.wave_utilization
+
+    def test_full_wave_utilization(self):
+        cal = get_calibration("cublas_tc")
+        from repro.gpu.occupancy import occupancy
+
+        occ = occupancy(RTX4090, cal.threads_per_block, cal.registers_per_thread,
+                        cal.shared_bytes_per_block)
+        exact = occ.blocks_per_sm * RTX4090.sm_count
+        p = _simple_launch(shape=LaunchShape(grid_blocks=exact))
+        assert p.wave_utilization == pytest.approx(1.0)
+
+
+class TestDecodeAndOverlap:
+    def test_decode_exposed_when_not_overlapped(self):
+        full = _simple_launch("spinfer", work=Work(tc_flops=1e9, decode_values=1e8))
+        noasync = _simple_launch(
+            "spinfer_no_async", work=Work(tc_flops=1e9, decode_values=1e8)
+        )
+        assert noasync.time_s > full.time_s
+        assert noasync.t_decode_exposed_s > full.t_decode_exposed_s
+
+    def test_bank_conflicts_inflate_decode(self):
+        smooth = _simple_launch("spinfer", work=Work(tc_flops=1e9, decode_values=1e8))
+        conflicted = _simple_launch(
+            "flash_llm", work=Work(tc_flops=1e9, decode_values=1e8)
+        )
+        assert conflicted.bank_conflict_replays > 0
+        assert smooth.bank_conflict_replays == 0
+
+    def test_counters_present(self):
+        p = _simple_launch("spinfer", work=Work(tc_flops=1e9, decode_values=1e7))
+        assert p.issue_slot_busy > 0
+        assert p.warp_cycles_per_inst > 0
+        assert p.registers_per_thread == get_calibration("spinfer").registers_per_thread
+
+
+class TestCalibrationTable:
+    def test_all_kernels_registered(self):
+        expected = {
+            "cublas_tc",
+            "spinfer",
+            "spinfer_no_smbd",
+            "spinfer_no_async",
+            "flash_llm",
+            "sparta",
+            "sputnik",
+            "cusparse",
+            "smat",
+        }
+        assert expected <= set(CALIBRATIONS)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_calibration("turbo")
+
+    def test_spinfer_fewest_registers(self):
+        """Fig. 12: SpInfer uses the fewest registers of the TC kernels."""
+        sp = CALIBRATIONS["spinfer"].registers_per_thread
+        assert sp < CALIBRATIONS["flash_llm"].registers_per_thread
+        assert sp < CALIBRATIONS["cublas_tc"].registers_per_thread
+
+    def test_tc_efficiency_saturation(self):
+        cal = CALIBRATIONS["spinfer"]
+        assert cal.tc_efficiency_at(16) < cal.tc_efficiency_at(4096)
+        assert cal.tc_efficiency_at(1 << 20) == pytest.approx(
+            cal.tc_efficiency, rel=0.01
+        )
+
+    def test_tc_efficiency_gpu_scaling(self):
+        """A6000's lower issue rate relative to its TC peak saturates later."""
+        cal = CALIBRATIONS["spinfer"]
+        assert cal.tc_efficiency_at(16, A6000) < cal.tc_efficiency_at(16, RTX4090)
+
+    def test_tc_efficiency_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            CALIBRATIONS["spinfer"].tc_efficiency_at(0)

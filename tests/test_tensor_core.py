@@ -1,0 +1,125 @@
+"""Tests for the numeric Tensor-Core mma model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mma_layout import (
+    gather_a_fragments,
+    gather_b_fragments,
+    gather_cd_fragments,
+    scatter_cd_fragments,
+)
+from repro.gpu.tensor_core import mma_m16n8k16, warp_tile_matmul
+
+
+def _random_tiles(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((16, 16)).astype(np.float16)
+    b = rng.standard_normal((16, 8)).astype(np.float16)
+    c = rng.standard_normal((16, 8)).astype(np.float32)
+    return a, b, c
+
+
+class TestMMA:
+    def test_matches_reference_matmul(self):
+        a, b, c = _random_tiles(0)
+        d_frags = mma_m16n8k16(
+            gather_a_fragments(a), gather_b_fragments(b), gather_cd_fragments(c)
+        )
+        d = scatter_cd_fragments(d_frags)
+        ref = a.astype(np.float32) @ b.astype(np.float32) + c
+        np.testing.assert_allclose(d, ref, rtol=1e-6)
+
+    def test_zero_a_returns_accumulator(self):
+        _, b, c = _random_tiles(1)
+        d_frags = mma_m16n8k16(
+            np.zeros((32, 4, 2), np.float16),
+            gather_b_fragments(b),
+            gather_cd_fragments(c),
+        )
+        np.testing.assert_array_equal(scatter_cd_fragments(d_frags), c)
+
+    def test_identity_a_copies_b(self):
+        b = np.arange(128, dtype=np.float16).reshape(16, 8)
+        eye = np.eye(16, dtype=np.float16)
+        d_frags = mma_m16n8k16(
+            gather_a_fragments(eye),
+            gather_b_fragments(b),
+            np.zeros((32, 4), np.float32),
+        )
+        np.testing.assert_allclose(scatter_cd_fragments(d_frags), b.astype(np.float32))
+
+    def test_fp32_accumulation_precision(self):
+        """FP16 inputs, FP32 accumulate: sums exceeding FP16 range survive."""
+        a = np.full((16, 16), 60000.0 / 16, dtype=np.float16)
+        b = np.ones((16, 8), dtype=np.float16)
+        d_frags = mma_m16n8k16(
+            gather_a_fragments(a),
+            gather_b_fragments(b),
+            np.zeros((32, 4), np.float32),
+        )
+        d = scatter_cd_fragments(d_frags)
+        expected = float(np.float16(60000.0 / 16)) * 16
+        np.testing.assert_allclose(d, expected, rtol=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mma_m16n8k16(np.zeros((32, 4)), np.zeros((32, 2, 2)), np.zeros((32, 4)))
+        with pytest.raises(ValueError):
+            mma_m16n8k16(
+                np.zeros((32, 4, 2)), np.zeros((32, 2)), np.zeros((32, 4))
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_matches_reference_property(self, seed):
+        a, b, c = _random_tiles(seed)
+        d = scatter_cd_fragments(
+            mma_m16n8k16(
+                gather_a_fragments(a),
+                gather_b_fragments(b),
+                gather_cd_fragments(c),
+            )
+        )
+        ref = a.astype(np.float32) @ b.astype(np.float32) + c
+        np.testing.assert_allclose(d, ref, rtol=1e-5, atol=1e-5)
+
+
+class TestWarpTileMatmul:
+    def test_wide_panel(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((16, 16)).astype(np.float16)
+        b = rng.standard_normal((16, 32)).astype(np.float16)
+        acc = np.zeros((16, 32), dtype=np.float32)
+        out = warp_tile_matmul(gather_a_fragments(a), b, acc)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    def test_accumulates(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((16, 16)).astype(np.float16)
+        b = rng.standard_normal((16, 8)).astype(np.float16)
+        acc = np.ones((16, 8), dtype=np.float32)
+        out = warp_tile_matmul(gather_a_fragments(a), b, acc)
+        ref = a.astype(np.float32) @ b.astype(np.float32) + 1.0
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    def test_does_not_mutate_accumulator(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((16, 16)).astype(np.float16)
+        b = rng.standard_normal((16, 8)).astype(np.float16)
+        acc = np.zeros((16, 8), dtype=np.float32)
+        warp_tile_matmul(gather_a_fragments(a), b, acc)
+        assert not acc.any()
+
+    def test_rejects_non_multiple_of_8(self):
+        a = np.zeros((32, 4, 2), np.float16)
+        with pytest.raises(ValueError):
+            warp_tile_matmul(a, np.zeros((16, 12), np.float16), np.zeros((16, 12), np.float32))
+
+    def test_rejects_wrong_k(self):
+        a = np.zeros((32, 4, 2), np.float16)
+        with pytest.raises(ValueError):
+            warp_tile_matmul(a, np.zeros((8, 8), np.float16), np.zeros((16, 8), np.float32))

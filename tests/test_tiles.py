@@ -1,0 +1,99 @@
+"""Tests for the TCA-BME tile geometry."""
+
+import pytest
+
+from repro.core.tiles import DEFAULT_TILE_CONFIG, TileConfig
+
+
+class TestTileConfigValidation:
+    def test_default_is_paper_config(self):
+        c = DEFAULT_TILE_CONFIG
+        assert (c.bt_h, c.bt_w) == (8, 8)
+        assert (c.tt_h, c.tt_w) == (16, 16)
+        assert (c.gt_h, c.gt_w) == (64, 64)
+
+    def test_rejects_non_8x8_bitmap_tile(self):
+        with pytest.raises(ValueError):
+            TileConfig(bt_h=4, bt_w=4)
+
+    def test_rejects_misaligned_tctile(self):
+        with pytest.raises(ValueError):
+            TileConfig(tt_h=12, tt_w=16)
+
+    def test_rejects_misaligned_grouptile(self):
+        with pytest.raises(ValueError):
+            TileConfig(gt_h=40, gt_w=64)
+
+    def test_rejects_nonpositive_grouptile(self):
+        with pytest.raises(ValueError):
+            TileConfig(gt_h=0, gt_w=64)
+
+    def test_custom_grouptile(self):
+        c = TileConfig(gt_h=128, gt_w=32)
+        assert c.tts_per_gt == (128 // 16) * (32 // 16)
+
+
+class TestTileCounts:
+    def test_bts_per_tt(self):
+        assert DEFAULT_TILE_CONFIG.bts_per_tt == 4
+
+    def test_tts_per_gt(self):
+        assert DEFAULT_TILE_CONFIG.tts_per_gt == 16
+
+    def test_bts_per_gt(self):
+        assert DEFAULT_TILE_CONFIG.bts_per_gt == 64
+
+    def test_exact_fit(self):
+        c = DEFAULT_TILE_CONFIG
+        assert c.padded_shape(128, 192) == (128, 192)
+        assert c.num_group_tiles(128, 192) == 2 * 3
+
+    def test_padding(self):
+        c = DEFAULT_TILE_CONFIG
+        assert c.padded_shape(65, 1) == (128, 64)
+        assert c.num_group_tiles(65, 1) == 2
+
+    def test_bitmap_tile_count_scales(self):
+        c = DEFAULT_TILE_CONFIG
+        assert c.num_bitmap_tiles(64, 64) == 64
+        assert c.num_bitmap_tiles(128, 64) == 128
+
+    def test_group_grid(self):
+        assert DEFAULT_TILE_CONFIG.group_grid(130, 70) == (3, 2)
+
+
+class TestEnumerationOrder:
+    def test_group_tiles_row_major(self):
+        origins = list(DEFAULT_TILE_CONFIG.iter_group_tiles(128, 128))
+        assert origins == [(0, 0), (0, 64), (64, 0), (64, 64)]
+
+    def test_tctiles_column_major(self):
+        origins = list(DEFAULT_TILE_CONFIG.iter_tctiles_in_group())
+        # First column of TCTiles top-to-bottom, then the next column.
+        assert origins[:4] == [(0, 0), (16, 0), (32, 0), (48, 0)]
+        assert origins[4] == (0, 16)
+        assert len(origins) == 16
+
+    def test_bitmaptiles_register_order(self):
+        origins = list(DEFAULT_TILE_CONFIG.iter_bitmaptiles_in_tctile())
+        # Ra0 top-left, Ra1 bottom-left, Ra2 top-right, Ra3 bottom-right.
+        assert origins == [(0, 0), (8, 0), (0, 8), (8, 8)]
+
+    def test_all_bitmaptiles_cover_padded_matrix_once(self):
+        c = DEFAULT_TILE_CONFIG
+        m, k = 70, 130  # forces padding
+        origins = list(c.iter_bitmaptiles(m, k))
+        pm, pk = c.padded_shape(m, k)
+        assert len(origins) == c.num_bitmap_tiles(m, k)
+        assert len(set(origins)) == len(origins)
+        cells = set()
+        for r, col in origins:
+            assert 0 <= r < pm and 0 <= col < pk
+            assert r % 8 == 0 and col % 8 == 0
+            cells.add((r, col))
+        assert len(cells) == (pm // 8) * (pk // 8)
+
+    def test_enumeration_respects_custom_config(self):
+        c = TileConfig(gt_h=32, gt_w=32)
+        assert len(list(c.iter_tctiles_in_group())) == 4
+        assert c.num_group_tiles(32, 32) == 1
