@@ -1,0 +1,53 @@
+"""Static analysis of the kernel-engineering layers (``repro lint``).
+
+Turns the paper's instruction-sequence and format invariants into
+machine-checked properties that run without executing anything:
+
+* :mod:`~repro.analysis.warp_lint` — dataflow lint, bank-conflict and
+  bounds prediction, cycle lower bound, and the SMBD one-POPC rule over
+  :class:`~repro.gpu.warp_sim.WarpProgram` (rules ``W001``–``W009``);
+* :mod:`~repro.analysis.pipeline_lint` — double-buffer race detection
+  over :class:`~repro.gpu.pipeline.PipelineTrace` (``P001``–``P005``);
+* :mod:`~repro.analysis.format_lint` — TCA-BME / Tiled-CSL / CSR
+  structural validation (``F001``–``F005``).
+
+``check_all_builtin_programs`` sweeps every program, schedule and
+container the repo constructs; see docs/ANALYSIS.md for the rule
+catalogue with minimal failing examples.
+"""
+
+from .abstract import AbstractResult, interpret, static_cycle_lower_bound
+from .builtin import (
+    builtin_formats,
+    builtin_pipeline_traces,
+    builtin_warp_programs,
+    check_all_builtin_programs,
+)
+from .dataflow import DefUse
+from .findings import RULES, Finding, Report, Rule, Severity
+from .format_lint import lint_csr, lint_format, lint_tca_bme, lint_tiled_csl
+from .pipeline_lint import lint_pipeline_trace
+from .warp_lint import cross_check_with_simulator, lint_warp_program
+
+__all__ = [
+    "AbstractResult",
+    "DefUse",
+    "Finding",
+    "Report",
+    "Rule",
+    "RULES",
+    "Severity",
+    "builtin_formats",
+    "builtin_pipeline_traces",
+    "builtin_warp_programs",
+    "check_all_builtin_programs",
+    "cross_check_with_simulator",
+    "interpret",
+    "lint_csr",
+    "lint_format",
+    "lint_pipeline_trace",
+    "lint_tca_bme",
+    "lint_tiled_csl",
+    "lint_warp_program",
+    "static_cycle_lower_bound",
+]

@@ -1,0 +1,222 @@
+"""Abstract interpretation of warp programs over the lane-vector domain.
+
+The SMBD decode programs take all their *control* inputs (bitmap, tile
+offset, lane id) as immediates; only the shared-memory *data* is unknown
+at build time.  That makes a partial evaluator the natural abstract
+domain: each register is either a concrete 32-lane ``int64`` vector
+(computed with exactly the simulator's numpy semantics) or ``TOP``
+(unknown — anything derived from an ``LDS`` result).
+
+On this domain the analyzer can, without executing a load:
+
+* evaluate every ``LDS`` address vector and active mask exactly,
+* predict bank replays with the *same* function the simulator charges
+  (:func:`repro.gpu.warp_sim.bank_conflict_replays`), so prediction and
+  measurement agree by construction whenever addresses are static,
+* prove ``LDS`` bounds against a declared shared-memory size, and
+* compute a scoreboard cycle count that is a *lower bound* on the
+  simulated cycles: it replays the simulator's issue/scoreboard logic
+  but charges 0 replays for any ``LDS`` whose address vector is TOP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gpu.warp_sim import (
+    WARP_SIZE,
+    WarpProgram,
+    _LATENCY,
+    bank_conflict_replays,
+)
+
+__all__ = ["LdsRecord", "AbstractResult", "interpret", "static_cycle_lower_bound"]
+
+#: The TOP element: value statically unknown.
+TOP = None
+
+Vector = Optional[np.ndarray]  # (32,) int64, or TOP
+
+
+def _imm_vector(value: int) -> np.ndarray:
+    """An immediate broadcast exactly as the simulator materialises it."""
+    v = int(value) & 0xFFFFFFFFFFFFFFFF
+    return np.full(WARP_SIZE, v, dtype=np.uint64).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class LdsRecord:
+    """Static knowledge about one ``LDS`` instruction."""
+
+    index: int
+    #: Concrete per-lane byte addresses, or TOP.
+    addrs: Vector
+    #: Concrete active-lane mask (bool), or TOP (= guard value unknown).
+    active: Optional[np.ndarray]
+    #: Bank replays, exact when both addrs and mask are concrete.
+    predicted_replays: Optional[int]
+    #: Lanes whose 2-byte access escapes ``shared_size`` (only populated
+    #: when addresses and mask are concrete and a size was declared).
+    oob_lanes: List[int] = field(default_factory=list)
+
+
+@dataclass
+class AbstractResult:
+    """Outcome of abstractly interpreting one program."""
+
+    registers: Dict[str, Vector]
+    predicates: Dict[str, Vector]
+    lds: List[LdsRecord]
+    #: Scoreboard cycles assuming 0 replays for TOP-address loads.
+    static_cycles: int
+
+    @property
+    def predicted_replays(self) -> Optional[int]:
+        """Total replays, or ``None`` if any LDS was unpredictable."""
+        total = 0
+        for rec in self.lds:
+            if rec.predicted_replays is None:
+                return None
+            total += rec.predicted_replays
+        return total
+
+
+def interpret(
+    program: WarpProgram, shared_size: Optional[int] = None
+) -> AbstractResult:
+    """Abstractly execute ``program`` (no shared-memory contents needed).
+
+    ``shared_size`` (bytes) enables static bounds checking of concrete
+    ``LDS`` addresses; pass ``None`` when the binding is unknown.
+    """
+    regs: Dict[str, Vector] = {}
+    preds: Dict[str, Vector] = {}
+    ready: Dict[str, int] = {}
+    lds_records: List[LdsRecord] = []
+    cycle = 0
+
+    def read(op) -> Vector:
+        if isinstance(op, str):
+            return regs.get(op, TOP)
+        return _imm_vector(op)
+
+    for index, instr in enumerate(program.instructions):
+        # Scoreboard (identical to WarpSimulator.run, values aside).
+        wait = 0
+        for op in instr.srcs:
+            if isinstance(op, str) and op in ready:
+                wait = max(wait, ready[op])
+        if instr.pred is not None and instr.pred in ready:
+            wait = max(wait, ready[instr.pred])
+        cycle = max(cycle, wait)
+        cycle += 1
+
+        op = instr.opcode
+        latency = _LATENCY[op]
+        if op == "NOP":
+            continue
+
+        if instr.pred is None:
+            active: Optional[np.ndarray] = np.ones(WARP_SIZE, dtype=bool)
+        else:
+            guard = preds.get(instr.pred, TOP)
+            active = guard.astype(bool) if guard is not None else TOP
+
+        result: Vector
+        if op == "S_REG":
+            result = np.arange(WARP_SIZE, dtype=np.int64)
+        elif op == "MOV":
+            result = read(instr.srcs[0])
+        elif op in ("ADD", "SUB", "SHL", "SHR", "AND", "OR"):
+            a, b = read(instr.srcs[0]), read(instr.srcs[1])
+            if a is TOP or b is TOP:
+                result = TOP
+            elif op == "ADD":
+                result = a + b
+            elif op == "SUB":
+                result = a - b
+            elif op == "SHL":
+                result = (a.astype(np.uint64) << b.astype(np.uint64)).astype(np.int64)
+            elif op == "SHR":
+                result = (a.astype(np.uint64) >> b.astype(np.uint64)).astype(np.int64)
+            elif op == "AND":
+                result = a & b
+            else:
+                result = a | b
+        elif op == "POPC":
+            a = read(instr.srcs[0])
+            if a is TOP:
+                result = TOP
+            else:
+                result = np.array(
+                    [int(v).bit_count() for v in a.astype(np.uint64)],
+                    dtype=np.int64,
+                )
+        elif op == "SETP":
+            a = read(instr.srcs[0])
+            preds[instr.dest] = (a != 0).astype(np.int64) if a is not TOP else TOP
+            ready[instr.dest] = cycle + latency
+            continue
+        elif op == "SEL":
+            guard = preds.get(str(instr.srcs[0]), TOP)
+            a, b = read(instr.srcs[1]), read(instr.srcs[2])
+            if guard is TOP or a is TOP or b is TOP:
+                result = TOP
+            else:
+                result = np.where(guard.astype(bool), a, b)
+        elif op == "LDS":
+            addrs = read(instr.srcs[0])
+            replays: Optional[int] = None
+            oob: List[int] = []
+            if addrs is not None and active is not None:
+                replays = bank_conflict_replays(addrs, active)
+                latency += replays
+                if shared_size is not None:
+                    oob = [
+                        lane
+                        for lane in np.flatnonzero(active)
+                        if addrs[lane] < 0 or addrs[lane] + 2 > shared_size
+                    ]
+            lds_records.append(
+                LdsRecord(
+                    index=index,
+                    addrs=addrs,
+                    active=active,
+                    predicted_replays=replays,
+                    oob_lanes=oob,
+                )
+            )
+            result = TOP  # loaded data is never statically known
+        else:  # pragma: no cover - Instr validates opcodes
+            raise AssertionError(op)
+
+        if instr.dest is not None:
+            if instr.pred is not None:
+                old = regs[instr.dest] if instr.dest in regs else np.zeros(
+                    WARP_SIZE, dtype=np.int64
+                )
+                if result is TOP or active is TOP or old is TOP:
+                    result = TOP
+                else:
+                    result = np.where(active, result, old)
+            regs[instr.dest] = result
+            ready[instr.dest] = cycle + latency
+
+    finish = max([cycle] + list(ready.values())) if ready else cycle
+    return AbstractResult(
+        registers=regs,
+        predicates=preds,
+        lds=lds_records,
+        static_cycles=finish,
+    )
+
+
+def static_cycle_lower_bound(
+    program: WarpProgram, shared_size: Optional[int] = None
+) -> int:
+    """Scoreboard cycle lower bound; ``<=`` simulated cycles always,
+    and ``==`` whenever every LDS address vector is statically concrete."""
+    return interpret(program, shared_size=shared_size).static_cycles

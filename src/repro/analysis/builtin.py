@@ -1,0 +1,107 @@
+"""Sweep every program/trace/format the repo constructs (``repro lint``).
+
+``check_all_builtin_programs`` is the entry point behind
+``repro lint --all-builtin`` and the CI gate: it rebuilds the shipped
+SMBD decode programs over a spread of bitmaps, the pipeline schedules
+over the full knob grid, and the three sparse containers over several
+shapes/sparsities, then runs every static checker plus the
+static-vs-simulated cross-checks (W008/W009).
+
+The naive decoder (``build_naive_decode``) is deliberately *not* part of
+the clean sweep: it is the paper's strawman and exists precisely to
+violate W007; tests and docs/ANALYSIS.md use it as the canonical failing
+example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tca_bme import encode
+from ..formats.csr import CSRMatrix
+from ..formats.tiled_csl import TiledCSLMatrix
+from ..gpu.pipeline import PipelineConfig, simulate_pipeline
+from ..gpu.smbd_program import build_two_phase_decode
+from .findings import Report
+from .format_lint import lint_format
+from .pipeline_lint import lint_pipeline_trace
+from .warp_lint import cross_check_with_simulator, lint_warp_program
+
+__all__ = [
+    "builtin_warp_programs",
+    "builtin_pipeline_traces",
+    "builtin_formats",
+    "check_all_builtin_programs",
+]
+
+#: Bitmap spread: empty, full, checkerboards, and seeded random draws —
+#: the patterns that exercise every decode path (no loads, all loads,
+#: alternating predicates, irregular offsets).
+_BITMAPS = (
+    0,
+    0xFFFFFFFFFFFFFFFF,
+    0x5555555555555555,
+    0xAAAAAAAAAAAAAAAA,
+    0x8000000000000001,  # u64 top bit set — popcount edge case
+)
+_TILE_OFFSETS = (0, 8)
+
+
+def builtin_warp_programs():
+    """Yield ``(program, shared_memory)`` for every shipped decode."""
+    rng = np.random.default_rng(0)
+    bitmaps = list(_BITMAPS) + [int(b) for b in rng.integers(
+        0, 2 ** 64, size=3, dtype=np.uint64
+    )]
+    for bitmap in bitmaps:
+        for tile_offset in _TILE_OFFSETS:
+            program = build_two_phase_decode(bitmap, tile_offset)
+            # Enough bytes for tile_offset + popcount(bitmap) + 1 FP16
+            # slots; the guard predicates keep live lanes inside it.
+            shared = np.zeros(2 * (tile_offset + 65), dtype=np.uint8)
+            yield program, shared
+
+
+def builtin_pipeline_traces():
+    """Yield the schedule of every pipeline-knob combination."""
+    durations = (
+        dict(t_load_w=2.0, t_load_x=1.0, t_decode=0.5, t_compute=1.5),
+        dict(t_load_w=1.0, t_load_x=1.0, t_decode=0.0, t_compute=2.0),
+    )
+    for iterations in (4, 16):
+        for double_buffering in (True, False):
+            for separate_groups in (True, False):
+                for d in durations:
+                    yield simulate_pipeline(PipelineConfig(
+                        iterations=iterations,
+                        double_buffering=double_buffering,
+                        separate_groups=separate_groups,
+                        **d,
+                    ))
+
+
+def builtin_formats():
+    """Yield encoded containers over shapes/sparsities the tests use."""
+    rng = np.random.default_rng(7)
+    for m, k, sparsity in ((64, 64, 0.4), (100, 72, 0.6), (128, 128, 0.8)):
+        dense = rng.standard_normal((m, k)).astype(np.float16)
+        dense[rng.random((m, k)) < sparsity] = 0
+        yield encode(dense)
+        yield TiledCSLMatrix.from_dense(dense)
+        yield CSRMatrix.from_dense(dense)
+
+
+def check_all_builtin_programs() -> Report:
+    """Run every static checker over everything the repo constructs."""
+    report = Report()
+    for program, shared in builtin_warp_programs():
+        report.extend(lint_warp_program(program, shared_size=int(shared.size)))
+        report.extend(cross_check_with_simulator(program, shared))
+        report.checked += 1
+    for trace in builtin_pipeline_traces():
+        report.extend(lint_pipeline_trace(trace))
+        report.checked += 1
+    for matrix in builtin_formats():
+        report.extend(lint_format(matrix))
+        report.checked += 1
+    return report

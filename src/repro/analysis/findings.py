@@ -1,0 +1,164 @@
+"""Finding/report machinery shared by all static checkers.
+
+Every rule has a stable ID (``W...`` warp-IR, ``P...`` pipeline,
+``F...`` format) so CI gates, docs and tests can refer to findings
+without string-matching messages.  A :class:`Report` aggregates findings
+across many checked objects; ``Report.ok`` is the CI gate (no
+error-severity findings).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Severity", "Rule", "RULES", "Finding", "Report"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; only ``ERROR`` fails the lint gate."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # render as lowercase word in reports
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check with a stable identifier."""
+
+    rule_id: str
+    name: str
+    default_severity: Severity
+    summary: str
+
+
+#: The rule catalogue.  docs/ANALYSIS.md documents each entry with a
+#: minimal failing example; tests assert the IDs stay stable.
+RULES: Dict[str, Rule] = {
+    r.rule_id: r
+    for r in [
+        # ---- warp-IR dataflow rules (over WarpProgram) -----------------
+        Rule("W001", "unguarded-lds", Severity.ERROR,
+             "LDS with no predicate, or a predicate never defined by SETP"),
+        Rule("W002", "read-of-unwritten-register", Severity.ERROR,
+             "instruction reads a register or predicate with no prior def"),
+        Rule("W003", "dead-write", Severity.WARNING,
+             "register written, then overwritten before any read"),
+        Rule("W004", "namespace-collision", Severity.ERROR,
+             "one name used as both data register and predicate"),
+        Rule("W005", "lds-out-of-bounds", Severity.ERROR,
+             "statically-evaluated LDS address escapes shared memory"),
+        Rule("W006", "bank-conflict", Severity.INFO,
+             "statically-predicted shared-memory bank replays on an LDS"),
+        Rule("W007", "redundant-masked-popcount", Severity.ERROR,
+             "two MaskedPopCounts of the same bitmap register (Algorithm 2 "
+             "requires phase II to reuse phase I's count)"),
+        Rule("W008", "cycle-bound-violated", Severity.ERROR,
+             "static scoreboard lower bound exceeds simulated cycles"),
+        Rule("W009", "bank-conflict-mispredicted", Severity.ERROR,
+             "static bank-replay prediction disagrees with the simulator"),
+        # ---- pipeline schedule rules (over PipelineTrace) --------------
+        Rule("P001", "resource-double-booked", Severity.ERROR,
+             "two tasks overlap on one resource (mem/cuda/tc)"),
+        Rule("P002", "dependency-violation", Severity.ERROR,
+             "a stage starts before a task-graph dependency finishes"),
+        Rule("P003", "buffer-overwrite-race", Severity.ERROR,
+             "a load writes a buffer slot before its consumer releases it"),
+        Rule("P004", "missing-stage", Severity.ERROR,
+             "an iteration lacks one of load_w/load_x/decode/compute"),
+        Rule("P005", "malformed-event", Severity.ERROR,
+             "event with negative duration, unknown resource or iteration"),
+        # ---- sparse-format rules (TCA-BME / Tiled-CSL / CSR) -----------
+        Rule("F001", "offsets-not-monotone", Severity.ERROR,
+             "offset array not starting at 0, non-monotone, or last != NNZ"),
+        Rule("F002", "popcount-mismatch", Severity.ERROR,
+             "per-GroupTile bitmap popcount != its Values slice length"),
+        Rule("F003", "storage-budget-mismatch", Severity.ERROR,
+             "container byte count disagrees with the paper's analytic "
+             "storage equation (Eq. 9 / Eq. 2 / Eq. 3)"),
+        Rule("F004", "density-mismatch", Severity.ERROR,
+             "round-trip non-zero count disagrees with stored value count"),
+        Rule("F005", "index-out-of-range", Severity.ERROR,
+             "intra-tile location / column index / bitmap count escapes the "
+             "container geometry"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or observation) at one location."""
+
+    rule_id: str
+    message: str
+    #: What was checked, e.g. ``warp:smbd-two-phase`` or ``format:csr``.
+    subject: str = ""
+    #: Instruction index / iteration / GroupTile id, when applicable.
+    location: Optional[int] = None
+    severity: Optional[Severity] = None
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            raise KeyError(f"unregistered rule id {self.rule_id!r}")
+        if self.severity is None:
+            object.__setattr__(
+                self, "severity", RULES[self.rule_id].default_severity
+            )
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    def render(self) -> str:
+        where = f"@{self.location}" if self.location is not None else ""
+        subject = f" [{self.subject}{where}]" if self.subject else ""
+        return (
+            f"{self.rule_id} {self.rule.name} ({self.severity})"
+            f"{subject}: {self.message}"
+        )
+
+
+@dataclass
+class Report:
+    """Findings aggregated over a sweep of checked objects."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Number of objects checked (programs + traces + formats).
+    checked: int = 0
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def by_rule(self, rule_id: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """True iff no error-severity finding (the CI gate)."""
+        return not self.errors
+
+    def render(self, min_severity: Severity = Severity.WARNING) -> str:
+        lines = [
+            f.render()
+            for f in sorted(self.findings, key=lambda f: -int(f.severity))
+            if f.severity >= min_severity
+        ]
+        lines.append(
+            f"checked {self.checked} object(s): "
+            f"{self.count(Severity.ERROR)} error(s), "
+            f"{self.count(Severity.WARNING)} warning(s), "
+            f"{self.count(Severity.INFO)} note(s)"
+        )
+        return "\n".join(lines)

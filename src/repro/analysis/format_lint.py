@@ -1,0 +1,207 @@
+"""Structural validation of sparse containers (rules ``F001``–``F005``).
+
+Checks the invariants the kernels rely on but never re-verify at run
+time: offset monotonicity (``F001``), the TCA-BME bitmap/value-count
+agreement that the whole PopCount-based online offset calculation rests
+on (``F002``, per GroupTile — strictly finer than the whole-matrix check
+in ``TCABMEMatrix.validate``), agreement with the paper's analytic
+storage equations Eq. 9 / Eq. 2 / Eq. 3 (``F003``), round-trip density
+accounting (``F004``), and index-range containment (``F005``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.bitmap import popcount64
+from ..core.tca_bme import TCABMEMatrix, tca_bme_storage_bytes
+from ..formats.csr import CSRMatrix, csr_storage_bytes
+from ..formats.tiled_csl import TiledCSLMatrix, tiled_csl_storage_bytes
+from .findings import Finding
+
+__all__ = ["lint_format", "lint_tca_bme", "lint_tiled_csl", "lint_csr"]
+
+
+def _offset_findings(
+    offsets: np.ndarray, nnz: int, subject: str, what: str
+) -> List[Finding]:
+    findings: List[Finding] = []
+    off = offsets.astype(np.int64)
+    if off.size == 0 or off[0] != 0:
+        findings.append(Finding(
+            "F001", f"{what} must start at 0", subject=subject, location=0,
+        ))
+    if np.any(np.diff(off) < 0):
+        first = int(np.flatnonzero(np.diff(off) < 0)[0])
+        findings.append(Finding(
+            "F001", f"{what} decreases at entry {first + 1}",
+            subject=subject, location=first + 1,
+        ))
+    if off.size and int(off[-1]) != nnz:
+        findings.append(Finding(
+            "F001",
+            f"last {what} entry {int(off[-1])} != stored value count {nnz}",
+            subject=subject, location=int(off.size - 1),
+        ))
+    return findings
+
+
+def _roundtrip_findings(matrix, subject: str) -> List[Finding]:
+    try:
+        dense = matrix.to_dense()
+    except Exception as exc:  # broken structure: decode itself fails
+        return [Finding(
+            "F004", f"round-trip decode failed: {exc}", subject=subject,
+        )]
+    recovered = int(np.count_nonzero(dense))
+    stored = int(matrix.nnz)
+    if recovered != stored:
+        return [Finding(
+            "F004",
+            f"round-trip recovers {recovered} non-zeros but the container "
+            f"stores {stored} values (explicit zeros or lost entries)",
+            subject=subject,
+        )]
+    return []
+
+
+def lint_tca_bme(matrix: TCABMEMatrix) -> List[Finding]:
+    subject = f"format:tca-bme[{matrix.m}x{matrix.k}]"
+    findings = _offset_findings(
+        matrix.gtile_offsets, matrix.nnz, subject, "GTileOffset"
+    )
+
+    # F005: bitmap array must cover the padded geometry exactly.
+    expected_bt = matrix.config.num_bitmap_tiles(matrix.m, matrix.k)
+    if matrix.num_bitmap_tiles != expected_bt:
+        findings.append(Finding(
+            "F005",
+            f"{matrix.num_bitmap_tiles} bitmaps stored but the "
+            f"{matrix.m}x{matrix.k} geometry needs {expected_bt}",
+            subject=subject,
+        ))
+        return findings  # per-group slicing below would misattribute
+
+    # F002: per-GroupTile popcount agreement (only meaningful when the
+    # offsets themselves are structurally sound).
+    if not findings:
+        counts = popcount64(matrix.bitmaps)
+        per_gt = np.asarray(counts).reshape(-1, matrix.config.bts_per_gt)
+        slice_lens = matrix.group_nnz()
+        for g in np.flatnonzero(per_gt.sum(axis=1) != slice_lens):
+            findings.append(Finding(
+                "F002",
+                f"GroupTile {g}: bitmap popcount {int(per_gt[g].sum())} != "
+                f"Values slice length {int(slice_lens[g])}",
+                subject=subject, location=int(g),
+            ))
+
+    # F003: byte accounting vs paper Eq. 9.
+    analytic = tca_bme_storage_bytes(
+        matrix.m, matrix.k, matrix.nnz, matrix.config
+    )
+    if matrix.storage_bytes() != analytic:
+        findings.append(Finding(
+            "F003",
+            f"storage_bytes() = {matrix.storage_bytes()} but Eq. 9 gives "
+            f"{analytic}",
+            subject=subject,
+        ))
+
+    if not findings:
+        findings.extend(_roundtrip_findings(matrix, subject))
+    return findings
+
+
+def lint_tiled_csl(matrix: TiledCSLMatrix) -> List[Finding]:
+    subject = f"format:tiled-csl[{matrix.m}x{matrix.k}]"
+    findings = _offset_findings(
+        matrix.tile_offsets, matrix.nnz, subject, "TileOffsets"
+    )
+
+    th, tw = matrix.tile_shape
+    cells = th * tw
+    if matrix.locations.size != matrix.values.size:
+        findings.append(Finding(
+            "F005",
+            f"{matrix.locations.size} locations vs {matrix.values.size} "
+            "values",
+            subject=subject,
+        ))
+    bad = np.flatnonzero(matrix.locations.astype(np.int64) >= cells)
+    if bad.size:
+        findings.append(Finding(
+            "F005",
+            f"location {int(matrix.locations[bad[0]])} at entry "
+            f"{int(bad[0])} escapes the {th}x{tw} tile",
+            subject=subject, location=int(bad[0]),
+        ))
+    if matrix.tile_offsets.size != matrix.num_tiles + 1:
+        findings.append(Finding(
+            "F005",
+            f"{matrix.tile_offsets.size} tile offsets for "
+            f"{matrix.num_tiles} tiles (need NT + 1)",
+            subject=subject,
+        ))
+
+    analytic = tiled_csl_storage_bytes(matrix.num_tiles, matrix.nnz)
+    if matrix.storage_bytes() != analytic:
+        findings.append(Finding(
+            "F003",
+            f"storage_bytes() = {matrix.storage_bytes()} but Eq. 2 gives "
+            f"{analytic}",
+            subject=subject,
+        ))
+
+    if not findings:
+        findings.extend(_roundtrip_findings(matrix, subject))
+    return findings
+
+
+def lint_csr(matrix: CSRMatrix) -> List[Finding]:
+    subject = f"format:csr[{matrix.m}x{matrix.k}]"
+    findings = _offset_findings(matrix.row_ptr, matrix.nnz, subject, "row_ptr")
+
+    if matrix.row_ptr.size != matrix.m + 1:
+        findings.append(Finding(
+            "F005",
+            f"row_ptr has {matrix.row_ptr.size} entries for {matrix.m} rows "
+            "(need M + 1)",
+            subject=subject,
+        ))
+    bad = np.flatnonzero(
+        (matrix.col_idx < 0) | (matrix.col_idx >= matrix.k)
+    )
+    if bad.size:
+        findings.append(Finding(
+            "F005",
+            f"column index {int(matrix.col_idx[bad[0]])} at entry "
+            f"{int(bad[0])} escapes K = {matrix.k}",
+            subject=subject, location=int(bad[0]),
+        ))
+
+    analytic = csr_storage_bytes(matrix.m, matrix.nnz)
+    if matrix.storage_bytes() != analytic:
+        findings.append(Finding(
+            "F003",
+            f"storage_bytes() = {matrix.storage_bytes()} but Eq. 3 gives "
+            f"{analytic}",
+            subject=subject,
+        ))
+
+    if not findings:
+        findings.extend(_roundtrip_findings(matrix, subject))
+    return findings
+
+
+def lint_format(matrix) -> List[Finding]:
+    """Dispatch on container type."""
+    if isinstance(matrix, TCABMEMatrix):
+        return lint_tca_bme(matrix)
+    if isinstance(matrix, TiledCSLMatrix):
+        return lint_tiled_csl(matrix)
+    if isinstance(matrix, CSRMatrix):
+        return lint_csr(matrix)
+    raise TypeError(f"no format lint for {type(matrix).__name__}")

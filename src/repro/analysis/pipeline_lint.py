@@ -1,0 +1,133 @@
+"""Static race detection over pipeline schedules (rules ``P001``–``P005``).
+
+A :class:`~repro.gpu.pipeline.PipelineTrace` claims to implement the
+paper's Algorithm 1 main loop under the buffering discipline named in
+its config.  This checker re-derives the discipline's constraints and
+verifies the *schedule itself* against them, so any mutation — a task
+moved earlier, a resource double-booked, a depth-2 schedule run with a
+single physical buffer — is flagged as a data race without re-running
+the simulator:
+
+* dependencies: ``decode(k)`` after ``load_w(k)`` (and after
+  ``load_x(k)`` when the cp.async groups are fused), ``compute(k)``
+  after both ``decode(k)`` and ``load_x(k)``;
+* buffering: with ``depth = 2 if double_buffering else 1``,
+  ``load_w(k)`` must not start before ``decode(k - depth)`` releases
+  the W slot, nor ``load_x(k)`` before ``compute(k - depth)`` releases
+  the X slot;
+* exclusivity: events on one resource never overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..gpu.pipeline import PipelineTrace, TaskEvent
+from .findings import Finding
+
+__all__ = ["lint_pipeline_trace"]
+
+_RESOURCES = ("mem", "cuda", "tc")
+_STAGES = ("load_w", "load_x", "decode", "compute")
+
+#: Slack for float comparisons; honest schedules meet constraints with
+#: exact equality, so anything beyond rounding noise is a real race.
+_EPS = 1e-9
+
+
+def lint_pipeline_trace(trace: PipelineTrace) -> List[Finding]:
+    subject = f"pipeline:{'db' if trace.config.double_buffering else 'sb'}" \
+              f"{'+sep' if trace.config.separate_groups else '+fused'}"
+    findings: List[Finding] = []
+    n = trace.config.iterations
+
+    # P005 malformed-event.
+    for e in trace.events:
+        problems = []
+        if e.end < e.start:
+            problems.append(f"negative duration ({e.start}..{e.end})")
+        if e.resource not in _RESOURCES:
+            problems.append(f"unknown resource {e.resource!r}")
+        if e.name not in _STAGES:
+            problems.append(f"unknown stage {e.name!r}")
+        if not 0 <= e.iteration < n:
+            problems.append(f"iteration {e.iteration} outside [0, {n})")
+        for p in problems:
+            findings.append(Finding(
+                "P005", p, subject=subject, location=e.iteration,
+            ))
+    if findings:
+        return findings  # structure is broken; later checks would lie
+
+    # P004 missing-stage — each stage exactly once per iteration.
+    by_task: Dict[Tuple[str, int], TaskEvent] = {}
+    counts: Dict[Tuple[str, int], int] = {}
+    for e in trace.events:
+        key = (e.name, e.iteration)
+        by_task[key] = e
+        counts[key] = counts.get(key, 0) + 1
+    for k in range(n):
+        for name in _STAGES:
+            c = counts.get((name, k), 0)
+            if c != 1:
+                findings.append(Finding(
+                    "P004",
+                    f"stage {name!r} appears {c} time(s) in iteration {k}",
+                    subject=subject, location=k,
+                ))
+    if findings:
+        return findings
+
+    # P001 resource-double-booked.
+    for resource in _RESOURCES:
+        evs = sorted(
+            (e for e in trace.events if e.resource == resource),
+            key=lambda e: (e.start, e.end),
+        )
+        for a, b in zip(evs, evs[1:]):
+            if b.start < a.end - _EPS:
+                findings.append(Finding(
+                    "P001",
+                    f"{resource}: {b.name}({b.iteration}) starts at "
+                    f"{b.start:g} while {a.name}({a.iteration}) runs until "
+                    f"{a.end:g}",
+                    subject=subject, location=b.iteration,
+                ))
+
+    # P002 dependency-violation.
+    def require_after(consumer: TaskEvent, producer: TaskEvent) -> None:
+        if consumer.start < producer.end - _EPS:
+            findings.append(Finding(
+                "P002",
+                f"{consumer.name}({consumer.iteration}) starts at "
+                f"{consumer.start:g} before {producer.name}"
+                f"({producer.iteration}) finishes at {producer.end:g}",
+                subject=subject, location=consumer.iteration,
+            ))
+
+    for k in range(n):
+        decode = by_task[("decode", k)]
+        require_after(decode, by_task[("load_w", k)])
+        if not trace.config.separate_groups:
+            # One fused cp.async group: the decode wait covers both loads.
+            require_after(decode, by_task[("load_x", k)])
+        compute = by_task[("compute", k)]
+        require_after(compute, decode)
+        require_after(compute, by_task[("load_x", k)])
+
+    # P003 buffer-overwrite-race.
+    depth = 2 if trace.config.double_buffering else 1
+    for k in range(depth, n):
+        for loader, consumer in (("load_w", "decode"), ("load_x", "compute")):
+            load = by_task[(loader, k)]
+            release = by_task[(consumer, k - depth)]
+            if load.start < release.end - _EPS:
+                findings.append(Finding(
+                    "P003",
+                    f"{loader}({k}) overwrites its buffer slot at "
+                    f"{load.start:g} while {consumer}({k - depth}) still "
+                    f"holds it until {release.end:g} "
+                    f"(declared depth {depth})",
+                    subject=subject, location=k,
+                ))
+    return findings

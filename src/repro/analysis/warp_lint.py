@@ -1,0 +1,163 @@
+"""Static lint of warp-IR programs (rules ``W001``–``W009``).
+
+Combines the def-use chains (:mod:`repro.analysis.dataflow`) with the
+lane-vector abstract interpreter (:mod:`repro.analysis.abstract`) to
+check both generic dataflow hygiene and the paper-specific SMBD
+invariants — most importantly W007: Algorithm 2 issues exactly one
+MaskedPopCount per bitmap register, with phase II reusing phase I's
+count.  ``build_two_phase_decode`` passes; ``build_naive_decode``'s
+recomputation is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gpu.warp_sim import WarpProgram, WarpSimulator
+from .abstract import interpret
+from .dataflow import PRED, DefUse
+from .findings import Finding
+
+__all__ = ["lint_warp_program", "cross_check_with_simulator"]
+
+
+def lint_warp_program(
+    program: WarpProgram, shared_size: Optional[int] = None
+) -> List[Finding]:
+    """All static findings for one program.
+
+    ``shared_size`` (bytes) enables the W005 bounds proof; without it
+    only the machine-independent rules run.
+    """
+    subject = f"warp:{program.name}"
+    du = DefUse(program)
+    findings: List[Finding] = []
+
+    # W004 namespace-collision — one name in both register files.
+    for name in sorted(du.namespace_collisions()):
+        findings.append(Finding(
+            "W004",
+            f"name {name!r} is used as both a data register and a predicate",
+            subject=subject,
+        ))
+
+    for i, instr in enumerate(program.instructions):
+        # W001 unguarded-lds.
+        if instr.opcode == "LDS":
+            if instr.pred is None:
+                findings.append(Finding(
+                    "W001",
+                    "LDS without a guard predicate (every SMBD load must be "
+                    "predicated on its bitmap bit)",
+                    subject=subject, location=i,
+                ))
+            else:
+                guard = next(
+                    (r for r in du.reads[i]
+                     if r.kind == PRED and r.name == instr.pred), None
+                )
+                if guard is not None and guard.def_index is None:
+                    findings.append(Finding(
+                        "W001",
+                        f"LDS guard {instr.pred!r} is never defined by a "
+                        "SETP before this load",
+                        subject=subject, location=i,
+                    ))
+        # W002 read-of-unwritten-register (LDS guards are W001's job).
+        for read in du.reads[i]:
+            if read.def_index is not None:
+                continue
+            if instr.opcode == "LDS" and read.kind == PRED:
+                continue
+            what = "predicate" if read.kind == PRED else "register"
+            findings.append(Finding(
+                "W002",
+                f"{instr.opcode} reads {what} {read.name!r} before any write",
+                subject=subject, location=i,
+            ))
+
+    # W003 dead-write.
+    for i in du.dead_writes():
+        write = du.writes[i]
+        assert write is not None
+        what = "predicate" if write.kind == PRED else "register"
+        findings.append(Finding(
+            "W003",
+            f"{what} {write.name!r} written here is overwritten before "
+            "any read",
+            subject=subject, location=i,
+        ))
+
+    # W007 redundant-masked-popcount — the Algorithm 2 invariant.
+    by_bitmap: Dict[int, List[int]] = {}
+    for popc_index, root in du.masked_popcount_subjects():
+        if root is not None:
+            by_bitmap.setdefault(root, []).append(popc_index)
+    for root, popcs in sorted(by_bitmap.items()):
+        for extra in popcs[1:]:
+            findings.append(Finding(
+                "W007",
+                f"second MaskedPopCount of the bitmap defined at "
+                f"instruction {root} (first POPC at {popcs[0]}); phase II "
+                "must reuse phase I's count (+ the phase-I hit bit)",
+                subject=subject, location=extra,
+            ))
+
+    # W005 / W006 — need the abstract address vectors.
+    abstract = interpret(program, shared_size=shared_size)
+    for rec in abstract.lds:
+        if rec.oob_lanes:
+            lanes = ", ".join(str(lane) for lane in rec.oob_lanes[:4])
+            more = "..." if len(rec.oob_lanes) > 4 else ""
+            findings.append(Finding(
+                "W005",
+                f"LDS provably out of bounds for lane(s) {lanes}{more} "
+                f"(shared memory is {shared_size} bytes)",
+                subject=subject, location=rec.index,
+            ))
+        if rec.predicted_replays:
+            findings.append(Finding(
+                "W006",
+                f"LDS statically incurs {rec.predicted_replays} bank "
+                "replay(s)",
+                subject=subject, location=rec.index,
+            ))
+    return findings
+
+
+def cross_check_with_simulator(
+    program: WarpProgram, shared_memory: np.ndarray
+) -> List[Finding]:
+    """Validate the static model against an actual simulation.
+
+    Two properties must hold for every program the repo ships:
+
+    * ``W008``: the static scoreboard bound never exceeds the simulated
+      cycle count (it is a true lower bound, and exact when every LDS
+      address is statically concrete);
+    * ``W009``: when the total replay count is statically predictable it
+      equals the simulator's ``lds_replays``.
+    """
+    subject = f"warp:{program.name}"
+    shared = np.asarray(shared_memory, dtype=np.uint8)
+    abstract = interpret(program, shared_size=int(shared.size))
+    result = WarpSimulator(shared).run(program)
+    findings: List[Finding] = []
+    if abstract.static_cycles > result.cycles:
+        findings.append(Finding(
+            "W008",
+            f"static lower bound {abstract.static_cycles} cycles exceeds "
+            f"simulated {result.cycles}",
+            subject=subject,
+        ))
+    predicted = abstract.predicted_replays
+    if predicted is not None and predicted != result.lds_replays:
+        findings.append(Finding(
+            "W009",
+            f"static bank-replay prediction {predicted} != simulated "
+            f"{result.lds_replays}",
+            subject=subject,
+        ))
+    return findings

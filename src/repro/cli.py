@@ -7,6 +7,7 @@ Subcommands mirror the library's main entry points::
     repro profile --m 28672 --k 8192 --n 16 --sparsity 0.6
     repro encode --m 4096 --k 4096 --sparsity 0.6
     repro simulate --model opt-13b --framework spinfer --gpus 1
+    repro lint --all-builtin        # static checks (W*/P*/F* rules)
     repro models                    # list the model zoo
 
 Everything prints rendered text tables; ``bench`` additionally writes
@@ -228,6 +229,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import Severity, check_all_builtin_programs
+
+    # --all-builtin is currently the only target; accepting the flag
+    # keeps the CI invocation explicit and leaves room for linting
+    # user-supplied programs later.
+    report = check_all_builtin_programs()
+    min_severity = Severity.INFO if args.verbose else Severity.WARNING
+    print(report.render(min_severity=min_severity))
+    if not report.ok:
+        print(f"lint FAILED: {len(report.errors)} error finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_models(_args: argparse.Namespace) -> int:
     rows = []
     for name, m in sorted(MODELS.items()):
@@ -284,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--output-len", type=int, default=256)
     p_sim.add_argument("--sparsity", type=float, default=0.6)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check warp programs, pipeline schedules and "
+        "sparse formats (rules W*/P*/F*, see docs/ANALYSIS.md)",
+    )
+    p_lint.add_argument(
+        "--all-builtin", action="store_true",
+        help="sweep every program/trace/format the repo constructs "
+        "(the default and currently only target)",
+    )
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="also print info-severity findings")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_models = sub.add_parser("models", help="list the model zoo")
     p_models.set_defaults(func=_cmd_models)

@@ -60,7 +60,7 @@ def popcount64(bits: IntOrArray) -> IntOrArray:
         value = int(bits)
         if value < 0 or value >= (1 << 64):
             raise ValueError(f"popcount64 expects a 64-bit value, got {value!r}")
-        return value.bit_count() if hasattr(value, "bit_count") else bin(value).count("1")
+        return value.bit_count()
     arr = np.asarray(bits, dtype=_UINT64)
     x = arr - ((arr >> _UINT64(1)) & _M1)
     x = (x & _M2) + ((x >> _UINT64(2)) & _M2)

@@ -100,12 +100,13 @@ def spinfer_instruction_mix(
     x_bytes = 2.0 * k * n * math.ceil(m / gt)  # every block row streams X
     mix.add("LDGSTS128", (weight_bytes + x_bytes) / _WARP_VEC_BYTES)
 
-    num_bt = (m / 8) * (k / 8)
+    # Partial edge tiles still decode whole bitmaps, hence ceil.
+    num_bt = math.ceil(m / 8) * math.ceil(k / 8)
     mix.add("POPC", num_bt)  # one MaskedPopCount issue per BitmapTile-warp
     mix.add("LOP", 3.0 * num_bt)  # mask build, bit test, offset math
     mix.add("LDS", problem.nnz / 32.0)  # one predicated 2B load per value
 
-    num_tctile = (m / 16) * (k / 16)
+    num_tctile = math.ceil(m / 16) * math.ceil(k / 16)
     mix.add("LDSM", num_tctile * max(1.0, n / 16.0))  # XTile fragments
     mix.add("HMMA", num_tctile * max(1.0, n / 8.0))
 
@@ -138,7 +139,7 @@ def flash_llm_instruction_mix(
     mix.add("STS", 3.4 * nnz / 32.0)
     mix.add("LOP", 2.0 * nnz / 32.0)
     # Dense tiles then reload via LDS/ldmatrix for the mma schedule.
-    num_tctile = (m / 16) * (k / 16)
+    num_tctile = math.ceil(m / 16) * math.ceil(k / 16)
     mix.add("LDSM", num_tctile * (1.0 + max(1.0, n / 16.0)))
     mix.add("HMMA", num_tctile * max(1.0, n / 8.0))
 

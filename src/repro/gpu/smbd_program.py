@@ -163,5 +163,5 @@ def run_tctile_decode(
         total_cycles += result.cycles
         # The running offset advances by PopCount(bitmap) — the online
         # calculation replacing stored per-tile offsets.
-        offset += bin(bitmap).count("1")
+        offset += bitmap.bit_count()
     return frags, total_cycles

@@ -36,7 +36,14 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["Instr", "WarpProgram", "WarpResult", "WarpSimulator", "WARP_SIZE"]
+__all__ = [
+    "Instr",
+    "WarpProgram",
+    "WarpResult",
+    "WarpSimulator",
+    "WARP_SIZE",
+    "bank_conflict_replays",
+]
 
 WARP_SIZE = 32
 
@@ -60,6 +67,25 @@ _LATENCY = {
 }
 
 _ALU_OPS = {"MOV", "ADD", "SUB", "SHL", "SHR", "AND", "OR", "POPC"}
+
+
+def bank_conflict_replays(addrs: np.ndarray, active: np.ndarray) -> int:
+    """Replay cycles of one LDS under the 32-bank, 4-byte-word model.
+
+    Lanes hitting the same bank but *different* 4-byte words serialise;
+    the replay count is the worst per-bank fan-out minus one (broadcasts
+    of the same word are free).  Shared between the simulator and the
+    static analyzer (:mod:`repro.analysis`) so both predict identically.
+    """
+    live = np.asarray(addrs)[np.asarray(active, dtype=bool)]
+    if live.size == 0:
+        return 0
+    words = live // 4
+    banks = words % 32
+    worst = 1
+    for b in np.unique(banks):
+        worst = max(worst, len(np.unique(words[banks == b])))
+    return worst - 1
 
 
 @dataclass(frozen=True)
@@ -158,15 +184,7 @@ class WarpSimulator:
     @staticmethod
     def _bank_replays(addrs: np.ndarray, active: np.ndarray) -> int:
         """Extra cycles from bank conflicts on one LDS."""
-        live = addrs[active]
-        if live.size == 0:
-            return 0
-        words = live // 4
-        banks = words % 32
-        worst = 1
-        for b in np.unique(banks):
-            worst = max(worst, len(np.unique(words[banks == b])))
-        return worst - 1
+        return bank_conflict_replays(addrs, active)
 
     # ---- execution -----------------------------------------------------------------
 
@@ -222,9 +240,18 @@ class WarpSimulator:
             elif op == "POPC":
                 a = self._read(regs, instr.srcs[0]).astype(np.uint64)
                 result = np.array(
-                    [bin(int(v)).count("1") for v in a], dtype=np.int64
+                    [int(v).bit_count() for v in a], dtype=np.int64
                 )
             elif op == "SETP":
+                if instr.dest in regs:
+                    # Registers and predicates share one scoreboard
+                    # (`ready`); a colliding name would silently corrupt
+                    # the data register's ready time.
+                    raise ValueError(
+                        f"SETP dest {instr.dest!r} collides with a data "
+                        "register of the same name (register/predicate "
+                        "namespaces must be disjoint)"
+                    )
                 a = self._read(regs, instr.srcs[0])
                 preds[instr.dest] = (a != 0).astype(np.int64)
                 ready[instr.dest] = cycle + latency
@@ -244,6 +271,12 @@ class WarpSimulator:
                 raise AssertionError(op)
 
             if instr.dest is not None:
+                if instr.dest in preds:
+                    raise ValueError(
+                        f"{op} dest {instr.dest!r} collides with a predicate "
+                        "register of the same name (register/predicate "
+                        "namespaces must be disjoint)"
+                    )
                 old = regs.get(instr.dest)
                 if instr.pred is not None and old is not None:
                     result = np.where(active, result, old)

@@ -100,3 +100,35 @@ class TestKernelMixes:
         for mix in (spinfer_instruction_mix(PROB), flash_llm_instruction_mix(PROB)):
             for op in mix.counts:
                 assert op in ISSUE_THROUGHPUT
+
+
+class TestCeilTileCounts:
+    """Regression: non-divisible shapes must round tile counts *up* —
+    partial edge tiles still decode whole bitmaps and issue whole mmas."""
+
+    def test_spinfer_popc_ceils_partial_tiles(self):
+        import math
+
+        mix = spinfer_instruction_mix(
+            SpMMProblem(m=100, k=72, n=16, sparsity=0.6)
+        )
+        assert mix.counts["POPC"] == math.ceil(100 / 8) * math.ceil(72 / 8)
+        assert mix.counts["POPC"] == 13 * 9  # not the truncating 12.5 * 9
+
+    def test_spinfer_hmma_ceils_partial_tiles(self):
+        mix = spinfer_instruction_mix(
+            SpMMProblem(m=100, k=72, n=16, sparsity=0.6)
+        )
+        num_tctile = 7 * 5  # ceil(100/16) * ceil(72/16)
+        assert mix.counts["HMMA"] == num_tctile * (16 / 8)
+        assert mix.counts["LDSM"] == num_tctile * 1.0
+
+    def test_flash_llm_ceils_partial_tiles(self):
+        mix = flash_llm_instruction_mix(
+            SpMMProblem(m=100, k=72, n=16, sparsity=0.6)
+        )
+        assert mix.counts["HMMA"] == 7 * 5 * (16 / 8)
+
+    def test_divisible_shapes_unchanged(self):
+        mix = spinfer_instruction_mix(PROB)
+        assert mix.counts["POPC"] == (28672 / 8) * (8192 / 8)

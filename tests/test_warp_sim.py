@@ -209,3 +209,36 @@ class TestTCTileProgram:
 
         with pytest.raises(ValueError):
             run_tctile_decode(np.zeros(3, np.uint64), np.zeros(0, np.float16))
+
+
+class TestPopcountEdgeCases:
+    """Satellite: popcounts now use int.bit_count(); the u64 top bit must
+    survive the int64 register representation (it reads back negative)."""
+
+    def test_popc_u64_top_bit_set(self):
+        p = WarpProgram("t")
+        p.emit("MOV", "v", (1 << 63) | 1)
+        p.emit("POPC", "c", "v")
+        r = WarpSimulator().run(p)
+        assert (r.lane_values("c") == 2).all()
+
+    def test_popc_all_ones(self):
+        p = WarpProgram("t")
+        p.emit("MOV", "v", 0xFFFFFFFFFFFFFFFF)
+        p.emit("POPC", "c", "v")
+        r = WarpSimulator().run(p)
+        assert (r.lane_values("c") == 64).all()
+
+    def test_tctile_offset_chain_with_top_bit_bitmaps(self):
+        from repro.gpu.smbd_program import run_tctile_decode
+
+        # Register 0's bitmap has bit 63 set: the inter-register offset
+        # advance (PopCount of the whole bitmap) must count it.
+        bitmaps = np.array(
+            [(1 << 63) | 1, 1, 0, 0], dtype=np.uint64
+        )
+        values = np.arange(1, 4, dtype=np.float16)  # 3 non-zeros total
+        frags, _ = run_tctile_decode(bitmaps, values)
+        assert frags[0, 0, 0] == values[0]    # reg 0, bit 0 -> lane 0 a0
+        assert frags[31, 0, 1] == values[1]   # reg 0, bit 63 -> lane 31 a1
+        assert frags[0, 1, 0] == values[2]    # reg 1 starts after popc=2
