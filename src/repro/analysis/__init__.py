@@ -9,11 +9,17 @@ machine-checked properties that run without executing anything:
 * :mod:`~repro.analysis.pipeline_lint` — double-buffer race detection
   over :class:`~repro.gpu.pipeline.PipelineTrace` (``P001``–``P005``);
 * :mod:`~repro.analysis.format_lint` — TCA-BME / Tiled-CSL / CSR
-  structural validation (``F001``–``F005``).
+  structural validation (``F001``–``F005``);
+* :mod:`~repro.analysis.plan_lint` — deployment-plan verification:
+  memory budgets (``M001``–``M006``), tensor-parallel sharding
+  (``T001``–``T005``), KV-cache plans and allocators
+  (``K001``–``K005``), offload feasibility (``O001``–``O004``) and
+  disaggregated configurations (``D001``–``D004``).
 
 ``check_all_builtin_programs`` sweeps every program, schedule and
-container the repo constructs; see docs/ANALYSIS.md for the rule
-catalogue with minimal failing examples.
+container the repo constructs; ``check_all_builtin_deployments`` sweeps
+every deployment artifact and translation-validates the planner.  See
+docs/ANALYSIS.md for the rule catalogue with minimal failing examples.
 """
 
 from .abstract import AbstractResult, interpret, static_cycle_lower_bound
@@ -24,30 +30,64 @@ from .builtin import (
     check_all_builtin_programs,
 )
 from .dataflow import DefUse
+from .deploy_model import (
+    DeploymentSpec,
+    KVCachePlan,
+    effective_sparsity,
+    kv_plan_for_spec,
+    spec_kv_budget_bytes,
+    spec_kv_bytes_per_token,
+    spec_memory,
+)
 from .findings import RULES, Finding, Report, Rule, Severity
 from .format_lint import lint_csr, lint_format, lint_tca_bme, lint_tiled_csl
 from .pipeline_lint import lint_pipeline_trace
+from .plan_lint import (
+    builtin_deployment_specs,
+    check_all_builtin_deployments,
+    lint_deployment,
+    lint_deployment_plan,
+    lint_disaggregated,
+    lint_kv_allocator,
+    lint_kv_plan,
+    lint_offload_plan,
+)
 from .warp_lint import cross_check_with_simulator, lint_warp_program
 
 __all__ = [
     "AbstractResult",
     "DefUse",
+    "DeploymentSpec",
     "Finding",
+    "KVCachePlan",
     "Report",
     "Rule",
     "RULES",
     "Severity",
+    "builtin_deployment_specs",
     "builtin_formats",
     "builtin_pipeline_traces",
     "builtin_warp_programs",
+    "check_all_builtin_deployments",
     "check_all_builtin_programs",
     "cross_check_with_simulator",
+    "effective_sparsity",
     "interpret",
+    "kv_plan_for_spec",
     "lint_csr",
+    "lint_deployment",
+    "lint_deployment_plan",
+    "lint_disaggregated",
     "lint_format",
+    "lint_kv_allocator",
+    "lint_kv_plan",
+    "lint_offload_plan",
     "lint_pipeline_trace",
     "lint_tca_bme",
     "lint_tiled_csl",
     "lint_warp_program",
+    "spec_kv_budget_bytes",
+    "spec_kv_bytes_per_token",
+    "spec_memory",
     "static_cycle_lower_bound",
 ]

@@ -1,0 +1,175 @@
+"""Deployment artifacts and pure helpers behind the plan checker.
+
+A :class:`DeploymentSpec` is the static description of one serving
+deployment — the tuple the paper's end-to-end figures sweep (model x
+framework x GPU x GPU-count x batch x context x sparsity).  Unlike
+:class:`~repro.llm.inference.InferenceConfig` it performs **no**
+validation: the whole point is that ``plan_lint`` can receive broken
+configurations and prove *why* they are broken before any simulation
+runs.
+
+:class:`KVCachePlan` is the paged-KV sizing derived from (or claimed
+for) a spec: a block pool that must cover the worst-case admission load
+and must itself be backed by the DRAM KV budget.
+
+Everything here is arithmetic over the calibrated memory model
+(:mod:`repro.llm.memory`) — no simulator, no kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.specs import GPUSpec, get_gpu
+from ..llm.frameworks import FrameworkPreset, get_framework
+from ..llm.memory import (
+    MemoryBreakdown,
+    estimate_memory,
+    kv_budget_bytes,
+    kv_bytes_per_token,
+)
+from ..llm.models import ModelConfig, get_model
+
+__all__ = [
+    "DeploymentSpec",
+    "KVCachePlan",
+    "effective_sparsity",
+    "kv_plan_for_spec",
+    "spec_gpu",
+    "spec_framework",
+    "spec_kv_budget_bytes",
+    "spec_kv_bytes_per_token",
+    "spec_memory",
+    "spec_model",
+]
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """One deployment configuration, as handed to the checker.
+
+    ``model``/``framework``/``gpu`` must name registry entries; every
+    numeric field is taken at face value and judged by the rules.
+    """
+
+    model: str
+    framework: str
+    gpu: str = "RTX4090"
+    num_gpus: int = 1
+    batch_size: int = 8
+    prompt_len: int = 64
+    output_len: int = 256
+    sparsity: float = 0.6
+
+    @property
+    def context_len(self) -> int:
+        """Maximum tokens the KV cache must hold per sequence."""
+        return self.prompt_len + self.output_len
+
+    @property
+    def subject(self) -> str:
+        """Finding-subject string, e.g. ``deploy:opt-13b/spinfer/1xRTX4090``."""
+        return (
+            f"deploy:{self.model}/{self.framework}/"
+            f"{self.num_gpus}x{self.gpu}"
+        )
+
+
+@dataclass(frozen=True)
+class KVCachePlan:
+    """A paged KV-cache sizing claim (vLLM-style block pool)."""
+
+    block_size: int
+    total_blocks: int
+    #: Worst-case concurrently running sequences the pool must serve.
+    max_seqs: int
+    #: Worst-case tokens (prompt + output) per sequence.
+    max_seq_len: int
+
+    @property
+    def pool_tokens(self) -> int:
+        """Token slots the pool provides."""
+        return self.total_blocks * self.block_size
+
+    @property
+    def blocks_per_seq(self) -> int:
+        """Blocks one worst-case sequence pages in (ceil division)."""
+        if self.block_size <= 0:
+            return 0
+        return -(-self.max_seq_len // self.block_size)
+
+    @property
+    def subject(self) -> str:
+        return (
+            f"kvplan:{self.total_blocks}x{self.block_size}"
+            f"/{self.max_seqs}seq"
+        )
+
+
+# ---- spec resolution ---------------------------------------------------------------
+
+
+def spec_model(spec: DeploymentSpec) -> ModelConfig:
+    return get_model(spec.model)
+
+
+def spec_framework(spec: DeploymentSpec) -> FrameworkPreset:
+    return get_framework(spec.framework)
+
+
+def spec_gpu(spec: DeploymentSpec) -> GPUSpec:
+    return get_gpu(spec.gpu)
+
+
+def effective_sparsity(spec: DeploymentSpec) -> float:
+    """The sparsity the weight store actually encodes: dense frameworks
+    silently run at 0 regardless of what the spec asks for."""
+    return spec.sparsity if spec_framework(spec).supports_sparsity else 0.0
+
+
+def spec_memory(spec: DeploymentSpec) -> MemoryBreakdown:
+    """Per-GPU footprint at the spec's max batch and context."""
+    return estimate_memory(
+        spec_model(spec),
+        spec_framework(spec).weight_format,
+        effective_sparsity(spec),
+        batch_size=spec.batch_size,
+        context_len=spec.context_len,
+        tensor_parallel=spec.num_gpus,
+    )
+
+
+def spec_kv_budget_bytes(spec: DeploymentSpec) -> float:
+    """DRAM left for KV cache per GPU (negative = model does not load)."""
+    return kv_budget_bytes(
+        spec_model(spec),
+        spec_framework(spec).weight_format,
+        effective_sparsity(spec),
+        spec_gpu(spec),
+        tensor_parallel=spec.num_gpus,
+    )
+
+
+def spec_kv_bytes_per_token(spec: DeploymentSpec) -> float:
+    return kv_bytes_per_token(spec_model(spec), spec.num_gpus)
+
+
+def kv_plan_for_spec(spec: DeploymentSpec, block_size: int = 16) -> KVCachePlan:
+    """Size a block pool from the spec's DRAM KV budget.
+
+    The pool gets every block the budget backs (floor division), and is
+    asked to serve the spec's worst case: ``batch_size`` sequences of
+    ``context_len`` tokens.  For a feasible spec the derived plan is
+    K-rule clean; for an infeasible one the K rules explain the gap.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    budget = spec_kv_budget_bytes(spec)
+    per_block = block_size * spec_kv_bytes_per_token(spec)
+    total_blocks = int(budget // per_block) if budget > 0 else 0
+    return KVCachePlan(
+        block_size=block_size,
+        total_blocks=total_blocks,
+        max_seqs=spec.batch_size,
+        max_seq_len=spec.context_len,
+    )

@@ -1,7 +1,9 @@
 """Finding/report machinery shared by all static checkers.
 
 Every rule has a stable ID (``W...`` warp-IR, ``P...`` pipeline,
-``F...`` format) so CI gates, docs and tests can refer to findings
+``F...`` format, and the deployment families ``M...`` memory, ``T...``
+tensor-parallel, ``K...`` KV-cache, ``O...`` offload, ``D...``
+disaggregation) so CI gates, docs and tests can refer to findings
 without string-matching messages.  A :class:`Report` aggregates findings
 across many checked objects; ``Report.ok`` is the CI gate (no
 error-severity findings).
@@ -10,8 +12,9 @@ error-severity findings).
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 __all__ = ["Severity", "Rule", "RULES", "Finding", "Report"]
 
@@ -86,6 +89,79 @@ RULES: Dict[str, Rule] = {
         Rule("F005", "index-out-of-range", Severity.ERROR,
              "intra-tile location / column index / bitmap count escapes the "
              "container geometry"),
+        # ---- deployment memory-budget rules (over DeploymentSpec) ------
+        Rule("M001", "deployment-oom", Severity.ERROR,
+             "per-GPU footprint at max batch/context exceeds DRAM capacity "
+             "(Eq. 12-style memory model; the Figs. 13-14 OOM wall)"),
+        Rule("M002", "no-kv-headroom", Severity.ERROR,
+             "static footprint (weights + embeddings + activations + "
+             "runtime overhead) alone leaves no KV-cache budget"),
+        Rule("M003", "admission-impossible", Severity.ERROR,
+             "one max-length sequence's KV cache exceeds the whole KV "
+             "budget — the serving admission loop can never admit it"),
+        Rule("M004", "thin-oom-margin", Severity.WARNING,
+             "deployment fits but DRAM headroom is below the safety margin "
+             "(fragmentation or a longer prompt tips it over)"),
+        Rule("M005", "sparsity-format-mismatch", Severity.ERROR,
+             "sparsity outside [0, 1), dense weight format asked to encode "
+             "sparsity, or a sparse format running at sparsity 0"),
+        Rule("M006", "counterproductive-compression", Severity.WARNING,
+             "sparse weight format stores more bytes than dense FP16 at "
+             "this sparsity (below the format's breakeven)"),
+        # ---- tensor-parallel sharding rules (over DeploymentSpec) ------
+        Rule("T001", "ranks-exceed-heads", Severity.ERROR,
+             "more tensor-parallel ranks than attention heads — a rank "
+             "would own zero heads"),
+        Rule("T002", "shard-padding-waste", Severity.WARNING,
+             "ceil-sharding pads weight shards; quantifies the wasted "
+             "bytes across all ranks"),
+        Rule("T003", "kv-head-replication", Severity.WARNING,
+             "more ranks than KV heads: GQA KV projections replicate and "
+             "the sharded KV-cache accounting undercounts"),
+        Rule("T004", "ragged-allreduce", Severity.WARNING,
+             "hidden size not divisible by ranks — the all-reduce "
+             "exchanges ceil-padded activations"),
+        Rule("T005", "non-power-of-two-ranks", Severity.WARNING,
+             "GPU count is not a power of two; the ring collective model "
+             "and the planner's search assume powers of two"),
+        # ---- KV-cache plan/allocator rules -----------------------------
+        Rule("K001", "kv-plan-undersized", Severity.ERROR,
+             "block pool cannot page max_seqs sequences of max_seq_len "
+             "tokens"),
+        Rule("K002", "kv-plan-overcommits-budget", Severity.ERROR,
+             "block pool claims more bytes than the DRAM KV budget backs"),
+        Rule("K003", "block-size-slack", Severity.WARNING,
+             "block size leaves excessive per-sequence slack (or exceeds "
+             "max_seq_len outright)"),
+        Rule("K004", "refcount-conservation", Severity.ERROR,
+             "allocator refcounts disagree with block-table references, "
+             "or used + free blocks do not cover the pool"),
+        Rule("K005", "block-table-invalid", Severity.ERROR,
+             "a sequence references an out-of-range/free/duplicated block "
+             "or stores more tokens than its blocks hold"),
+        # ---- offload feasibility rules (over OffloadPlan) --------------
+        Rule("O001", "offload-layer-split-invalid", Severity.ERROR,
+             "resident/streamed layer split is negative or does not sum "
+             "to the model's layer count"),
+        Rule("O002", "stream-deadline-miss", Severity.ERROR,
+             "per-step streamed weight bytes cannot cross the host link "
+             "within the decode-step deadline"),
+        Rule("O003", "layer-bytes-mismatch", Severity.ERROR,
+             "plan's per-layer byte count disagrees with the analytic "
+             "sparsity-scaled storage equation"),
+        Rule("O004", "resident-overflow", Severity.ERROR,
+             "resident layers + KV reservation + embeddings + overhead "
+             "exceed GPU DRAM"),
+        # ---- disaggregated-deployment rules ----------------------------
+        Rule("D001", "disagg-prefill-oom", Severity.ERROR,
+             "prefill pool cannot hold the model at prompt-length context"),
+        Rule("D002", "disagg-decode-oom", Severity.ERROR,
+             "decode pool cannot hold the model at full context"),
+        Rule("D003", "kv-migration-exceeds-budget", Severity.WARNING,
+             "prefill->decode KV migration over the interconnect exceeds "
+             "the migration time budget"),
+        Rule("D004", "disagg-sparsity-unused", Severity.WARNING,
+             "sparsity configured but neither pool's framework can use it"),
     ]
 }
 
@@ -121,6 +197,17 @@ class Finding:
             f"{self.rule_id} {self.rule.name} ({self.severity})"
             f"{subject}: {self.message}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (``repro lint --json``)."""
+        return {
+            "rule_id": self.rule_id,
+            "rule": self.rule.name,
+            "severity": str(self.severity),
+            "subject": self.subject,
+            "location": self.location,
+            "message": self.message,
+        }
 
 
 @dataclass
@@ -162,3 +249,20 @@ class Report:
             f"{self.count(Severity.INFO)} note(s)"
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (``repro lint --json``)."""
+        return {
+            "checked": self.checked,
+            "ok": self.ok,
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "notes": self.count(Severity.INFO),
+            "findings": [
+                f.to_dict()
+                for f in sorted(self.findings, key=lambda f: -int(f.severity))
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -8,6 +8,7 @@ Subcommands mirror the library's main entry points::
     repro encode --m 4096 --k 4096 --sparsity 0.6
     repro simulate --model opt-13b --framework spinfer --gpus 1
     repro lint --all-builtin        # static checks (W*/P*/F* rules)
+    repro lint --deployment         # deployment checks (M*/T*/K*/O*/D*)
     repro models                    # list the model zoo
 
 Everything prints rendered text tables; ``bench`` additionally writes
@@ -230,14 +231,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import Severity, check_all_builtin_programs
+    from .analysis import (
+        Report,
+        Severity,
+        check_all_builtin_deployments,
+        check_all_builtin_programs,
+    )
 
-    # --all-builtin is currently the only target; accepting the flag
-    # keeps the CI invocation explicit and leaves room for linting
-    # user-supplied programs later.
-    report = check_all_builtin_programs()
-    min_severity = Severity.INFO if args.verbose else Severity.WARNING
-    print(report.render(min_severity=min_severity))
+    # Target selection: --all-builtin sweeps the kernel-layer artifacts
+    # (warp programs, pipeline traces, formats), --deployment sweeps the
+    # deployment artifacts (specs, KV plans, offload, disaggregation,
+    # planner output).  With neither flag both sweeps run.
+    run_programs = args.all_builtin or not args.deployment
+    run_deployments = args.deployment or not args.all_builtin
+    report = Report()
+    for enabled, sweep in (
+        (run_programs, check_all_builtin_programs),
+        (run_deployments, check_all_builtin_deployments),
+    ):
+        if enabled:
+            part = sweep()
+            report.extend(part.findings)
+            report.checked += part.checked
+    if args.json:
+        print(report.to_json())
+    else:
+        min_severity = Severity.INFO if args.verbose else Severity.WARNING
+        print(report.render(min_severity=min_severity))
     if not report.ok:
         print(f"lint FAILED: {len(report.errors)} error finding(s)",
               file=sys.stderr)
@@ -304,14 +324,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="statically check warp programs, pipeline schedules and "
-        "sparse formats (rules W*/P*/F*, see docs/ANALYSIS.md)",
+        help="statically check warp programs, pipeline schedules, sparse "
+        "formats and deployment plans (rules W*/P*/F*/M*/T*/K*/O*/D*, "
+        "see docs/ANALYSIS.md)",
     )
     p_lint.add_argument(
         "--all-builtin", action="store_true",
-        help="sweep every program/trace/format the repo constructs "
-        "(the default and currently only target)",
+        help="sweep every warp program, pipeline trace and format "
+        "container the repo constructs",
     )
+    p_lint.add_argument(
+        "--deployment", action="store_true",
+        help="sweep every builtin deployment: model x GPU x framework "
+        "specs, derived KV plans, offload and disaggregated configs, "
+        "and cross-check the planner's output",
+    )
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
     p_lint.add_argument("--verbose", action="store_true",
                         help="also print info-severity findings")
     p_lint.set_defaults(func=_cmd_lint)

@@ -10,14 +10,20 @@ from .inference import (
     simulate_inference,
 )
 from .kv_cache import KVBlockAllocator, SequenceAllocation
-from .memory import MemoryBreakdown, estimate_memory
+from .memory import (
+    MemoryBreakdown,
+    estimate_memory,
+    kv_budget_bytes,
+    kv_bytes_per_token,
+)
 from .models import MODELS, ModelConfig, WeightMatrix, get_model, kernel_matrix_zoo
 from .offloading import (
     OffloadPlan,
+    layer_bytes,
     offloaded_decode_step_seconds,
     plan_offload,
 )
-from .parallel import CommModel, allreduce_seconds, shard_dim
+from .parallel import CommModel, allreduce_seconds, shard_dim, shard_waste
 from .planning import DeploymentPlan, best_batch, min_gpus
 from .accuracy import (
     accuracy_sweep,
@@ -36,6 +42,7 @@ from .collectives import (
 from .disaggregation import (
     DisaggregatedConfig,
     DisaggregatedResult,
+    kv_migration_seconds,
     simulate_disaggregated,
 )
 from .functional_model import FunctionalTransformer, TinyConfig
@@ -66,7 +73,12 @@ __all__ = [
     "get_framework",
     "get_model",
     "kernel_matrix_zoo",
+    "kv_budget_bytes",
+    "kv_bytes_per_token",
+    "kv_migration_seconds",
+    "layer_bytes",
     "shard_dim",
+    "shard_waste",
     "simulate_inference",
     "Request",
     "ServingConfig",

@@ -20,7 +20,12 @@ from ..gpu.specs import get_gpu
 from .inference import InferenceConfig, InferenceEngine, PhaseBreakdown
 from .models import get_model
 
-__all__ = ["DisaggregatedConfig", "DisaggregatedResult", "simulate_disaggregated"]
+__all__ = [
+    "DisaggregatedConfig",
+    "DisaggregatedResult",
+    "kv_migration_seconds",
+    "simulate_disaggregated",
+]
 
 
 @dataclass(frozen=True)
@@ -85,20 +90,20 @@ def _engine(cfg: DisaggregatedConfig, framework: str, gpus: int) -> InferenceEng
     )
 
 
-def _kv_migration_seconds(cfg: DisaggregatedConfig) -> float:
+def kv_migration_seconds(cfg: DisaggregatedConfig) -> float:
     """Ship the prefill-produced KV cache to the decode pool.
 
     The KV cache for ``batch x prompt`` tokens crosses the inter-pool
     link once (layer-wise streaming overlaps poorly on PCIe, so we
-    charge the full volume at link bandwidth).
+    charge the full volume at link bandwidth); all prefill shards cross
+    in parallel, so link time is the per-GPU share.  Pure helper shared
+    with the deployment checker (rule D003 budgets it).
     """
     model = get_model(cfg.model)
     gpu = get_gpu(cfg.gpu)
     kv_bytes = (
         2.0 * model.num_layers * model.kv_size * cfg.prompt_len * cfg.batch_size * 2.0
     )
-    per_link = kv_bytes / max(cfg.prefill_gpus, 1)
-    del per_link  # all shards cross in parallel; link time is per-GPU share
     return (kv_bytes / max(cfg.prefill_gpus, 1)) / (gpu.interconnect_gbs * 1e9)
 
 
@@ -109,7 +114,7 @@ def simulate_disaggregated(cfg: DisaggregatedConfig) -> DisaggregatedResult:
     return DisaggregatedResult(
         config=cfg,
         prefill=prefill_engine._prefill(),
-        kv_migration_s=_kv_migration_seconds(cfg),
+        kv_migration_s=kv_migration_seconds(cfg),
         decode=decode_engine._decode(),
     )
 

@@ -84,19 +84,37 @@ class KVBlockAllocator:
         return alloc
 
     def append_token(self, seq_id: int) -> bool:
-        """Extend a sequence by one token; returns True if a new block
-        was needed (False = the tail block had room)."""
+        """Extend a sequence by one token; returns True if a block was
+        consumed (a fresh tail block, or a copy-on-write duplicate of a
+        shared tail).  False = the tail block had room and was private.
+        """
         alloc = self._get(seq_id)
+        if alloc.tokens + 1 > len(alloc.block_ids) * self.block_size:
+            if not self._free:
+                raise MemoryError(
+                    f"out of KV blocks extending sequence {seq_id}"
+                )
+            block = self._free.pop()
+            self._refcount[block] = 1
+            alloc.block_ids.append(block)
+            alloc.tokens += 1
+            return True
+        # Writing into the tail block: if it is shared with a fork, the
+        # write would corrupt the other sequence's cache — copy it first.
+        tail = alloc.block_ids[-1]
+        if self._refcount[tail] > 1:
+            if not self._free:
+                raise MemoryError(
+                    f"out of KV blocks copy-on-write for sequence {seq_id}"
+                )
+            copied = self._free.pop()
+            self._refcount[tail] -= 1
+            self._refcount[copied] = 1
+            alloc.block_ids[-1] = copied
+            alloc.tokens += 1
+            return True
         alloc.tokens += 1
-        if alloc.tokens <= len(alloc.block_ids) * self.block_size:
-            return False
-        if not self._free:
-            alloc.tokens -= 1
-            raise MemoryError(f"out of KV blocks extending sequence {seq_id}")
-        block = self._free.pop()
-        self._refcount[block] = 1
-        alloc.block_ids.append(block)
-        return True
+        return False
 
     def fork(self, parent_id: int, child_id: int) -> SequenceAllocation:
         """Share a parent's blocks copy-on-write (beam search / prefix
@@ -128,10 +146,22 @@ class KVBlockAllocator:
                 released += 1
         return released
 
-    # ---- introspection ----------------------------------------------------------------
+    # ---- introspection --------------------------------------------------------------
 
     def sequence(self, seq_id: int) -> SequenceAllocation:
         return self._get(seq_id)
+
+    def refcounts(self) -> Dict[int, int]:
+        """Snapshot of per-block reference counts (allocated blocks only)."""
+        return dict(self._refcount)
+
+    def block_tables(self) -> Dict[int, List[int]]:
+        """Snapshot of every sequence's block table."""
+        return {sid: list(a.block_ids) for sid, a in self._sequences.items()}
+
+    def free_block_ids(self) -> List[int]:
+        """Snapshot of the free list."""
+        return list(self._free)
 
     def _get(self, seq_id: int) -> SequenceAllocation:
         try:

@@ -27,7 +27,13 @@ from ..formats.analytic import (
 from ..gpu.specs import GPUSpec
 from .models import ModelConfig
 
-__all__ = ["MemoryBreakdown", "estimate_memory", "WEIGHT_FORMATS"]
+__all__ = [
+    "MemoryBreakdown",
+    "estimate_memory",
+    "kv_budget_bytes",
+    "kv_bytes_per_token",
+    "WEIGHT_FORMATS",
+]
 
 #: CUDA context + library workspaces + allocator slack, bytes per GPU.
 RUNTIME_OVERHEAD_BYTES = 1.6e9
@@ -126,3 +132,36 @@ def estimate_memory(
         activations=activations,
         overhead=RUNTIME_OVERHEAD_BYTES,
     )
+
+
+def kv_bytes_per_token(model: ModelConfig, tensor_parallel: int = 1) -> float:
+    """FP16 K+V bytes one cached token costs per tensor-parallel rank."""
+    if tensor_parallel <= 0:
+        raise ValueError("tensor_parallel must be positive")
+    return 2.0 * model.num_layers * model.kv_size * 2.0 / tensor_parallel
+
+
+def kv_budget_bytes(
+    model: ModelConfig,
+    weight_format: str,
+    sparsity: float,
+    gpu: GPUSpec,
+    tensor_parallel: int = 1,
+) -> float:
+    """DRAM left for KV cache after the static footprint, per GPU.
+
+    Static = weights + embeddings + single-token activations + runtime
+    overhead.  Negative values mean the model does not even load; the
+    serving simulator refuses such configurations and the deployment
+    checker flags them (rule M002).
+    """
+    base = estimate_memory(
+        model,
+        weight_format,
+        sparsity,
+        batch_size=1,
+        context_len=1,
+        tensor_parallel=tensor_parallel,
+    )
+    static = base.weights + base.embeddings + base.activations + base.overhead
+    return gpu.dram_capacity_bytes - static

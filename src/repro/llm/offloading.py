@@ -22,7 +22,12 @@ from ..gpu.specs import GPUSpec, get_gpu
 from .memory import RUNTIME_OVERHEAD_BYTES
 from .models import ModelConfig, get_model
 
-__all__ = ["OffloadPlan", "plan_offload", "offloaded_decode_step_seconds"]
+__all__ = [
+    "OffloadPlan",
+    "layer_bytes",
+    "plan_offload",
+    "offloaded_decode_step_seconds",
+]
 
 
 @dataclass(frozen=True)
@@ -51,7 +56,12 @@ class OffloadPlan:
         return self.streamed_layers * self.layer_bytes
 
 
-def _layer_bytes(model: ModelConfig, weight_format: str, sparsity: float) -> float:
+def layer_bytes(model: ModelConfig, weight_format: str, sparsity: float) -> float:
+    """Storage bytes of one transformer layer's weights in ``weight_format``.
+
+    Pure helper shared with the deployment checker (rule O003 validates
+    any :class:`OffloadPlan` against it).
+    """
     if weight_format == "dense":
         if sparsity != 0.0:
             raise ValueError("dense storage cannot encode sparsity savings")
@@ -77,26 +87,26 @@ def plan_offload(
     """Pin layers greedily until GPU DRAM (minus KV + overhead) runs out."""
     model = get_model(model_name)
     gpu = get_gpu(gpu_name)
-    layer_bytes = _layer_bytes(model, weight_format, sparsity)
+    per_layer = layer_bytes(model, weight_format, sparsity)
     kv = 2.0 * model.num_layers * model.kv_size * context_len * batch_size * 2.0
     embeddings = 2.0 * model.vocab_size * model.hidden_size
     budget = (
         gpu.dram_capacity_bytes - kv - embeddings - RUNTIME_OVERHEAD_BYTES
     )
-    if budget < layer_bytes:
+    if budget < per_layer:
         # At least one layer must be double-buffered on the GPU to run
         # at all (streaming needs a landing buffer).
-        if budget < 2 * layer_bytes / model.num_layers:
+        if budget < 2 * per_layer / model.num_layers:
             raise ValueError(
                 f"{model_name} cannot run on {gpu_name} even fully offloaded "
                 f"(KV cache alone exceeds DRAM)"
             )
-    resident = max(0, min(model.num_layers, int(budget // layer_bytes)))
+    resident = max(0, min(model.num_layers, int(budget // per_layer)))
     return OffloadPlan(
         model=model_name,
         weight_format=weight_format,
         sparsity=sparsity,
-        layer_bytes=layer_bytes,
+        layer_bytes=per_layer,
         resident_layers=resident,
         streamed_layers=model.num_layers - resident,
         kv_reserved_bytes=kv,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from ..gpu.specs import GPUSpec
 
-__all__ = ["CommModel", "allreduce_seconds", "shard_dim"]
+__all__ = ["CommModel", "allreduce_seconds", "shard_dim", "shard_waste"]
 
 
 def shard_dim(dim: int, ranks: int) -> int:
@@ -28,6 +28,17 @@ def shard_dim(dim: int, ranks: int) -> int:
     if dim <= 0 or ranks <= 0:
         raise ValueError("dimension and ranks must be positive")
     return -(-dim // ranks)
+
+
+def shard_waste(dim: int, ranks: int) -> int:
+    """Padding elements ceil-sharding adds across all ranks.
+
+    ``shard_dim`` rounds up, so the gathered dimension is
+    ``shard_dim(dim, ranks) * ranks >= dim``; the difference is dead
+    storage and dead all-reduce payload on the last rank (rule T002
+    quantifies it per deployment).
+    """
+    return shard_dim(dim, ranks) * ranks - dim
 
 
 def allreduce_seconds(payload_bytes: float, ranks: int, gpu: GPUSpec) -> float:
@@ -57,8 +68,14 @@ class CommModel:
 
     def layer_allreduce_seconds(self, hidden_size: int, tokens: int) -> float:
         """Two all-reduces per layer (post-attention and post-FFN), each
-        moving the full ``tokens x hidden`` FP16 activation."""
+        moving the full ``tokens x hidden`` FP16 activation.
+
+        When ``hidden_size`` does not divide over the ranks the exchanged
+        activation is the ceil-padded gather, so the payload includes
+        ``shard_waste`` dead elements.
+        """
         if self.ranks == 1:
             return 0.0
-        payload = 2.0 * hidden_size * tokens  # FP16 activations
+        padded = hidden_size + shard_waste(hidden_size, self.ranks)
+        payload = 2.0 * padded * tokens  # FP16 activations
         return 2.0 * allreduce_seconds(payload, self.ranks, self.gpu)

@@ -16,12 +16,13 @@ a larger running batch before hitting the admission wall.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..gpu.specs import get_gpu
 from .inference import InferenceConfig, InferenceEngine
-from .memory import estimate_memory
+from .memory import kv_budget_bytes, kv_bytes_per_token
 
 __all__ = [
     "Request",
@@ -143,11 +144,16 @@ class ServingStats:
         return total / self.makespan_s if self.makespan_s > 0 else 0.0
 
     def latency_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile: the ``ceil(pct/100 * n)``-th smallest
+        latency, so p50 of a small sample is a real median-ish value
+        rather than the truncation-index overshoot."""
         lats = sorted(r.latency_s for r in self.completed)
         if not lats:
             raise ValueError("no completed requests")
-        idx = min(len(lats) - 1, int(pct / 100.0 * len(lats)))
-        return lats[idx]
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        rank = math.ceil(pct / 100.0 * len(lats))
+        return lats[max(0, rank - 1)]
 
     @property
     def mean_latency_s(self) -> float:
@@ -188,16 +194,13 @@ class ServingSimulator:
     def _kv_budget_bytes(self) -> float:
         """DRAM left for KV cache after weights + runtime overhead."""
         cfg = self.config
-        base = estimate_memory(
+        budget = kv_budget_bytes(
             self.engine.model,
             self.engine.framework.weight_format,
             self.engine.config.sparsity,
-            batch_size=1,
-            context_len=1,
+            self.gpu,
             tensor_parallel=cfg.num_gpus,
         )
-        static = base.weights + base.embeddings + base.activations + base.overhead
-        budget = self.gpu.dram_capacity_bytes - static
         if budget <= 0:
             raise ValueError(
                 f"{cfg.model} does not fit {cfg.num_gpus}x{cfg.gpu} under "
@@ -206,8 +209,7 @@ class ServingSimulator:
         return budget
 
     def _kv_bytes_per_token(self) -> float:
-        model = self.engine.model
-        return 2.0 * model.num_layers * model.kv_size * 2.0 / self.config.num_gpus
+        return kv_bytes_per_token(self.engine.model, self.config.num_gpus)
 
     def _prefill_seconds(self, request: Request) -> float:
         tokens = request.prompt_len

@@ -19,6 +19,11 @@ class TestFindings:
             "W008", "W009",
             "P001", "P002", "P003", "P004", "P005",
             "F001", "F002", "F003", "F004", "F005",
+            "M001", "M002", "M003", "M004", "M005", "M006",
+            "T001", "T002", "T003", "T004", "T005",
+            "K001", "K002", "K003", "K004", "K005",
+            "O001", "O002", "O003", "O004",
+            "D001", "D002", "D003", "D004",
         }
         assert expected == set(RULES)
 

@@ -122,3 +122,69 @@ class TestEfficiency:
             a.free(i)
         assert a.free_blocks == a.total_blocks
         assert a.used_blocks == 0
+
+
+class TestCopyOnWrite:
+    def test_append_to_forked_child_copies_shared_tail(self):
+        """Regression: appending into a fork-shared tail block must copy
+        it, not write in place — an in-place write corrupts the other
+        sequence's cache."""
+        a = allocator()
+        parent = a.allocate(1, 20)  # two blocks, tail has room
+        parent_table = list(parent.block_ids)
+        child = a.fork(1, 2)
+        consumed = a.append_token(2)
+        assert consumed is True  # a COW copy costs a block
+        # child got a private tail; parent's table is untouched
+        assert child.block_ids[-1] != parent_table[-1]
+        assert child.block_ids[:-1] == parent_table[:-1]
+        assert parent.block_ids == parent_table
+        assert parent.tokens == 20 and child.tokens == 21
+
+    def test_cow_refcounts_stay_conserved(self):
+        a = allocator()
+        a.allocate(1, 20)
+        a.fork(1, 2)
+        a.append_token(2)
+        shared, parent_tail = a.sequence(1).block_ids
+        child_tail = a.sequence(2).block_ids[-1]
+        counts = a.refcounts()
+        assert counts[shared] == 2
+        assert counts[parent_tail] == 1
+        assert counts[child_tail] == 1
+        # both sequences free cleanly afterwards
+        a.free(1)
+        a.free(2)
+        assert a.free_blocks == a.total_blocks
+
+    def test_parent_append_after_fork_also_copies(self):
+        a = allocator()
+        a.allocate(1, 20)
+        a.fork(1, 2)
+        child_table = list(a.sequence(2).block_ids)
+        assert a.append_token(1) is True  # parent's write triggers COW too
+        assert a.sequence(2).block_ids == child_table
+
+    def test_private_tail_still_appends_in_place(self):
+        a = allocator()
+        a.allocate(1, 20)
+        used = a.used_blocks
+        assert a.append_token(1) is False
+        assert a.used_blocks == used
+
+    def test_cow_oom_raises(self):
+        a = allocator(total=2)
+        a.allocate(1, 20)  # consumes both blocks
+        a.fork(1, 2)
+        with pytest.raises(MemoryError):
+            a.append_token(2)
+
+    def test_introspection_snapshots_are_copies(self):
+        a = allocator()
+        a.allocate(1, 20)
+        a.block_tables()[1].append(999)
+        a.refcounts()[0] = 99
+        a.free_block_ids().append(999)
+        assert 999 not in a.sequence(1).block_ids
+        assert 99 not in a.refcounts().values()
+        assert 999 not in a.free_block_ids()

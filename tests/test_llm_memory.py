@@ -1,6 +1,8 @@
 """Tests for the inference memory model."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.gpu.specs import RTX4090
 from repro.llm.memory import WEIGHT_FORMATS, estimate_memory
@@ -76,3 +78,80 @@ class TestMemoryModel:
 
     def test_formats_registry(self):
         assert {"dense", "tca-bme", "tiled-csl"} == set(WEIGHT_FORMATS)
+
+
+class TestFitsBoundary:
+    def test_fits_is_inclusive_at_exact_capacity(self):
+        from repro.llm.memory import MemoryBreakdown
+
+        cap = RTX4090.dram_capacity_bytes
+        exact = MemoryBreakdown(
+            weights=cap - 4.0, embeddings=1.0, kv_cache=1.0,
+            activations=1.0, overhead=1.0,
+        )
+        assert exact.total == cap
+        assert exact.fits(RTX4090)
+        over = MemoryBreakdown(
+            weights=cap - 3.0, embeddings=1.0, kv_cache=1.0,
+            activations=1.0, overhead=1.0,
+        )
+        assert not over.fits(RTX4090)
+
+
+class TestMemoryMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        fmt=st.sampled_from(("dense", "tca-bme", "tiled-csl")),
+        batch=st.integers(min_value=1, max_value=64),
+        context=st.integers(min_value=1, max_value=4096),
+        tp=st.sampled_from((1, 2, 4, 8)),
+    )
+    def test_total_monotone_in_batch_and_context(
+        self, fmt, batch, context, tp
+    ):
+        model = get_model("opt-13b")
+        sparsity = 0.0 if fmt == "dense" else 0.6
+        base = estimate_memory(model, fmt, sparsity, batch, context, tp)
+        more_batch = estimate_memory(
+            model, fmt, sparsity, batch + 1, context, tp
+        )
+        more_ctx = estimate_memory(
+            model, fmt, sparsity, batch, context + 64, tp
+        )
+        assert more_batch.total >= base.total
+        assert more_ctx.total >= base.total
+        # weights/embeddings/overhead do not depend on batch or context
+        assert more_batch.weights == base.weights
+        assert more_ctx.embeddings == base.embeddings
+        assert more_ctx.overhead == base.overhead
+
+
+class TestKVBudgetHelpers:
+    def test_kv_bytes_per_token_shards_over_ranks(self):
+        from repro.llm.memory import kv_bytes_per_token
+
+        model = get_model("opt-13b")
+        one = kv_bytes_per_token(model)
+        assert one == 2.0 * model.num_layers * model.kv_size * 2.0
+        assert kv_bytes_per_token(model, 4) == pytest.approx(one / 4)
+        with pytest.raises(ValueError):
+            kv_bytes_per_token(model, 0)
+
+    def test_kv_budget_matches_static_footprint(self):
+        from repro.llm.memory import kv_budget_bytes
+
+        model = get_model("opt-13b")
+        budget = kv_budget_bytes(model, "tca-bme", 0.6, RTX4090)
+        base = estimate_memory(model, "tca-bme", 0.6, 1, 1)
+        static = (base.weights + base.embeddings + base.activations
+                  + base.overhead)
+        assert budget == pytest.approx(
+            RTX4090.dram_capacity_bytes - static
+        )
+        assert budget > 0  # the paper's 1-GPU OPT-13B configuration
+
+    def test_dense_opt13b_has_negative_budget_on_4090(self):
+        from repro.llm.memory import kv_budget_bytes
+
+        model = get_model("opt-13b")
+        assert kv_budget_bytes(model, "dense", 0.0, RTX4090) < 0

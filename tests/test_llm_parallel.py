@@ -65,3 +65,42 @@ class TestCommModel:
         assert comm.layer_allreduce_seconds(5120, 16) == pytest.approx(
             2 * allreduce_seconds(payload, 2, RTX4090)
         )
+
+
+class TestShardWaste:
+    def test_divisible_dims_waste_nothing(self):
+        from repro.llm.parallel import shard_waste
+
+        assert shard_waste(4096, 4) == 0
+        assert shard_waste(5120, 8) == 0
+
+    def test_ceil_padding_quantified(self):
+        from repro.llm.parallel import shard_waste
+
+        assert shard_waste(10, 3) == 2    # 3 ranks x 4 = 12
+        assert shard_waste(4096, 3) == 2  # 3 ranks x 1366 = 4098
+        assert shard_waste(7, 8) == 1     # one element per rank, one pad
+
+    def test_validation(self):
+        from repro.llm.parallel import shard_waste
+
+        with pytest.raises(ValueError):
+            shard_waste(0, 2)
+        with pytest.raises(ValueError):
+            shard_waste(8, 0)
+
+    def test_comm_payload_includes_padding(self):
+        """Ragged hidden sizes all-reduce the ceil-padded gather."""
+        from repro.llm.parallel import shard_waste
+
+        comm = CommModel(gpu=RTX4090, ranks=3)
+        hidden, tokens = 10, 4
+        padded = hidden + shard_waste(hidden, 3)
+        expected = 2 * allreduce_seconds(2.0 * padded * tokens, 3, RTX4090)
+        assert comm.layer_allreduce_seconds(hidden, tokens) == pytest.approx(
+            expected
+        )
+        # and strictly more expensive than the unpadded payload
+        assert comm.layer_allreduce_seconds(hidden, tokens) > 2 * (
+            allreduce_seconds(2.0 * hidden * tokens, 3, RTX4090)
+        )

@@ -151,3 +151,54 @@ class TestSchedulingPolicies:
         for policy in ("fcfs", "sjf"):
             stats = make_sim(policy=policy).run(copy.deepcopy(self._mixed()))
             assert len(stats.completed) == 16
+
+
+class TestLatencyPercentile:
+    def stats(self, latencies):
+        from repro.llm.serving import ServingStats
+
+        completed = [
+            Request(request_id=i, arrival_s=0.0, prompt_len=1,
+                    output_len=1, start_s=0.0, finish_s=lat)
+            for i, lat in enumerate(latencies)
+        ]
+        return ServingStats(
+            completed=completed, makespan_s=max(latencies),
+            peak_batch=1, kv_budget_bytes=0.0,
+        )
+
+    def test_nearest_rank_percentiles(self):
+        s = self.stats([3.0, 1.0, 4.0, 2.0])
+        # nearest-rank: ceil(pct/100 * n)-th smallest
+        assert s.latency_percentile(25) == 1.0
+        assert s.latency_percentile(50) == 2.0
+        assert s.latency_percentile(75) == 3.0
+        assert s.latency_percentile(100) == 4.0
+
+    def test_p50_of_odd_sample_is_median(self):
+        s = self.stats([5.0, 1.0, 3.0])
+        assert s.latency_percentile(50) == 3.0
+
+    def test_p0_is_minimum(self):
+        s = self.stats([2.0, 7.0])
+        assert s.latency_percentile(0) == 2.0
+
+    def test_single_sample_all_percentiles(self):
+        s = self.stats([4.2])
+        for pct in (0, 1, 50, 99, 100):
+            assert s.latency_percentile(pct) == 4.2
+
+    def test_out_of_range_percentile_rejected(self):
+        s = self.stats([1.0])
+        with pytest.raises(ValueError):
+            s.latency_percentile(101)
+        with pytest.raises(ValueError):
+            s.latency_percentile(-1)
+
+    def test_no_completions_rejected(self):
+        from repro.llm.serving import ServingStats
+
+        empty = ServingStats(completed=[], makespan_s=0.0,
+                             peak_batch=0, kv_budget_bytes=0.0)
+        with pytest.raises(ValueError):
+            empty.latency_percentile(50)
