@@ -5,7 +5,7 @@ must help an online server on both throughput (faster steps) and memory
 (KV-cache headroom).  No direct paper figure; shape assertions only.
 """
 
-from repro.bench import ext_serving
+from repro.bench import ext_serving, ext_serving_runtime
 
 
 def test_ext_serving(benchmark):
@@ -15,3 +15,15 @@ def test_ext_serving(benchmark):
     assert exp.metric("kv_headroom_vs_flash_llm") > 2.0
     # Dense frameworks cannot host OPT-13B on one 24 GB GPU at all.
     assert exp.metric("dense_frameworks_fit") == 0.0
+
+
+def test_ext_serving_runtime(benchmark):
+    exp = benchmark(ext_serving_runtime)
+    exp.save()
+    # Chunked prefill + preemption must beat blocking/reserve on tail
+    # latency at the same (tight) KV budget, and the runtime must still
+    # reproduce the legacy serving loop when uncapped.
+    assert exp.metric("p99_latency_gain") > 1.0
+    assert exp.metric("p99_ttft_gain") > 1.0
+    assert exp.metric("preemptions") > 0
+    assert exp.metric("legacy_makespan_drift") < 0.01

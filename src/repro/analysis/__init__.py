@@ -44,6 +44,7 @@ from .format_lint import lint_csr, lint_format, lint_tca_bme, lint_tiled_csl
 from .pipeline_lint import lint_pipeline_trace
 from .plan_lint import (
     builtin_deployment_specs,
+    builtin_runtime_traces,
     check_all_builtin_deployments,
     lint_deployment,
     lint_deployment_plan,
@@ -51,6 +52,7 @@ from .plan_lint import (
     lint_kv_allocator,
     lint_kv_plan,
     lint_offload_plan,
+    lint_runtime_trace,
 )
 from .warp_lint import cross_check_with_simulator, lint_warp_program
 
@@ -66,6 +68,7 @@ __all__ = [
     "Severity",
     "builtin_deployment_specs",
     "builtin_formats",
+    "builtin_runtime_traces",
     "builtin_pipeline_traces",
     "builtin_warp_programs",
     "check_all_builtin_deployments",
@@ -83,6 +86,7 @@ __all__ = [
     "lint_kv_plan",
     "lint_offload_plan",
     "lint_pipeline_trace",
+    "lint_runtime_trace",
     "lint_tca_bme",
     "lint_tiled_csl",
     "lint_warp_program",

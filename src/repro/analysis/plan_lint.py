@@ -62,7 +62,9 @@ __all__ = [
     "lint_kv_allocator",
     "lint_kv_plan",
     "lint_offload_plan",
+    "lint_runtime_trace",
     "builtin_deployment_specs",
+    "builtin_runtime_traces",
     "check_all_builtin_deployments",
 ]
 
@@ -423,6 +425,28 @@ def lint_kv_allocator(alloc: KVBlockAllocator) -> List[Finding]:
     return findings
 
 
+def lint_runtime_trace(trace) -> List[Finding]:
+    """K004-K005 over every KV snapshot an event-runtime trace captured.
+
+    The serving/disaggregation runtime (:mod:`repro.runtime`) emits
+    immutable :class:`~repro.runtime.trace.KVSnapshot` records at
+    configurable iteration intervals plus one terminal snapshot; each
+    exposes the same introspection surface as a live
+    :class:`~repro.llm.kv_cache.KVBlockAllocator`, so the conservation
+    and validity proofs of :func:`lint_kv_allocator` apply verbatim.
+    Auditing the whole trace proves the bookkeeping invariants held
+    *throughout* the schedule — across admissions, chunked prefills,
+    preemptions and migrations — not just in a hand-built example.
+    """
+    findings = []
+    for snap in trace.snapshots:
+        subject = f"trace:{snap.pool}@t={snap.t:.3f}s"
+        findings.extend(
+            replace(f, subject=subject) for f in lint_kv_allocator(snap)
+        )
+    return findings
+
+
 # ---- offload rules -----------------------------------------------------------------
 
 
@@ -680,6 +704,55 @@ def _builtin_disagg_configs() -> Iterator[DisaggregatedConfig]:
             )
 
 
+def builtin_runtime_traces() -> Iterator[object]:
+    """Yield event-runtime traces (with KV snapshots) worth auditing.
+
+    Three schedules that exercise distinct allocator paths: the legacy
+    discipline (blocking prefill, worst-case reservation), the
+    aggressive one (chunked prefill + preemption-by-recompute on a
+    deliberately tight KV pool, so blocks are freed and re-allocated
+    mid-flight), and a two-pool disaggregated run (allocate on prefill
+    pool, pin across migration, free on hand-off).
+    """
+    import copy
+
+    from ..llm.serving import ServingConfig, ServingSimulator, mixed_workload
+
+    workload = mixed_workload(
+        12, arrival_rate=4.0, output_lens=(32, 128, 384),
+        prompt_len=96, seed=3,
+    )
+    for extra in (
+        {},
+        {
+            "chunked_prefill": True,
+            "chunk_tokens": 128,
+            "preemption": True,
+            "kv_cap_tokens": 1024,  # tight enough to force preemptions
+        },
+    ):
+        cfg = ServingConfig(
+            model="opt-13b", framework="spinfer", max_batch=4,
+            snapshot_every=2, **extra,
+        )
+        yield ServingSimulator(cfg).run(copy.deepcopy(workload)).trace
+
+    from ..llm.disaggregation import simulate_disaggregated
+
+    result = simulate_disaggregated(
+        DisaggregatedConfig(
+            model="opt-13b",
+            prefill_framework="fastertransformer",
+            decode_framework="spinfer",
+            batch_size=4,
+            prompt_len=256,
+            output_len=64,
+        ),
+        snapshot_every=4,
+    )
+    yield result.stats.trace
+
+
 def _exercised_allocator() -> KVBlockAllocator:
     """An allocator driven through allocate/fork/append/COW/free — the
     sweep proves the bookkeeping invariants hold after real traffic."""
@@ -722,14 +795,18 @@ def _cross_check_planner(report: Report) -> None:
             report.checked += 1
 
 
-def check_all_builtin_deployments(cross_check_planner: bool = True) -> Report:
+def check_all_builtin_deployments(
+    cross_check_planner: bool = True,
+    audit_runtime: bool = True,
+) -> Report:
     """Statically verify every deployment artifact the repo ships.
 
     Sweeps the builtin model x GPU x framework grid (smallest feasible
     GPU count each), the KV plan derived from every feasible spec, the
     builtin offload placements, the feasible disaggregated hybrids, an
-    exercised KV allocator, and — unless disabled — the planner's own
-    ``best_batch``/``min_gpus`` output.
+    exercised KV allocator, the KV snapshots of the builtin event-runtime
+    schedules (``audit_runtime``), and — unless disabled — the planner's
+    own ``best_batch``/``min_gpus`` output.
     """
     report = Report()
     for spec in builtin_deployment_specs():
@@ -760,6 +837,11 @@ def check_all_builtin_deployments(cross_check_planner: bool = True) -> Report:
 
     report.extend(lint_kv_allocator(_exercised_allocator()))
     report.checked += 1
+
+    if audit_runtime:
+        for trace in builtin_runtime_traces():
+            report.extend(lint_runtime_trace(trace))
+            report.checked += 1
 
     if cross_check_planner:
         _cross_check_planner(report)

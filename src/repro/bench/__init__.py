@@ -26,7 +26,7 @@ from .accuracy_bench import ext_accuracy
 from .disagg_bench import ext_disaggregation
 from .memory_bench import ext_memory_walls
 from .offload_bench import ext_offloading
-from .serving_bench import ext_serving
+from .serving_bench import ext_serving, ext_serving_runtime
 from .sweeps import export_csv, kernel_sweep
 from .kernel_bench import (
     fig01_motivation,
@@ -48,6 +48,7 @@ __all__ = [
     "ext_memory_walls",
     "ext_offloading",
     "ext_serving",
+    "ext_serving_runtime",
     "fig01_motivation",
     "fig02_breakdown",
     "fig03_compression",

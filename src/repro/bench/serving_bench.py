@@ -8,12 +8,19 @@ RTX4090 and compares frameworks on throughput, latency and KV headroom.
 
 from __future__ import annotations
 
+import copy
 from typing import List
 
-from ..llm.serving import compare_frameworks, poisson_workload
+from ..llm.serving import (
+    ServingConfig,
+    ServingSimulator,
+    compare_frameworks,
+    mixed_workload,
+    poisson_workload,
+)
 from .harness import Experiment
 
-__all__ = ["ext_serving"]
+__all__ = ["ext_serving", "ext_serving_runtime"]
 
 
 def ext_serving(
@@ -69,5 +76,103 @@ def ext_serving(
             "compression both speeds decode steps and frees KV headroom, "
             "so it helps a continuous-batching server on both axes; dense "
             "frameworks cannot even host OPT-13B on one 24 GB GPU."
+        ),
+    )
+
+
+def ext_serving_runtime(
+    num_requests: int = 48,
+    arrival_rate: float = 6.0,
+    model: str = "opt-13b",
+    framework: str = "spinfer",
+    kv_cap_tokens: int = 4096,
+) -> Experiment:
+    """Scheduler shoot-out on the event runtime at an equal, tight KV budget.
+
+    Serves one bursty mixed-length trace three ways on the same pool:
+    the legacy discipline (blocking prefill, worst-case reservation),
+    chunked prefill alone, and chunked prefill + preemption-by-recompute
+    (on-demand admission).  The KV pool is capped well below the DRAM
+    budget so admission — not compute — is the bottleneck; that is the
+    regime where reservation-based admission stalls the queue and the
+    vLLM-style discipline wins tail latency.
+
+    Also translation-validates the runtime: on an uncapped FCFS /
+    blocking / no-preemption configuration it must reproduce the legacy
+    hand-rolled loop's makespan within 1 %.
+    """
+    workload = mixed_workload(
+        num_requests,
+        arrival_rate=arrival_rate,
+        output_lens=(64, 256, 768),
+        prompt_len=128,
+        seed=7,
+    )
+    base = dict(
+        model=model, framework=framework, max_batch=16,
+        kv_cap_tokens=kv_cap_tokens,
+    )
+    schedulers = (
+        ("blocking+reserve", ServingConfig(**base)),
+        ("chunked", ServingConfig(
+            **base, chunked_prefill=True, chunk_tokens=256,
+        )),
+        ("chunked+preempt", ServingConfig(
+            **base, chunked_prefill=True, chunk_tokens=256, preemption=True,
+        )),
+    )
+    results = {}
+    rows: List[List[object]] = []
+    for name, cfg in schedulers:
+        stats = ServingSimulator(cfg).run(copy.deepcopy(workload))
+        results[name] = stats
+        rows.append([
+            name,
+            stats.throughput_tokens_per_s,
+            stats.mean_latency_s,
+            stats.latency_percentile(99),
+            stats.ttft_percentile(99),
+            stats.preemptions,
+            len(stats.completed),
+        ])
+
+    # Translation validation: event runtime vs the legacy loop, uncapped.
+    legacy_cfg = ServingConfig(model=model, framework=framework, max_batch=16)
+    runtime_stats = ServingSimulator(legacy_cfg).run(copy.deepcopy(workload))
+    legacy_stats = ServingSimulator(legacy_cfg).run_legacy(
+        copy.deepcopy(workload)
+    )
+    drift = abs(
+        runtime_stats.makespan_s - legacy_stats.makespan_s
+    ) / legacy_stats.makespan_s
+
+    old, new = results["blocking+reserve"], results["chunked+preempt"]
+    metrics = {
+        "p99_latency_gain": (
+            old.latency_percentile(99) / new.latency_percentile(99)
+        ),
+        "p99_ttft_gain": old.ttft_percentile(99) / new.ttft_percentile(99),
+        "mean_latency_gain": old.mean_latency_s / new.mean_latency_s,
+        "preemptions": float(new.preemptions),
+        "legacy_makespan_drift": drift,
+    }
+    return Experiment(
+        exp_id="ext_serving_runtime",
+        title=(
+            f"Scheduler comparison, {model}/{framework} at a "
+            f"{kv_cap_tokens}-token KV cap"
+        ),
+        headers=["scheduler", "tokens_per_s", "mean_lat_s", "p99_lat_s",
+                 "p99_ttft_s", "preemptions", "completed"],
+        rows=rows,
+        metrics=metrics,
+        notes=(
+            "Extension experiment (no paper counterpart): with KV memory "
+            "the binding constraint, worst-case reservation delays "
+            "admission and blocking prefill stalls running decodes; "
+            "chunked prefill + preemption-by-recompute admits on actual "
+            "block demand and recovers the tail. The drift metric "
+            "translation-validates the event runtime against the legacy "
+            "closed loop (must stay under 1%)."
         ),
     )

@@ -7,6 +7,7 @@ Subcommands mirror the library's main entry points::
     repro profile --m 28672 --k 8192 --n 16 --sparsity 0.6
     repro encode --m 4096 --k 4096 --sparsity 0.6
     repro simulate --model opt-13b --framework spinfer --gpus 1
+    repro serve --model opt-13b --chunked-prefill --preemption
     repro lint --all-builtin        # static checks (W*/P*/F* rules)
     repro lint --deployment         # deployment checks (M*/T*/K*/O*/D*)
     repro models                    # list the model zoo
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl_mma_shape": bench_mod.abl_mma_shape,
     "abl_quant": bench_mod.abl_quantization,
     "ext_serving": bench_mod.ext_serving,
+    "ext_serving_runtime": bench_mod.ext_serving_runtime,
     "ext_disagg": bench_mod.ext_disaggregation,
     "ext_accuracy": bench_mod.ext_accuracy,
     "ext_offload": bench_mod.ext_offloading,
@@ -165,6 +167,133 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"  decode mix : linear {d.linear_s:.2f} s, attention "
         f"{d.attention_s:.2f} s, comm {d.comm_s:.2f} s, other {d.other_s:.2f} s"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .llm.serving import (
+        Request,
+        ServingConfig,
+        ServingSimulator,
+        mixed_workload,
+        poisson_workload,
+    )
+
+    if args.trace:
+        with open(args.trace) as fh:
+            raw = json_mod.load(fh)
+        requests = [
+            Request(
+                request_id=int(r["request_id"]),
+                arrival_s=float(r["arrival_s"]),
+                prompt_len=int(r["prompt_len"]),
+                output_len=int(r["output_len"]),
+            )
+            for r in raw
+        ]
+    elif len(args.output_lens) > 1:
+        requests = mixed_workload(
+            args.requests, arrival_rate=args.arrival_rate,
+            output_lens=tuple(args.output_lens),
+            prompt_len=args.prompt_len, seed=args.seed,
+        )
+    else:
+        requests = poisson_workload(
+            args.requests, arrival_rate=args.arrival_rate,
+            prompt_len=args.prompt_len, output_len=args.output_lens[0],
+            seed=args.seed,
+        )
+
+    snapshot_every = args.snapshot_every
+    if args.audit and not snapshot_every:
+        snapshot_every = 4  # auditing needs snapshots to audit
+    cfg = ServingConfig(
+        model=args.model,
+        framework=args.framework,
+        gpu=args.gpu,
+        num_gpus=args.gpus,
+        sparsity=args.sparsity,
+        max_batch=args.max_batch,
+        policy=args.policy,
+        chunked_prefill=args.chunked_prefill,
+        chunk_tokens=args.chunk_tokens,
+        preemption=args.preemption,
+        snapshot_every=snapshot_every,
+        kv_cap_tokens=args.kv_cap_tokens,
+    )
+    try:
+        sim = ServingSimulator(cfg)
+    except ValueError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    stats = sim.run(requests)
+
+    payload = {
+        "completed": len(stats.completed),
+        "rejected": [r.request_id for r in stats.rejected],
+        "makespan_s": stats.makespan_s,
+        "throughput_tokens_per_s": stats.throughput_tokens_per_s,
+        "peak_batch": stats.peak_batch,
+        "preemptions": stats.preemptions,
+        "iterations": stats.iterations,
+        "kv_budget_gb": stats.kv_budget_bytes / 1e9,
+        "events": len(stats.trace.events) if stats.trace else 0,
+    }
+    if stats.completed:
+        payload.update(
+            mean_latency_s=stats.mean_latency_s,
+            p50_latency_s=stats.latency_percentile(50),
+            p99_latency_s=stats.latency_percentile(99),
+            mean_ttft_s=stats.mean_ttft_s,
+            p99_ttft_s=stats.ttft_percentile(99),
+        )
+
+    audit_errors = 0
+    if args.audit:
+        from .analysis import Severity, lint_runtime_trace
+
+        findings = lint_runtime_trace(stats.trace)
+        audit_errors = sum(
+            1 for f in findings if f.severity == Severity.ERROR
+        )
+        payload["audit"] = {
+            "snapshots": len(stats.trace.snapshots),
+            "findings": len(findings),
+            "errors": audit_errors,
+        }
+
+    if args.json:
+        print(json_mod.dumps(payload, indent=2))
+    else:
+        print(
+            f"{cfg.model} / {cfg.framework} on {cfg.num_gpus}x{cfg.gpu} "
+            f"({cfg.policy}, "
+            f"{'chunked' if cfg.chunked_prefill else 'blocking'} prefill, "
+            f"preemption {'on' if cfg.preemption else 'off'}):"
+        )
+        print(f"  completed  : {payload['completed']}/{len(requests)} "
+              f"requests in {stats.makespan_s:.2f} s")
+        if stats.rejected:
+            print(f"  rejected   : {len(stats.rejected)} request(s) whose "
+                  "KV exceeds the whole pool")
+        print(f"  throughput : {stats.throughput_tokens_per_s:8.1f} tokens/s")
+        if stats.completed:
+            print(f"  latency    : mean {stats.mean_latency_s:.2f} s, "
+                  f"p99 {stats.latency_percentile(99):.2f} s")
+            print(f"  ttft       : mean {stats.mean_ttft_s:.2f} s, "
+                  f"p99 {stats.ttft_percentile(99):.2f} s")
+        print(f"  kv budget  : {stats.kv_budget_bytes / 1e9:8.2f} GB "
+              f"(peak batch {stats.peak_batch}, "
+              f"{stats.preemptions} preemption(s))")
+        if args.audit:
+            print(f"  audit      : {payload['audit']['snapshots']} "
+                  f"snapshot(s), {audit_errors} error finding(s)")
+    if audit_errors:
+        print(f"audit FAILED: {audit_errors} error finding(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -321,6 +450,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--output-len", type=int, default=256)
     p_sim.add_argument("--sparsity", type=float, default=0.6)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="simulate a serving trace on the event runtime "
+        "(continuous batching, chunked prefill, preemption)",
+    )
+    p_serve.add_argument("--model", choices=sorted(MODELS), default="opt-13b")
+    p_serve.add_argument("--framework", default="spinfer")
+    p_serve.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_serve.add_argument("--gpus", type=int, default=1)
+    p_serve.add_argument("--sparsity", type=float, default=0.6)
+    p_serve.add_argument("--max-batch", type=int, default=16)
+    p_serve.add_argument("--policy", choices=("fcfs", "sjf"), default="fcfs")
+    p_serve.add_argument("--chunked-prefill", action="store_true",
+                         help="interleave prompt chunks with decode steps")
+    p_serve.add_argument("--chunk-tokens", type=int, default=128)
+    p_serve.add_argument("--preemption", action="store_true",
+                         help="admit on demand, preempt-by-recompute when "
+                         "the KV pool runs dry")
+    p_serve.add_argument("--requests", type=int, default=32)
+    p_serve.add_argument("--arrival-rate", type=float, default=2.0,
+                         help="Poisson arrival rate, requests/s")
+    p_serve.add_argument("--prompt-len", type=int, default=64)
+    p_serve.add_argument("--output-lens", nargs="+", type=int, default=[128],
+                         help="one value = fixed outputs; several = mixed")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--kv-cap-tokens", type=int, default=None,
+                         help="cap the KV pool below the DRAM budget")
+    p_serve.add_argument("--snapshot-every", type=int, default=0,
+                         help="capture a lintable KV snapshot every N "
+                         "iterations")
+    p_serve.add_argument("--trace", default=None,
+                         help="JSON file of requests (request_id, arrival_s, "
+                         "prompt_len, output_len) instead of a synthetic "
+                         "workload")
+    p_serve.add_argument("--audit", action="store_true",
+                         help="run the K-rule checker over the runtime's KV "
+                         "snapshots; non-zero exit on error findings")
+    p_serve.add_argument("--json", action="store_true",
+                         help="emit stats as JSON instead of text")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",

@@ -42,6 +42,7 @@ from .collectives import (
 from .disaggregation import (
     DisaggregatedConfig,
     DisaggregatedResult,
+    build_disaggregated_runtime,
     kv_migration_seconds,
     simulate_disaggregated,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "poisson_workload",
     "DisaggregatedConfig",
     "DisaggregatedResult",
+    "build_disaggregated_runtime",
     "FunctionalTransformer",
     "TinyConfig",
     "allgather",

@@ -6,24 +6,40 @@ where SpInfer can be up to 11.8 % *slower* than cuBLAS (Fig. 16) — on a
 dense-GEMM pool, migrate the KV cache, and decode on a SpInfer pool
 where the SpMM advantage is largest.
 
-This module quantifies that argument: it composes the inference
-simulator's phases across two heterogeneous pools with an explicit KV
-migration cost, and compares the hybrid against homogeneous deployments.
+This module quantifies that argument.  Historically it was a closed-form
+three-term sum (prefill + migration + decode); it is now a *two-pool
+instance of the discrete-event runtime* (:mod:`repro.runtime`): the
+prefill pool batches requests and holds their KV in a real block
+allocator, the cache crosses the inter-pool link as an explicit timed
+``MIGRATE_START``/``MIGRATE_END`` event pair (blocks stay pinned on the
+prefill side until the transfer lands), and decode runs through the same
+continuous-batching scheduler the serving simulator uses.  For the
+single-batch configurations compared here the event schedule reproduces
+the closed form exactly — the win is that the same machinery now also
+yields event traces and lintable KV snapshots.
+
+Pool KV capacity is demand-sized (``GPUPool(total_blocks=...)``) rather
+than DRAM-derived: whether a deployment's KV actually fits its GPUs is
+the *deployment checker's* verdict (rules D001/D002), not a runtime
+crash, matching how the closed form behaved.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional
 
 from ..gpu.specs import get_gpu
+from ..runtime import DisaggregatedRuntime, GPUPool, RuntimeStats
 from .inference import InferenceConfig, InferenceEngine, PhaseBreakdown
+from .memory import kv_bytes_per_token
 from .models import get_model
 
 __all__ = [
     "DisaggregatedConfig",
     "DisaggregatedResult",
     "kv_migration_seconds",
+    "build_disaggregated_runtime",
     "simulate_disaggregated",
 ]
 
@@ -58,6 +74,9 @@ class DisaggregatedResult:
     prefill: PhaseBreakdown
     kv_migration_s: float
     decode: PhaseBreakdown
+    #: Full runtime outcome (event trace, KV snapshots, preemptions…);
+    #: ``None`` for results constructed by hand.
+    stats: Optional[RuntimeStats] = None
 
     @property
     def total_s(self) -> float:
@@ -107,15 +126,76 @@ def kv_migration_seconds(cfg: DisaggregatedConfig) -> float:
     return (kv_bytes / max(cfg.prefill_gpus, 1)) / (gpu.interconnect_gbs * 1e9)
 
 
-def simulate_disaggregated(cfg: DisaggregatedConfig) -> DisaggregatedResult:
-    """Prefill on pool A, migrate KV, decode on pool B."""
+def _demand_pool(
+    engine: InferenceEngine,
+    name: str,
+    tokens_per_seq: int,
+    batch: int,
+    block_size: int = 16,
+) -> GPUPool:
+    """A pool sized to exactly hold ``batch`` sequences' KV."""
+    alloc_blocks = batch * -(-tokens_per_seq // block_size)
+    budget = alloc_blocks * block_size * kv_bytes_per_token(
+        engine.model, engine.config.num_gpus
+    )
+    return GPUPool(
+        engine=engine,
+        kv_budget_bytes=budget,
+        block_size=block_size,
+        max_batch=batch,
+        name=name,
+        total_blocks=alloc_blocks,
+    )
+
+
+def build_disaggregated_runtime(
+    cfg: DisaggregatedConfig, snapshot_every: int = 0
+) -> DisaggregatedRuntime:
+    """Wire the two pools of ``cfg`` into an event runtime."""
     prefill_engine = _engine(cfg, cfg.prefill_framework, cfg.prefill_gpus)
     decode_engine = _engine(cfg, cfg.decode_framework, cfg.decode_gpus)
+    # The migration cost model is linear in migrated tokens; scale the
+    # closed-form helper (whole-batch volume) down to a per-token rate
+    # so partial batches price correctly too.
+    rate = kv_migration_seconds(cfg) / (cfg.batch_size * cfg.prompt_len)
+    return DisaggregatedRuntime(
+        prefill_pool=_demand_pool(
+            prefill_engine, "prefill", cfg.prompt_len, cfg.batch_size
+        ),
+        decode_pool=_demand_pool(
+            decode_engine,
+            "decode",
+            cfg.prompt_len + cfg.output_len,
+            cfg.batch_size,
+        ),
+        migration_seconds=lambda tokens: rate * tokens,
+        snapshot_every=snapshot_every,
+    )
+
+
+def simulate_disaggregated(
+    cfg: DisaggregatedConfig, snapshot_every: int = 0
+) -> DisaggregatedResult:
+    """Prefill on pool A, migrate KV, decode on pool B."""
+    from .serving import Request
+
+    runtime = build_disaggregated_runtime(cfg, snapshot_every=snapshot_every)
+    requests: List[Request] = [
+        Request(
+            request_id=i,
+            arrival_s=0.0,
+            prompt_len=cfg.prompt_len,
+            output_len=cfg.output_len,
+        )
+        for i in range(cfg.batch_size)
+    ]
+    stats = runtime.run(requests)
     return DisaggregatedResult(
         config=cfg,
-        prefill=prefill_engine._prefill(),
-        kv_migration_s=kv_migration_seconds(cfg),
-        decode=decode_engine._decode(),
+        prefill=runtime.prefill_breakdown,
+        kv_migration_s=runtime.kv_migration_s,
+        decode=stats.decode_breakdown,
+        stats=stats,
     )
 
 

@@ -217,14 +217,16 @@ class InferenceEngine:
         t_cc = flops / (self.gpu.cuda_fp16_flops * 0.5)
         return max(t_mem, t_cc) + _ATTN_LAUNCH_S
 
-    def _prefill_attention_seconds(self) -> float:
+    def _prefill_attention_seconds(
+        self, batch: Optional[int] = None, prompt_len: Optional[int] = None
+    ) -> float:
         """Prefill self-attention (FlashAttention-style) for all layers' one
         pass: quadratic in prompt length."""
         model, cfg = self.model, self.config
+        batch = cfg.batch_size if batch is None else batch
+        prompt_len = cfg.prompt_len if prompt_len is None else prompt_len
         heads = shard_dim(model.num_heads, cfg.num_gpus)
-        flops = (
-            4.0 * cfg.batch_size * heads * model.head_dim * cfg.prompt_len**2
-        )
+        flops = 4.0 * batch * heads * model.head_dim * prompt_len**2
         return flops / (self.gpu.tc_fp16_flops * _ATTN_TC_EFF) + _ATTN_LAUNCH_S
 
     def _other_seconds(self, n_tokens: int) -> float:
@@ -253,21 +255,41 @@ class InferenceEngine:
         )
         return step
 
+    def prefill_tokens_seconds(self, n_tokens: int) -> float:
+        """Linear + elementwise cost of pushing ``n_tokens`` prompt
+        tokens through every layer — the per-chunk prefill primitive the
+        serving runtime composes (attention/comm/LM-head excluded, as in
+        the serving simulator's historical prefill charge)."""
+        if n_tokens <= 0:
+            raise ValueError("n_tokens must be positive")
+        layers = self.model.num_layers
+        return layers * (
+            self._layer_linears_seconds(n_tokens)
+            + self._other_seconds(n_tokens)
+        )
+
     # ---- phases ------------------------------------------------------------------
 
-    def _prefill(self) -> PhaseBreakdown:
-        cfg = self.config
-        n_tokens = cfg.batch_size * cfg.prompt_len
+    def prefill_breakdown(self, batch: int, prompt_len: int) -> PhaseBreakdown:
+        """Full prefill pass for an arbitrary ``batch x prompt_len`` —
+        the primitive the disaggregated runtime's prefill pool prices."""
+        if batch <= 0 or prompt_len <= 0:
+            raise ValueError("batch and prompt_len must be positive")
+        n_tokens = batch * prompt_len
         layers = self.model.num_layers
-        phase = PhaseBreakdown(
+        return PhaseBreakdown(
             linear_s=layers * self._layer_linears_seconds(n_tokens)
-            + self._lm_head_seconds(cfg.batch_size),
-            attention_s=layers * self._prefill_attention_seconds(),
+            + self._lm_head_seconds(batch),
+            attention_s=layers
+            * self._prefill_attention_seconds(batch, prompt_len),
             comm_s=layers
             * self.comm.layer_allreduce_seconds(self.model.hidden_size, n_tokens),
             other_s=layers * self._other_seconds(n_tokens),
         )
-        return phase
+
+    def _prefill(self) -> PhaseBreakdown:
+        cfg = self.config
+        return self.prefill_breakdown(cfg.batch_size, cfg.prompt_len)
 
     def _decode(self) -> PhaseBreakdown:
         cfg = self.config

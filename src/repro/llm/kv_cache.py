@@ -63,6 +63,21 @@ class KVBlockAllocator:
     def can_allocate(self, tokens: int) -> bool:
         return self.blocks_needed(tokens) <= self.free_blocks
 
+    def needs_block(self, seq_id: int) -> bool:
+        """Whether the NEXT ``append_token`` would consume a free block
+        (a fresh tail block, or a copy-on-write duplicate of a shared
+        tail).  The serving runtime's preemption logic asks this before
+        committing a decode iteration."""
+        alloc = self._get(seq_id)
+        if alloc.tokens + 1 > len(alloc.block_ids) * self.block_size:
+            return True
+        return self._refcount[alloc.block_ids[-1]] > 1
+
+    @property
+    def tokens_in_use(self) -> int:
+        """Stored tokens across every sequence (not slot capacity)."""
+        return sum(a.tokens for a in self._sequences.values())
+
     # ---- allocation -----------------------------------------------------------------
 
     def allocate(self, seq_id: int, tokens: int) -> SequenceAllocation:
@@ -162,6 +177,17 @@ class KVBlockAllocator:
     def free_block_ids(self) -> List[int]:
         """Snapshot of the free list."""
         return list(self._free)
+
+    def snapshot(self, t: float = 0.0, pool: str = "gpu0"):
+        """Immutable, lintable copy of the current bookkeeping.
+
+        Returns a :class:`~repro.runtime.trace.KVSnapshot`, which the
+        K-rule checker (``lint_kv_allocator``) audits exactly like a
+        live allocator.
+        """
+        from ..runtime.trace import KVSnapshot
+
+        return KVSnapshot.capture(self, t, pool)
 
     def _get(self, seq_id: int) -> SequenceAllocation:
         try:

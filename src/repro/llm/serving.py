@@ -1,26 +1,41 @@
-"""Continuous-batching serving simulator.
+"""Continuous-batching serving simulator (runtime-backed).
 
 The paper positions SpInfer as orthogonal to online serving systems
 (Orca-style continuous batching, vLLM memory management) and claims it
 "can complement and improve their performance".  This module tests that
-claim quantitatively: an event-driven server admits requests into a
-running batch whenever KV-cache memory allows, prices each decode
-iteration with :meth:`repro.llm.inference.InferenceEngine.
-decode_step_seconds`, and reports latency/throughput statistics.
+claim quantitatively over the discrete-event core in
+:mod:`repro.runtime`: a continuous-batching scheduler admits requests
+into a running batch under a live paged-KV budget (the
+:class:`~repro.llm.kv_cache.KVBlockAllocator` is the single source of
+KV truth), prices each iteration with
+:meth:`repro.llm.inference.InferenceEngine.decode_step_seconds`, and
+reports latency / TTFT / throughput statistics.
 
 The mechanism by which SpInfer helps is twofold: faster decode steps
 (kernel speedup) and — often more importantly — the TCA-BME weight
 footprint leaves more DRAM headroom for KV cache, so the server sustains
-a larger running batch before hitting the admission wall.
+a larger running batch before hitting the admission wall.  Two
+scheduler upgrades over the historical simulator sharpen the test:
+**chunked prefill** interleaves prompt processing with decode steps
+instead of blocking every running sequence behind each new prompt, and
+**preemption-by-recompute** lets admission run on-demand (actual
+blocks, not worst-case reservations) with vLLM's recompute discipline
+paying for the overcommit.
+
+``ServingSimulator.run_legacy`` preserves the original hand-rolled loop
+(with its infinite-admission hazard fixed) as the translation-validation
+baseline: on an FCFS / blocking-prefill / no-preemption configuration
+the runtime must reproduce its throughput and makespan within 1 %.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..gpu.specs import get_gpu
+from ..runtime import ContinuousBatchingScheduler, GPUPool, RuntimeTrace
 from .inference import InferenceConfig, InferenceEngine
 from .memory import kv_budget_bytes, kv_bytes_per_token
 
@@ -29,6 +44,7 @@ __all__ = [
     "ServingConfig",
     "ServingStats",
     "ServingSimulator",
+    "compare_frameworks",
     "mixed_workload",
     "poisson_workload",
 ]
@@ -45,6 +61,7 @@ class Request:
     # Filled by the simulator:
     start_s: Optional[float] = None
     finish_s: Optional[float] = None
+    first_token_s: Optional[float] = None
     generated: int = 0
 
     @property
@@ -58,6 +75,14 @@ class Request:
         if self.start_s is None:
             return None
         return self.start_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time to first token — the interactive-latency metric chunked
+        prefill exists to improve."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
 
 
 def poisson_workload(
@@ -121,12 +146,34 @@ class ServingConfig:
     #: Admission order: "fcfs" (arrival order) or "sjf" (shortest
     #: remaining output first — trades fairness for mean latency).
     policy: str = "fcfs"
+    #: Paged-KV block size (tokens per block).
+    block_size: int = 16
+    #: Interleave prompt processing with decode steps instead of
+    #: blocking the whole batch behind each new prefill.
+    chunked_prefill: bool = False
+    #: Prompt tokens processed per iteration in chunked mode.
+    chunk_tokens: int = 128
+    #: Admit on demand and preempt-by-recompute when the pool runs dry
+    #: (off = worst-case block reservation at admission).
+    preemption: bool = False
+    #: Capture a lintable KV snapshot every N iterations (0 = never).
+    snapshot_every: int = 0
+    #: Optional cap on the KV pool, in tokens — lets experiments pit
+    #: schedulers against each other at an equal, artificially tight
+    #: memory budget.  None = everything the DRAM budget allows.
+    kv_cap_tokens: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if self.policy not in ("fcfs", "sjf"):
             raise ValueError(f"unknown policy {self.policy!r}; use fcfs or sjf")
+        if self.block_size <= 0 or self.chunk_tokens <= 0:
+            raise ValueError("block_size and chunk_tokens must be positive")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every cannot be negative")
+        if self.kv_cap_tokens is not None and self.kv_cap_tokens <= 0:
+            raise ValueError("kv_cap_tokens must be positive when set")
 
 
 @dataclass
@@ -137,32 +184,51 @@ class ServingStats:
     makespan_s: float
     peak_batch: int
     kv_budget_bytes: float
+    #: Requests whose worst-case KV exceeds the whole pool — admitted
+    #: nowhere, reported instead of spinning the scheduler forever.
+    rejected: List[Request] = field(default_factory=list)
+    preemptions: int = 0
+    iterations: int = 0
+    trace: Optional[RuntimeTrace] = None
 
     @property
     def throughput_tokens_per_s(self) -> float:
         total = sum(r.output_len for r in self.completed)
         return total / self.makespan_s if self.makespan_s > 0 else 0.0
 
-    def latency_percentile(self, pct: float) -> float:
+    def _percentile(self, values: List[float], pct: float) -> float:
         """Nearest-rank percentile: the ``ceil(pct/100 * n)``-th smallest
-        latency, so p50 of a small sample is a real median-ish value
+        value, so p50 of a small sample is a real median-ish value
         rather than the truncation-index overshoot."""
-        lats = sorted(r.latency_s for r in self.completed)
-        if not lats:
+        if not values:
             raise ValueError("no completed requests")
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        rank = math.ceil(pct / 100.0 * len(lats))
-        return lats[max(0, rank - 1)]
+        ordered = sorted(values)
+        rank = math.ceil(pct / 100.0 * len(ordered))
+        return ordered[max(0, rank - 1)]
+
+    def latency_percentile(self, pct: float) -> float:
+        return self._percentile([r.latency_s for r in self.completed], pct)
+
+    def ttft_percentile(self, pct: float) -> float:
+        return self._percentile(
+            [r.ttft_s for r in self.completed if r.ttft_s is not None], pct
+        )
 
     @property
     def mean_latency_s(self) -> float:
         lats = [r.latency_s for r in self.completed]
         return sum(lats) / len(lats) if lats else 0.0
 
+    @property
+    def mean_ttft_s(self) -> float:
+        ttfts = [r.ttft_s for r in self.completed if r.ttft_s is not None]
+        return sum(ttfts) / len(ttfts) if ttfts else 0.0
+
 
 class ServingSimulator:
-    """Orca-style continuous batching over the inference cost model."""
+    """Continuous batching as a policy over the discrete-event runtime."""
 
     def __init__(self, config: ServingConfig):
         self.config = config
@@ -211,28 +277,84 @@ class ServingSimulator:
     def _kv_bytes_per_token(self) -> float:
         return kv_bytes_per_token(self.engine.model, self.config.num_gpus)
 
-    def _prefill_seconds(self, request: Request) -> float:
-        tokens = request.prompt_len
-        layers = self.engine.model.num_layers
-        return layers * (
-            self.engine._layer_linears_seconds(tokens)
-            + self.engine._other_seconds(tokens)
+    # ---- runtime construction --------------------------------------------------------
+
+    def build_pool(self) -> GPUPool:
+        """The per-GPU resource model this server schedules against."""
+        cfg = self.config
+        budget = self.kv_budget
+        if cfg.kv_cap_tokens is not None:
+            budget = min(
+                budget, cfg.kv_cap_tokens * self._kv_bytes_per_token()
+            )
+        return GPUPool(
+            engine=self.engine,
+            kv_budget_bytes=budget,
+            block_size=cfg.block_size,
+            max_batch=cfg.max_batch,
+        )
+
+    def build_scheduler(self) -> ContinuousBatchingScheduler:
+        cfg = self.config
+        return ContinuousBatchingScheduler(
+            self.build_pool(),
+            policy=cfg.policy,
+            prefill_mode="chunked" if cfg.chunked_prefill else "blocking",
+            chunk_tokens=cfg.chunk_tokens,
+            preemption=cfg.preemption,
+            snapshot_every=cfg.snapshot_every,
         )
 
     def run(self, requests: List[Request]) -> ServingStats:
-        """Simulate the trace to completion."""
+        """Simulate the trace to completion on the event runtime."""
         if not requests:
             raise ValueError("empty workload")
-        pending = sorted(requests, key=lambda r: r.arrival_s)
+        res = self.build_scheduler().run(requests)
+        return ServingStats(
+            completed=res.completed,
+            makespan_s=res.makespan_s,
+            peak_batch=res.peak_batch,
+            kv_budget_bytes=self.kv_budget,
+            rejected=res.rejected,
+            preemptions=res.preemptions,
+            iterations=res.iterations,
+            trace=res.trace,
+        )
+
+    # ---- legacy baseline -------------------------------------------------------------
+
+    def run_legacy(self, requests: List[Request]) -> ServingStats:
+        """The historical hand-rolled loop, kept as the translation-
+        validation baseline for the event runtime.
+
+        Differences from the original: a request whose worst-case KV
+        need exceeds the whole budget is rejected up front (the original
+        never admitted it, never advanced the clock, and spun forever),
+        and admission reserves TRUE worst-case bytes for running
+        sequences (``prompt + output``) rather than their decayed
+        current footprint, so the budget can never be oversubscribed.
+        """
+        if not requests:
+            raise ValueError("empty workload")
+        kv_per_token = self._kv_bytes_per_token()
+        rejected = [
+            r for r in requests
+            if (r.prompt_len + r.output_len) * kv_per_token > self.kv_budget
+        ]
+        reject_ids = {r.request_id for r in rejected}
+        pending = sorted(
+            (r for r in requests if r.request_id not in reject_ids),
+            key=lambda r: r.arrival_s,
+        )
         running: List[Request] = []
         completed: List[Request] = []
         now = 0.0
         peak_batch = 0
-        kv_per_token = self._kv_bytes_per_token()
+        iterations = 0
 
-        def kv_in_use() -> float:
+        def kv_reserved() -> float:
             return sum(
-                (r.prompt_len + r.generated) * kv_per_token for r in running
+                (r.prompt_len + r.output_len) * kv_per_token for r in running
             )
 
         sjf = self.config.policy == "sjf"
@@ -246,11 +368,11 @@ class ServingSimulator:
                     break
                 nxt = min(arrived, key=lambda r: r.output_len) if sjf else arrived[0]
                 need = (nxt.prompt_len + nxt.output_len) * kv_per_token
-                if kv_in_use() + need > self.kv_budget:
+                if kv_reserved() + need > self.kv_budget:
                     break
                 pending.remove(nxt)
                 nxt.start_s = now
-                now += self._prefill_seconds(nxt)
+                now += self.engine.prefill_tokens_seconds(nxt.prompt_len)
                 running.append(nxt)
 
             if not running:
@@ -262,10 +384,13 @@ class ServingSimulator:
             ) / len(running)
             step = self.engine.decode_step_seconds(len(running), avg_context)
             now += step.total_s
+            iterations += 1
 
             still_running: List[Request] = []
             for r in running:
                 r.generated += 1
+                if r.first_token_s is None:
+                    r.first_token_s = now
                 if r.generated >= r.output_len:
                     r.finish_s = now
                     completed.append(r)
@@ -278,6 +403,8 @@ class ServingSimulator:
             makespan_s=now,
             peak_batch=peak_batch,
             kv_budget_bytes=self.kv_budget,
+            rejected=rejected,
+            iterations=iterations,
         )
 
 

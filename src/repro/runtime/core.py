@@ -1,0 +1,148 @@
+"""Discrete-event loop and per-GPU resource model.
+
+The runtime's core is deliberately small: an :class:`EventLoop` with an
+explicit clock and a deterministic event queue, plus a :class:`GPUPool`
+that bundles what a scheduler may consume on one GPU group — an
+:class:`~repro.llm.inference.InferenceEngine` for iteration costs and a
+:class:`~repro.llm.kv_cache.KVBlockAllocator` as the *single* source of
+KV-memory truth.  Schedulers (:mod:`repro.runtime.scheduler`) are
+policies layered on top; they own no clock and no memory arithmetic of
+their own.
+
+Determinism contract: events fire in ``(time, insertion order)`` order.
+Ties on the clock are broken by a monotone sequence number, never by
+object identity or hash order, so the same inputs always replay the
+same schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..llm.inference import InferenceEngine, PhaseBreakdown
+from ..llm.kv_cache import KVBlockAllocator
+from ..llm.memory import kv_bytes_per_token
+
+__all__ = ["EventLoop", "GPUPool"]
+
+#: Hard ceiling on dispatched events — a runaway-schedule backstop far
+#: above any legitimate simulation (the legacy simulator's infinite
+#: admission spin is exactly the failure mode this bounds).
+MAX_EVENTS = 5_000_000
+
+
+class EventLoop:
+    """Explicit-clock event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.dispatched = 0
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the clock reaches ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before now={self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.schedule_at(self.now + delay, callback)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def run(self, max_events: int = MAX_EVENTS) -> None:
+        """Dispatch events until the queue drains."""
+        while self._heap:
+            if self.dispatched >= max_events:
+                raise RuntimeError(
+                    f"event budget of {max_events} exhausted at "
+                    f"t={self.now:.3f}s — the schedule is not making "
+                    "progress (likely a policy that re-enqueues without "
+                    "advancing the clock)"
+                )
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            self.dispatched += 1
+            callback()
+
+
+class GPUPool:
+    """One GPU group's resources: a cost model plus a paged KV pool.
+
+    The allocator is sized from the DRAM budget left after weights
+    (``kv_budget_bytes / (block_size * kv_bytes_per_token)`` blocks)
+    unless ``total_blocks`` overrides it — disaggregated simulations use
+    the override to model pools whose feasibility is the *linter's*
+    verdict (rules D001/D002), not a runtime crash.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        kv_budget_bytes: float,
+        block_size: int = 16,
+        max_batch: int = 32,
+        name: str = "gpu0",
+        total_blocks: Optional[int] = None,
+    ) -> None:
+        if block_size <= 0 or max_batch <= 0:
+            raise ValueError("block_size and max_batch must be positive")
+        self.engine = engine
+        self.name = name
+        self.max_batch = max_batch
+        self.block_size = block_size
+        self.kv_budget_bytes = kv_budget_bytes
+        self.kv_per_token = kv_bytes_per_token(
+            engine.model, engine.config.num_gpus
+        )
+        if total_blocks is None:
+            total_blocks = int(
+                kv_budget_bytes // (block_size * self.kv_per_token)
+            )
+        if total_blocks <= 0:
+            raise ValueError(
+                f"pool {name!r} has no KV blocks: budget "
+                f"{kv_budget_bytes / 1e9:.2f} GB at "
+                f"{self.kv_per_token / 1e6:.2f} MB/token"
+            )
+        self.allocator = KVBlockAllocator(
+            total_blocks=total_blocks, block_size=block_size
+        )
+        #: True when the pool was sized past its DRAM budget (override).
+        self.oversubscribed = (
+            total_blocks * block_size * self.kv_per_token > kv_budget_bytes
+        )
+
+    # ---- capacity ------------------------------------------------------------------
+
+    def blocks_for(self, tokens: int) -> int:
+        return self.allocator.blocks_needed(tokens)
+
+    def fits_at_all(self, tokens: int) -> bool:
+        """Whether a sequence of ``tokens`` could EVER hold its KV here.
+
+        The admission-safety rule that kills the legacy infinite loop: a
+        request failing this check is rejected at arrival instead of
+        parking in the waiting queue forever.
+        """
+        return self.blocks_for(tokens) <= self.allocator.total_blocks
+
+    # ---- iteration costs -------------------------------------------------------------
+
+    def decode_step(self, batch: int, avg_context: float) -> PhaseBreakdown:
+        return self.engine.decode_step_seconds(batch, avg_context)
+
+    def prefill_tokens_seconds(self, tokens: int) -> float:
+        return self.engine.prefill_tokens_seconds(tokens)
+
+    def prefill_breakdown(self, batch: int, prompt_len: int) -> PhaseBreakdown:
+        return self.engine.prefill_breakdown(batch, prompt_len)

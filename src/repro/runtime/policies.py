@@ -1,0 +1,108 @@
+"""Admission-ordering policies for the waiting queue.
+
+The legacy simulator kept pending requests in a sorted list and, every
+iteration, rebuilt ``[r for r in pending if r.arrival_s <= now]`` and
+called ``pending.remove(nxt)`` — O(n²) over the trace.  These policies
+replace that with the standard two-heap pattern: a *future* heap keyed
+on arrival time feeds a *ready* heap keyed on the policy's priority as
+the clock passes each arrival.  Push, release and pop are all
+O(log n); ties break on a monotone insertion counter so ordering never
+depends on object identity.
+
+Preempted sequences are re-pushed with their original key: under FCFS
+their early arrival time puts them near the front (vLLM's recompute
+requeue discipline); under SJF their *remaining* work re-ranks them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+__all__ = ["AdmissionPolicy", "FCFSPolicy", "SJFPolicy", "POLICIES", "get_policy"]
+
+
+class AdmissionPolicy:
+    """Two-heap waiting queue; subclasses define the ready-heap key."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._future: List[Tuple[float, int, object]] = []
+        self._ready: List[Tuple[Tuple, int, object]] = []
+        self._counter = 0
+
+    def _key(self, request) -> Tuple:
+        raise NotImplementedError
+
+    def push(self, request) -> None:
+        """Enqueue a request (fresh arrival or preempted requeue)."""
+        entry = (request.arrival_s, self._counter, request)
+        self._counter += 1
+        heapq.heappush(self._future, entry)
+
+    def release(self, now: float) -> None:
+        """Move every request with ``arrival_s <= now`` to the ready heap."""
+        while self._future and self._future[0][0] <= now:
+            _, _, request = heapq.heappop(self._future)
+            heapq.heappush(
+                self._ready, (self._key(request), self._counter, request)
+            )
+            self._counter += 1
+
+    def peek_ready(self, now: float):
+        """Highest-priority admissible request, without removing it."""
+        self.release(now)
+        return self._ready[0][2] if self._ready else None
+
+    def pop_ready(self, now: float):
+        self.release(now)
+        if not self._ready:
+            return None
+        return heapq.heappop(self._ready)[2]
+
+    def next_arrival(self) -> Optional[float]:
+        """Earliest future arrival time, or None when only ready work
+        (or nothing) remains."""
+        return self._future[0][0] if self._future else None
+
+    def __len__(self) -> int:
+        return len(self._future) + len(self._ready)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FCFSPolicy(AdmissionPolicy):
+    """First-come-first-served: ready heap ordered by arrival time."""
+
+    name = "fcfs"
+
+    def _key(self, request) -> Tuple:
+        return (request.arrival_s,)
+
+
+class SJFPolicy(AdmissionPolicy):
+    """Shortest-job-first over *remaining* output tokens.
+
+    Trades fairness for mean latency; remaining (not total) length keeps
+    preempted-and-requeued sequences honestly ranked.
+    """
+
+    name = "sjf"
+
+    def _key(self, request) -> Tuple:
+        remaining = request.output_len - getattr(request, "generated", 0)
+        return (remaining, request.arrival_s)
+
+
+POLICIES = {"fcfs": FCFSPolicy, "sjf": SJFPolicy}
+
+
+def get_policy(name: str) -> AdmissionPolicy:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None

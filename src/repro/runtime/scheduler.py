@@ -1,0 +1,585 @@
+"""Schedulers: policies layered on the event loop and GPU pools.
+
+:class:`ContinuousBatchingScheduler` is the Orca/vLLM-style iteration
+scheduler: requests are admitted into a running batch under a live KV
+budget (the pool's :class:`~repro.llm.kv_cache.KVBlockAllocator` is the
+single source of truth — no token arithmetic on the side), prefill runs
+either *blocking* (charged serially at admission, the legacy behaviour)
+or *chunked* (interleaved with decode steps, killing head-of-line
+blocking), and when the pool runs dry the scheduler preempts by
+recompute exactly like vLLM: the victim's blocks are freed, the request
+re-queues, and on re-admission it re-prefills ``prompt + generated``
+tokens.
+
+Admission safety comes in two modes:
+
+* **reserve** (preemption off) — worst-case ``prompt + output`` blocks
+  are committed at admission, so ``append_token`` can never fail; this
+  is the legacy simulator's discipline, done in block units.
+* **on-demand** (preemption on) — only the immediately needed blocks
+  gate admission; the batch grows past the worst-case wall and
+  preemption pays for the overcommit when it is actually hit.
+
+:class:`DisaggregatedRuntime` composes two pools with KV-migration
+events: prefill batches on pool A, the produced cache crosses the
+inter-pool link as an explicit timed event, and decode continues on
+pool B through a ``preloaded``-mode batching scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..llm.inference import PhaseBreakdown
+from .core import EventLoop, GPUPool
+from .events import EventKind
+from .policies import AdmissionPolicy, get_policy
+from .trace import RuntimeTrace
+
+__all__ = [
+    "PREFILL_MODES",
+    "SeqState",
+    "RuntimeStats",
+    "ContinuousBatchingScheduler",
+    "DisaggregatedRuntime",
+]
+
+PREFILL_MODES = ("blocking", "chunked", "preloaded")
+
+
+@dataclass(eq=False)
+class SeqState:
+    """One admitted sequence's runtime state.
+
+    The request object carries the externally visible fields
+    (``generated``, ``start_s``, ``first_token_s``, ``finish_s``); this
+    wrapper tracks what the scheduler needs between iterations.
+    """
+
+    req: object
+    seq_id: int
+    prefill_target: int
+    prefill_done: int = 0
+    reserved_blocks: int = 0
+    admit_order: int = 0
+
+    @property
+    def decoding(self) -> bool:
+        return self.prefill_done >= self.prefill_target
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregate outcome of one scheduler run."""
+
+    completed: List = field(default_factory=list)
+    rejected: List = field(default_factory=list)
+    makespan_s: float = 0.0
+    peak_batch: int = 0
+    peak_concurrency: int = 0
+    preemptions: int = 0
+    iterations: int = 0
+    prefill_s: float = 0.0
+    decode_breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    kv_budget_bytes: float = 0.0
+    total_blocks: int = 0
+    trace: Optional[RuntimeTrace] = None
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level continuous batching over one :class:`GPUPool`."""
+
+    def __init__(
+        self,
+        pool: GPUPool,
+        policy: str = "fcfs",
+        prefill_mode: str = "blocking",
+        chunk_tokens: int = 128,
+        preemption: bool = False,
+        snapshot_every: int = 0,
+    ) -> None:
+        if prefill_mode not in PREFILL_MODES:
+            raise ValueError(
+                f"unknown prefill mode {prefill_mode!r}; "
+                f"use one of {PREFILL_MODES}"
+            )
+        if chunk_tokens <= 0:
+            raise ValueError("chunk_tokens must be positive")
+        if snapshot_every < 0:
+            raise ValueError("snapshot_every cannot be negative")
+        self.pool = pool
+        self.prefill_mode = prefill_mode
+        self.chunk_tokens = chunk_tokens
+        self.preemption = preemption
+        self.snapshot_every = snapshot_every
+        self._policy: AdmissionPolicy = get_policy(policy)
+        self._running: List[SeqState] = []
+        self._committed_blocks = 0  # reserve-mode worst-case accounting
+        self._busy = False
+        self._admit_counter = 0
+        self._loop: Optional[EventLoop] = None
+        self.trace = RuntimeTrace()
+        self.stats = RuntimeStats(
+            kv_budget_bytes=pool.kv_budget_bytes,
+            total_blocks=pool.allocator.total_blocks,
+            trace=self.trace,
+        )
+
+    # ---- wiring ----------------------------------------------------------------------
+
+    def attach(
+        self, loop: EventLoop, trace: Optional[RuntimeTrace] = None
+    ) -> "ContinuousBatchingScheduler":
+        """Bind to an external loop (two-pool compositions share one)."""
+        self._loop = loop
+        if trace is not None:
+            self.trace = trace
+            self.stats.trace = trace
+        return self
+
+    def run(self, requests: Sequence) -> RuntimeStats:
+        """Simulate a whole trace on a private loop."""
+        if not requests:
+            raise ValueError("empty workload")
+        loop = EventLoop()
+        self.attach(loop)
+        for req in sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        ):
+            loop.schedule_at(req.arrival_s, self._make_arrival(req))
+        loop.run()
+        return self.finalize()
+
+    def _make_arrival(self, req) -> Callable[[], None]:
+        return lambda: self.submit(req)
+
+    def finalize(self) -> RuntimeStats:
+        if self._running or self._policy:
+            raise RuntimeError(
+                f"finalize with {len(self._running)} running and "
+                f"{len(self._policy)} queued sequences — the loop did "
+                "not drain"
+            )
+        self.stats.makespan_s = self._loop.now if self._loop else 0.0
+        if self.snapshot_every:
+            # Terminal snapshot: proves every block went back to the
+            # free list (refcount conservation after a full trace).
+            self.trace.snapshot(
+                self.pool.allocator, self.stats.makespan_s, self.pool.name
+            )
+        return self.stats
+
+    # ---- arrivals --------------------------------------------------------------------
+
+    def submit(self, req) -> None:
+        """A request reaches this pool now (arrival or KV hand-off)."""
+        now = self._loop.now
+        total_tokens = req.prompt_len + req.output_len
+        self.trace.record(
+            now, EventKind.ARRIVE, req.request_id, self.pool.name,
+            prompt=req.prompt_len, output=req.output_len,
+        )
+        if not self.pool.fits_at_all(total_tokens):
+            # The legacy simulator parked such requests forever (the
+            # admission loop never advanced the clock).  Reject loudly.
+            self.trace.record(
+                now, EventKind.REJECT, req.request_id, self.pool.name,
+                reason=(
+                    f"needs {self.pool.blocks_for(total_tokens)} KV blocks "
+                    f"for {total_tokens} tokens; the pool has "
+                    f"{self.pool.allocator.total_blocks}"
+                ),
+            )
+            self.stats.rejected.append(req)
+            return
+        self._policy.push(req)
+        # Defer behind every other event queued at this instant so
+        # simultaneous submissions (a burst, a migrated batch) are all
+        # visible to the same admission pass — the legacy loop admitted
+        # everything arrived at-or-before `now` in one iteration.
+        self._loop.schedule_at(self._loop.now, self._kick)
+
+    # ---- the iteration engine --------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._busy or self._loop is None:
+            return
+        now = self._loop.now
+        if self._running or self._policy.peek_ready(now) is not None:
+            self._start_iteration()
+
+    def _admissible(self, req) -> bool:
+        worst_case = self.pool.blocks_for(req.prompt_len + req.output_len)
+        if not self.preemption:
+            return (
+                self._committed_blocks + worst_case
+                <= self.pool.allocator.total_blocks
+            )
+        target = req.prompt_len + req.generated
+        initial = (
+            min(self.chunk_tokens, target)
+            if self.prefill_mode == "chunked"
+            else target
+        )
+        return self.pool.allocator.can_allocate(initial)
+
+    def _admit(self, req, t: float) -> Tuple[SeqState, float]:
+        """Allocate and (in blocking mode) charge the prefill; returns
+        the new sequence and the seconds of prefill charged."""
+        alloc = self.pool.allocator
+        target = req.prompt_len + req.generated
+        seq = SeqState(
+            req=req,
+            seq_id=req.request_id,
+            prefill_target=target,
+            admit_order=self._admit_counter,
+        )
+        self._admit_counter += 1
+        cost = 0.0
+        if self.prefill_mode == "chunked":
+            alloc.allocate(seq.seq_id, 0)
+        else:
+            alloc.allocate(seq.seq_id, target)
+            seq.prefill_done = target
+            if self.prefill_mode == "blocking":
+                cost = self.pool.prefill_tokens_seconds(target)
+                self.stats.prefill_s += cost
+        if not self.preemption:
+            seq.reserved_blocks = self.pool.blocks_for(
+                req.prompt_len + req.output_len
+            )
+            self._committed_blocks += seq.reserved_blocks
+        if req.start_s is None:
+            req.start_s = t
+        self._running.append(seq)
+        self.trace.record(
+            t, EventKind.ADMIT, seq.seq_id, self.pool.name,
+            prefill_target=target, prefill_s=cost,
+            queue_s=t - req.arrival_s,
+        )
+        return seq, cost
+
+    def _victim(self, exclude: Optional[SeqState] = None) -> Optional[SeqState]:
+        """Lowest-priority running sequence (vLLM's preemption order)."""
+        candidates = [s for s in self._running if s is not exclude]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda s: (self._policy._key(s.req), s.admit_order),
+        )
+
+    def _preempt(self, seq: SeqState, t: float) -> int:
+        freed = self.pool.allocator.free(seq.seq_id)
+        self._running.remove(seq)
+        self._committed_blocks -= seq.reserved_blocks
+        self.stats.preemptions += 1
+        self.trace.record(
+            t, EventKind.PREEMPT, seq.seq_id, self.pool.name,
+            freed_blocks=freed, generated=seq.req.generated,
+        )
+        # Recompute discipline: the request re-queues and, when
+        # re-admitted, prefills prompt + already-generated tokens.
+        self._policy.push(seq.req)
+        return freed
+
+    def _tail_slack(self, seq: SeqState) -> int:
+        """Token slots left in the sequence's allocated blocks."""
+        alloc = self.pool.allocator.sequence(seq.seq_id)
+        return len(alloc.block_ids) * self.pool.block_size - alloc.tokens
+
+    def _fit_prefill_tokens(self, seq: SeqState, want: int, t: float) -> int:
+        """How many prefill tokens fit right now, preempting if allowed."""
+        alloc = self.pool.allocator
+        capacity = (
+            alloc.free_blocks * self.pool.block_size + self._tail_slack(seq)
+        )
+        while capacity < want and self.preemption:
+            victim = self._victim(exclude=seq)
+            if victim is None:
+                break
+            capacity += self._preempt(victim, t) * self.pool.block_size
+        return min(want, capacity)
+
+    def _ensure_decode_capacity(
+        self, decoders: List[SeqState], t: float
+    ) -> List[SeqState]:
+        """Guarantee one-token appends for the decode batch, shedding
+        the lowest-priority sequences when the pool is dry."""
+        alloc = self.pool.allocator
+        while True:
+            needed = sum(
+                1 for s in decoders if self._tail_slack(s) == 0
+            )
+            if alloc.free_blocks >= needed:
+                return decoders
+            if not self.preemption:
+                raise MemoryError(
+                    f"KV pool dry: {needed} blocks needed, "
+                    f"{alloc.free_blocks} free, preemption disabled — "
+                    "reserve-mode admission should have prevented this"
+                )
+            victim = self._victim()
+            if victim is None or len(self._running) <= 1:
+                raise MemoryError(
+                    "KV pool dry with a single running sequence — the "
+                    "pool cannot hold even one worst-case request"
+                )
+            self._preempt(victim, t)
+            decoders = [s for s in decoders if s in self._running]
+
+    def _start_iteration(self) -> None:
+        loop = self._loop
+        t0 = loop.now
+        t = t0  # advances past blocking prefills within the iteration
+        alloc = self.pool.allocator
+
+        # Admission: fill the batch while slots and KV admit.  Blocking
+        # prefills advance the local clock, so requests arriving DURING
+        # a prefill are admissible in the same iteration (the legacy
+        # loop's behaviour, preserved for translation validation).
+        while len(self._running) < self.pool.max_batch:
+            head = self._policy.peek_ready(t)
+            if head is None or not self._admissible(head):
+                break  # head-of-line: later arrivals do not jump the KV wall
+            self._policy.pop_ready(t)
+            _, cost = self._admit(head, t)
+            t += cost
+        prefill_time = t - t0
+
+        # Chunked prefill: spend the chunk budget on prefilling
+        # sequences in admission order, interleaved with decode below.
+        chunk_done = 0
+        if self.prefill_mode == "chunked":
+            budget = self.chunk_tokens
+            for seq in list(self._running):
+                if budget <= 0:
+                    break
+                if seq not in self._running:
+                    continue  # preempted while an earlier chunk made room
+                remaining = seq.prefill_target - seq.prefill_done
+                if remaining <= 0:
+                    continue
+                take = self._fit_prefill_tokens(
+                    seq, min(budget, remaining), t
+                )
+                if take <= 0:
+                    continue
+                for _ in range(take):
+                    alloc.append_token(seq.seq_id)
+                seq.prefill_done += take
+                budget -= take
+                chunk_done += take
+                self.trace.record(
+                    t, EventKind.PREFILL_CHUNK, seq.seq_id, self.pool.name,
+                    tokens=take,
+                    remaining=seq.prefill_target - seq.prefill_done,
+                )
+        chunk_time = (
+            self.pool.prefill_tokens_seconds(chunk_done) if chunk_done else 0.0
+        )
+        if chunk_done:
+            self.stats.prefill_s += chunk_time
+
+        # Decode step for every sequence past its prefill target.
+        decoders = [s for s in self._running if s.decoding]
+        decode_time = 0.0
+        if decoders:
+            decoders = self._ensure_decode_capacity(decoders, t)
+        if decoders:
+            contexts = [alloc.sequence(s.seq_id).tokens for s in decoders]
+            avg_context = sum(contexts) / len(decoders)
+            step = self.pool.decode_step(len(decoders), avg_context)
+            for seq in decoders:
+                alloc.append_token(seq.seq_id)
+            decode_time = step.total_s
+            self.stats.decode_breakdown.add(step)
+            self.trace.record(
+                t, EventKind.DECODE_STEP, None, self.pool.name,
+                batch=len(decoders), avg_context=avg_context,
+                step_s=decode_time,
+            )
+
+        total = prefill_time + chunk_time + decode_time
+        if not self._running:
+            return  # admission blocked on KV with an empty batch cannot
+            # happen (arrival screening guarantees a lone head fits), so
+            # this only means: nothing ready yet — wait for arrivals.
+        if total <= 0.0:
+            raise RuntimeError(
+                f"iteration at t={t0:.4f}s made no progress with "
+                f"{len(self._running)} running sequence(s) — the KV pool "
+                "is too small for the admitted work"
+            )
+
+        self.stats.iterations += 1
+        self.stats.peak_batch = max(self.stats.peak_batch, len(decoders))
+        self.stats.peak_concurrency = max(
+            self.stats.peak_concurrency, len(self._running)
+        )
+        self._busy = True
+        loop.schedule_at(
+            t0 + total, lambda: self._finish_iteration(decoders)
+        )
+
+    def _finish_iteration(self, decoders: List[SeqState]) -> None:
+        loop = self._loop
+        now = loop.now
+        alloc = self.pool.allocator
+        for seq in decoders:
+            req = seq.req
+            req.generated += 1
+            if req.first_token_s is None:
+                req.first_token_s = now
+                self.trace.record(
+                    now, EventKind.FIRST_TOKEN, seq.seq_id, self.pool.name,
+                    ttft_s=now - req.arrival_s,
+                )
+            if req.generated >= req.output_len:
+                alloc.free(seq.seq_id)
+                self._committed_blocks -= seq.reserved_blocks
+                self._running.remove(seq)
+                req.finish_s = now
+                self.stats.completed.append(req)
+                self.trace.record(
+                    now, EventKind.FINISH, seq.seq_id, self.pool.name,
+                    latency_s=now - req.arrival_s,
+                )
+        if (
+            self.snapshot_every
+            and self.stats.iterations % self.snapshot_every == 0
+        ):
+            self.trace.snapshot(alloc, now, self.pool.name)
+        self._busy = False
+        self._kick()
+
+
+class DisaggregatedRuntime:
+    """Two pools, one clock: prefill on A, migrate KV, decode on B.
+
+    The prefill pool batches arrived requests FCFS and runs whole-batch
+    prefills; each finished batch triggers a timed KV-migration event
+    sized by ``migration_seconds(tokens)``; on migration completion the
+    requests join the decode pool's scheduler in ``preloaded`` mode
+    (their KV materialises at admission with no recompute cost).
+    """
+
+    def __init__(
+        self,
+        prefill_pool: GPUPool,
+        decode_pool: GPUPool,
+        migration_seconds: Callable[[int], float],
+        decode_policy: str = "fcfs",
+        snapshot_every: int = 0,
+    ) -> None:
+        self.prefill_pool = prefill_pool
+        self.decode_pool = decode_pool
+        self.migration_seconds = migration_seconds
+        self.loop = EventLoop()
+        self.trace = RuntimeTrace()
+        self.decode_sched = ContinuousBatchingScheduler(
+            decode_pool,
+            policy=decode_policy,
+            prefill_mode="preloaded",
+            snapshot_every=snapshot_every,
+        ).attach(self.loop, self.trace)
+        self.prefill_breakdown = PhaseBreakdown()
+        self.kv_migration_s = 0.0
+        self.snapshot_every = snapshot_every
+        self._arrived: List[Tuple[float, int, object]] = []
+        self._prefill_busy = False
+        self._migrations = 0
+
+    # ---- prefill pool ----------------------------------------------------------------
+
+    def _on_arrival(self, req) -> None:
+        now = self.loop.now
+        self.trace.record(
+            now, EventKind.ARRIVE, req.request_id, self.prefill_pool.name,
+            prompt=req.prompt_len, output=req.output_len,
+        )
+        heapq.heappush(self._arrived, (req.arrival_s, req.request_id, req))
+        # Defer the kick behind every other event queued at this instant
+        # so simultaneous arrivals prefill as ONE batch (the closed-form
+        # behaviour), not as a 1-request batch plus a remainder.
+        self.loop.schedule_at(self.loop.now, self._kick_prefill)
+
+    def _kick_prefill(self) -> None:
+        if self._prefill_busy or not self._arrived:
+            return
+        now = self.loop.now
+        batch = []
+        while self._arrived and len(batch) < self.prefill_pool.max_batch:
+            batch.append(heapq.heappop(self._arrived)[2])
+        for req in batch:
+            self.prefill_pool.allocator.allocate(
+                req.request_id, req.prompt_len
+            )
+            if req.start_s is None:
+                req.start_s = now
+        mean_prompt = round(
+            sum(r.prompt_len for r in batch) / len(batch)
+        )
+        phase = self.prefill_pool.prefill_breakdown(len(batch), mean_prompt)
+        self.prefill_breakdown.add(phase)
+        self.trace.record(
+            now, EventKind.ADMIT, None, self.prefill_pool.name,
+            batch=len(batch), prefill_s=phase.total_s,
+        )
+        self._prefill_busy = True
+        self.loop.schedule_after(
+            phase.total_s, lambda: self._finish_prefill(batch)
+        )
+
+    def _finish_prefill(self, batch: List) -> None:
+        now = self.loop.now
+        tokens = sum(r.prompt_len for r in batch)
+        duration = self.migration_seconds(tokens)
+        self.kv_migration_s += duration
+        self.trace.record(
+            now, EventKind.MIGRATE_START, None, self.prefill_pool.name,
+            tokens=tokens, migration_s=duration, batch=len(batch),
+        )
+        # The compute pool frees up immediately; the batch's blocks stay
+        # pinned until the transfer lands on the decode side.
+        self._prefill_busy = False
+        self.loop.schedule_after(
+            duration, lambda: self._finish_migration(batch)
+        )
+        self._kick_prefill()
+
+    def _finish_migration(self, batch: List) -> None:
+        now = self.loop.now
+        self._migrations += 1
+        for req in batch:
+            self.prefill_pool.allocator.free(req.request_id)
+        if self.snapshot_every:
+            self.trace.snapshot(
+                self.prefill_pool.allocator, now, self.prefill_pool.name
+            )
+        self.trace.record(
+            now, EventKind.MIGRATE_END, None, self.decode_pool.name,
+            batch=len(batch),
+        )
+        for req in batch:
+            self.decode_sched.submit(req)
+
+    # ---- entry point -----------------------------------------------------------------
+
+    def run(self, requests: Sequence) -> RuntimeStats:
+        if not requests:
+            raise ValueError("empty workload")
+        for req in sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        ):
+            self.loop.schedule_at(
+                req.arrival_s,
+                (lambda r: lambda: self._on_arrival(r))(req),
+            )
+        self.loop.run()
+        stats = self.decode_sched.finalize()
+        stats.prefill_s = self.prefill_breakdown.total_s
+        stats.trace = self.trace
+        return stats

@@ -15,8 +15,8 @@ class TestParser:
             "fig01", "fig02", "fig03", "fig04", "fig09", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "tab01",
             "abl_grouptile", "abl_splitk", "abl_mma_shape", "abl_quant",
-            "ext_serving", "ext_disagg", "ext_accuracy", "ext_offload",
-            "ext_memory",
+            "ext_serving", "ext_serving_runtime", "ext_disagg",
+            "ext_accuracy", "ext_offload", "ext_memory",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -153,3 +153,78 @@ class TestSweepCommand:
                    "--sparsities", "0.6", "--csv", out])
         assert rc == 0
         assert "csv written" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_text_output(self, capsys):
+        rc = main([
+            "serve", "--model", "opt-13b", "--requests", "8",
+            "--arrival-rate", "4", "--max-batch", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "ttft" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main([
+            "serve", "--model", "opt-13b", "--requests", "8",
+            "--arrival-rate", "4", "--max-batch", "4", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 8
+        assert payload["p99_latency_s"] > 0
+        assert payload["preemptions"] == 0
+
+    def test_chunked_preemption_with_audit(self, capsys):
+        import json
+
+        rc = main([
+            "serve", "--model", "opt-13b", "--requests", "12",
+            "--arrival-rate", "4", "--prompt-len", "96",
+            "--output-lens", "32", "128", "384", "--max-batch", "4",
+            "--kv-cap-tokens", "2048", "--chunked-prefill", "--preemption",
+            "--audit", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 12
+        assert payload["audit"]["errors"] == 0
+        assert payload["audit"]["snapshots"] > 0
+
+    def test_trace_file_input(self, capsys, tmp_path):
+        import json
+
+        trace = [
+            {"request_id": 0, "arrival_s": 0.0,
+             "prompt_len": 32, "output_len": 16},
+            {"request_id": 1, "arrival_s": 0.5,
+             "prompt_len": 64, "output_len": 8},
+        ]
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+        rc = main([
+            "serve", "--model", "opt-13b", "--trace", str(path), "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 2
+
+    def test_sjf_policy(self, capsys):
+        rc = main([
+            "serve", "--model", "opt-13b", "--requests", "8",
+            "--arrival-rate", "8", "--policy", "sjf",
+            "--output-lens", "16", "64", "--max-batch", "2",
+        ])
+        assert rc == 0
+
+    def test_infeasible_model_errors(self, capsys):
+        rc = main([
+            "serve", "--model", "opt-66b", "--framework",
+            "fastertransformer", "--sparsity", "0",
+        ])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().err
