@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..core.bitmap import popcount64
 from ..gpu.warp_sim import (
     WARP_SIZE,
     WarpProgram,
@@ -151,9 +152,8 @@ def interpret(
             if a is TOP:
                 result = TOP
             else:
-                result = np.array(
-                    [int(v).bit_count() for v in a.astype(np.uint64)],
-                    dtype=np.int64,
+                result = np.asarray(
+                    popcount64(a.astype(np.uint64)), dtype=np.int64
                 )
         elif op == "SETP":
             a = read(instr.srcs[0])

@@ -12,6 +12,8 @@ from .ablation_bench import (
     abl_quantization,
     abl_split_k,
 )
+from .accuracy_bench import ext_accuracy
+from .disagg_bench import ext_disaggregation
 from .e2e_bench import (
     fig02_breakdown,
     fig13_e2e_rtx4090,
@@ -20,14 +22,6 @@ from .e2e_bench import (
 )
 from .format_bench import fig03_compression, fig04_roofline
 from .harness import Experiment, format_table, geomean, results_dir
-from .report import generate_report, write_report
-from .pipeline_bench import block_pipeline_config, fig09_pipeline_schedule
-from .accuracy_bench import ext_accuracy
-from .disagg_bench import ext_disaggregation
-from .memory_bench import ext_memory_walls
-from .offload_bench import ext_offloading
-from .serving_bench import ext_serving, ext_serving_runtime
-from .sweeps import export_csv, kernel_sweep
 from .kernel_bench import (
     fig01_motivation,
     fig10_kernel_sweep,
@@ -36,6 +30,12 @@ from .kernel_bench import (
     fig16_prefill,
     tab01_ablation,
 )
+from .memory_bench import ext_memory_walls
+from .offload_bench import ext_offloading
+from .pipeline_bench import block_pipeline_config, fig09_pipeline_schedule
+from .report import generate_report, write_report
+from .serving_bench import ext_serving, ext_serving_runtime
+from .sweeps import export_csv, kernel_sweep
 
 __all__ = [
     "Experiment",

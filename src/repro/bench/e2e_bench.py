@@ -130,7 +130,8 @@ def _e2e_sweep(
     return Experiment(
         exp_id=exp_id,
         title=f"End-to-end OPT inference on {gpu}",
-        headers=["model", "gpus", "batch", "out_len", "framework", "tokens_per_s", "mem_gb"],
+        headers=["model", "gpus", "batch", "out_len", "framework",
+                 "tokens_per_s", "mem_gb"],
         rows=rows,
         metrics=metrics,
         notes=(
@@ -213,7 +214,8 @@ def fig15_time_breakdown() -> Experiment:
     return Experiment(
         exp_id="fig15",
         title="End-to-end time breakdown, OPT-13B BS=16 out=256 (RTX4090)",
-        headers=["framework", "gpus", "total_s", "linear_s", "mha_s", "comm_s", "other_s"],
+        headers=["framework", "gpus", "total_s", "linear_s", "mha_s", "comm_s",
+                 "other_s"],
         rows=rows,
         metrics={
             "spinfer_1gpu_comm_s": shares[("spinfer", 1)]["comm"],

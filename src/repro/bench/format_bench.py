@@ -61,7 +61,9 @@ def fig04_roofline(
     all_memory_bound = True
     for n in ns:
         gemm = roofline_point("gemm", ci_gemm(m, n), gpu)
-        rows.append(["gemm", 0.0, n, gemm.ci, gemm.attainable_tflops, gemm.memory_bound])
+        rows.append(
+            ["gemm", 0.0, n, gemm.ci, gemm.attainable_tflops, gemm.memory_bound]
+        )
         all_memory_bound &= gemm.memory_bound
         for s in sparsities:
             for fmt in ("csr", "tiled-csl", "sparta", "tca-bme"):
@@ -79,7 +81,8 @@ def fig04_roofline(
     return Experiment(
         exp_id="fig04",
         title=f"Roofline analysis on {gpu.name} (M={m})",
-        headers=["kernel", "sparsity", "N", "ci_flops_per_elem", "attainable_tflops", "memory_bound"],
+        headers=["kernel", "sparsity", "N", "ci_flops_per_elem",
+                 "attainable_tflops", "memory_bound"],
         rows=rows,
         metrics={
             "all_decode_points_memory_bound": float(all_memory_bound),

@@ -164,7 +164,8 @@ def fig11_smat_comparison(gpu: GPUSpec = RTX4090) -> Experiment:
     return Experiment(
         exp_id="fig11",
         title="SpInfer vs SMaT across sparsity (clustered patterns)",
-        headers=["sparsity", "block_occupancy", "spinfer_us", "smat_us", "smat/spinfer"],
+        headers=["sparsity", "block_occupancy", "spinfer_us", "smat_us",
+                 "smat/spinfer"],
         rows=rows,
         metrics={
             "spinfer_speedup_at_50": speedup50,
@@ -253,7 +254,8 @@ def tab01_ablation(gpu: GPUSpec = RTX4090) -> Experiment:
     return Experiment(
         exp_id="tab01",
         title="Kernel ablation (M/K/N=28672/8192/16, 60% sparsity)",
-        headers=["config", "duration_us", "max_bw", "issue_busy", "warp_cyc/inst", "tc_util"],
+        headers=["config", "duration_us", "max_bw", "issue_busy",
+                 "warp_cyc/inst", "tc_util"],
         rows=rows,
         metrics={
             "slowdown_no_smbd": times["spinfer_no_smbd"] / times["spinfer"],

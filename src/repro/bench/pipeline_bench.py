@@ -66,7 +66,9 @@ def block_pipeline_config(
     t_decode = decode_ops / (gpu.int_ops / resident_blocks)
 
     flops = 2.0 * gt * gt * problem.n
-    tc_share = gpu.tc_fp16_flops * cal.tc_efficiency_at(problem.n, gpu) / resident_blocks
+    tc_share = (
+        gpu.tc_fp16_flops * cal.tc_efficiency_at(problem.n, gpu) / resident_blocks
+    )
     t_compute = flops / tc_share
 
     return PipelineConfig(
@@ -113,7 +115,8 @@ def fig09_pipeline_schedule(gpu: GPUSpec = RTX4090) -> Experiment:
     return Experiment(
         exp_id="fig09",
         title=f"Derived pipeline schedules, one thread block on {gpu.name}",
-        headers=["variant", "block_time_us", "mem_util", "cuda_util", "tc_util", "tc_stall_us"],
+        headers=["variant", "block_time_us", "mem_util", "cuda_util",
+                 "tc_util", "tc_stall_us"],
         rows=rows,
         metrics={
             "slowdown_no_double_buffering": totals["no double buffering"] / full,

@@ -62,6 +62,10 @@ _GPU_PARAM = {"fig01", "fig09", "fig10", "fig11", "fig12", "fig16", "tab01"}
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.check:
+        return _bench_check(args)
+    if args.experiment is None:
+        return _bench_perf(args)
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in targets:
         try:
@@ -82,6 +86,108 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             path = exp.save()
             print(f"[saved {path}]\n")
     return 0
+
+
+def _bench_perf(args: argparse.Namespace) -> int:
+    """Run the perf suites; with --json also write BENCH_*.json files."""
+    import json as json_mod
+    import os
+
+    from .perf import SUITES, run_suite, suite_filename, write_results
+
+    progress = None if args.json else (lambda msg: print(f"[bench] {msg}"))
+    documents = {}
+    for suite in sorted(SUITES):
+        records = run_suite(
+            suite,
+            quick=args.quick,
+            repeats=args.repeats,
+            seed=args.seed,
+            progress=progress,
+        )
+        documents[suite] = records
+
+    if args.json:
+        out_dir = args.output or "."
+        os.makedirs(out_dir, exist_ok=True)
+        paths = {}
+        for suite, records in documents.items():
+            path = os.path.join(out_dir, suite_filename(suite))
+            write_results(records, path, suite=suite, quick=args.quick)
+            paths[suite] = path
+        print(json_mod.dumps(
+            {"written": paths, "quick": args.quick}, indent=2, sort_keys=True
+        ))
+        return 0
+
+    for suite, records in documents.items():
+        rows = [
+            [
+                r["case"],
+                "x".join(str(s) for s in r["shape"]),
+                f"{r['sparsity']:.0%}",
+                f"{r['median_s'] * 1e3:.3f}",
+                f"{r['mad_s'] * 1e3:.3f}",
+                r["repeats"],
+                r["checksum"],
+            ]
+            for r in records
+        ]
+        print(f"# perf suite: {suite}"
+              f" ({'quick' if args.quick else 'full'} shapes)")
+        print(format_table(
+            ["case", "shape", "sparsity", "median_ms", "mad_ms", "reps", "checksum"],
+            rows,
+        ))
+        print()
+    return 0
+
+
+def _bench_check(args: argparse.Namespace) -> int:
+    """Gate fresh measurements against committed BENCH_*.json baselines."""
+    import os
+
+    from .perf import (
+        compare_documents,
+        load_results,
+        render_regressions,
+        run_suite,
+    )
+
+    fresh_docs = {}
+    if args.against:
+        for spec in args.against:
+            paths = (
+                [os.path.join(spec, f) for f in sorted(os.listdir(spec))
+                 if f.endswith(".json")]
+                if os.path.isdir(spec)
+                else [spec]
+            )
+            for path in paths:
+                doc = load_results(path)
+                fresh_docs[doc["suite"]] = doc
+
+    exit_code = 0
+    for baseline_path in args.check:
+        baseline = load_results(baseline_path)
+        suite = baseline["suite"]
+        fresh = fresh_docs.get(suite)
+        if fresh is None:
+            records = run_suite(
+                suite, quick=True, repeats=args.repeats, seed=args.seed
+            )
+            fresh = {"suite": suite, "cases": records}
+        regressions, notes = compare_documents(
+            baseline, fresh, tolerance=args.tolerance
+        )
+        print(f"== {baseline_path} (suite {suite}, "
+              f"tolerance {args.tolerance:.2f}) ==")
+        print(render_regressions(regressions, notes))
+        if regressions:
+            exit_code = 1
+    if exit_code:
+        print("bench check FAILED", file=sys.stderr)
+    return exit_code
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -416,11 +522,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_bench = sub.add_parser("bench", help="run a paper experiment (or 'all')")
-    p_bench.add_argument("experiment", help="experiment id, e.g. fig10, tab01, all")
+    p_bench = sub.add_parser(
+        "bench",
+        help="run a paper experiment (or 'all'), or — with no experiment — "
+        "the perf-regression suite (see docs/PERFORMANCE.md)",
+    )
+    p_bench.add_argument("experiment", nargs="?", default=None,
+                         help="experiment id, e.g. fig10, tab01, all; omit "
+                         "to run the perf suites instead")
     p_bench.add_argument("--gpu", choices=sorted(GPUS), default=None)
     p_bench.add_argument("--no-save", action="store_true",
                          help="do not write results/<id>.txt")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="perf suite: reduced shapes and repeats (CI mode)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="perf suite: write BENCH_kernels.json / "
+                         "BENCH_runtime.json and print their paths as JSON")
+    p_bench.add_argument("--output", default=None, metavar="DIR",
+                         help="directory for --json output (default: cwd)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="perf suite: override timed repeats per case")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="perf suite: fixture RNG seed")
+    p_bench.add_argument("--check", nargs="+", default=None, metavar="BASELINE",
+                         help="compare against baseline BENCH_*.json file(s); "
+                         "exits nonzero on perf or checksum regression")
+    p_bench.add_argument("--against", nargs="+", default=None, metavar="FRESH",
+                         help="fresh BENCH_*.json file(s) or a directory of "
+                         "them for --check (default: re-run quick suites)")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         help="--check: allowed relative median_s slowdown "
+                         "(0.25 = fail if >25%% slower)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_prof = sub.add_parser("profile", help="profile SpMM kernels on a shape")

@@ -17,6 +17,7 @@ from .bitmap import (
     masked_popcount,
     popcount64,
 )
+from .bitset_ops import mask_columns, pattern_density_per_tile, pattern_overlap
 from .mma_layout import (
     gather_a_fragments,
     gather_b_fragments,
@@ -24,7 +25,6 @@ from .mma_layout import (
     scatter_a_fragments,
     scatter_cd_fragments,
 )
-from .bitset_ops import mask_columns, pattern_density_per_tile, pattern_overlap
 from .quant import QuantizedTCABME, dequantize_values, quantize_values
 from .reference import encode_reference
 from .smbd import DecodeStats, decode_group, decode_group_fast, decode_tctile

@@ -18,6 +18,7 @@ inputs are processed vectorised.
 
 from __future__ import annotations
 
+import sys
 from typing import Union
 
 import numpy as np
@@ -30,7 +31,13 @@ __all__ = [
     "bitmap_from_block",
     "block_mask_from_bitmap",
     "expand_bitmap_rows",
+    "pack_bitmap_rows",
 ]
+
+#: uint64 <-> 8-byte views assume little-endian layout (bit ``8j + b`` of
+#: the bitmap lives in bit ``b`` of byte ``j``); big-endian hosts fall
+#: back to the shift-based paths.
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 #: Number of bits in one BitmapTile bitmap (an 8x8 tile).
 BITMAP_TILE_BITS = 64
@@ -129,8 +136,34 @@ def expand_bitmap_rows(bitmaps: np.ndarray) -> np.ndarray:
     Given ``n`` bitmaps returns an ``(n, 64)`` boolean array whose column
     order matches the compressed value order within each BitmapTile (bit
     index order, i.e. row-major within the 8x8 tile).  This is the
-    vectorised workhorse used by the whole-matrix encoder/decoder.
+    vectorised workhorse used by the whole-matrix encoder/decoder; on
+    little-endian hosts it is a single ``np.unpackbits`` over the raw
+    bitmap bytes.
     """
     arr = np.asarray(bitmaps, dtype=_UINT64).reshape(-1)
+    if _LITTLE_ENDIAN:
+        as_bytes = np.ascontiguousarray(arr).view(np.uint8).reshape(-1, 8)
+        return np.unpackbits(as_bytes, axis=1, bitorder="little").astype(bool)
     shifts = np.arange(64, dtype=np.uint64)
     return ((arr[:, None] >> shifts) & _UINT64(1)).astype(bool)
+
+
+def pack_bitmap_rows(mask: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, 64)`` boolean matrix into ``n`` uint64 bitmaps.
+
+    Exact inverse of :func:`expand_bitmap_rows`; on little-endian hosts
+    a single ``np.packbits`` replaces the 64-lane shift-multiply-sum.
+    """
+    mask = np.asarray(mask)
+    if mask.ndim != 2 or mask.shape[1] != BITMAP_TILE_BITS:
+        raise ValueError(
+            f"expected an (n, {BITMAP_TILE_BITS}) mask, got shape {mask.shape}"
+        )
+    mask = mask != 0
+    if _LITTLE_ENDIAN:
+        packed = np.packbits(mask, axis=1, bitorder="little")
+        return np.ascontiguousarray(packed).view(_UINT64).reshape(-1)
+    weights = np.left_shift(
+        _UINT64(1), np.arange(BITMAP_TILE_BITS, dtype=_UINT64)
+    )
+    return (mask.astype(_UINT64) * weights).sum(axis=1, dtype=_UINT64)

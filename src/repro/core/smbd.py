@@ -14,16 +14,24 @@ Decoding is two-phase per 32-bit register: phase I resolves the even bit
 by *reusing* phase I's count (incremented if ``a0`` was present), so only
 one MaskedPopCount is spent per lane per register.
 
-Two implementations are provided:
+Four implementations are provided, two lane-faithful references and two
+vectorised production paths:
 
-:func:`decode_tctile`
-    Lane-faithful reference: iterates lanes exactly as a warp would,
+:func:`decode_tctile` / :func:`decode_group`
+    Lane-faithful references: iterate lanes exactly as a warp would,
     counting every PopCount / MaskedPopCount / shared-memory load.  Used
     by tests and by the instruction-level simulator.
 
-:func:`decode_group_fast`
-    Vectorised whole-GroupTile decode used by the functional SpMM kernel;
-    bit-identical output, orders of magnitude faster in numpy.
+:func:`decode_group_fast` / :func:`decode_matrix`
+    Vectorised decodes (one GroupTile / the whole matrix); bit-identical
+    output, orders of magnitude faster in numpy.  :func:`decode_matrix`
+    is what the functional SpMM kernel batches its gathers through.
+
+:func:`decode_group_frags`
+    Vectorised fragment decode: same ``(32, 4, 2)`` mma fragments as
+    :func:`decode_group`, but per-lane offsets come from one exclusive
+    cumulative sum over the expanded bitmaps instead of per-lane Python
+    ``bit_count`` loops.
 """
 
 from __future__ import annotations
@@ -37,7 +45,14 @@ from .bitmap import expand_bitmap_rows, masked_popcount, popcount64
 from .mma_layout import WARP_SIZE
 from .tiles import DEFAULT_TILE_CONFIG, TileConfig
 
-__all__ = ["DecodeStats", "decode_tctile", "decode_group", "decode_group_fast"]
+__all__ = [
+    "DecodeStats",
+    "decode_tctile",
+    "decode_group",
+    "decode_group_fast",
+    "decode_group_frags",
+    "decode_matrix",
+]
 
 
 @dataclass
@@ -183,3 +198,84 @@ def decode_group_fast(
         zeros_filled=nbt * 64 - nnz,
     )
     return dense, stats
+
+
+def _closed_form_stats(num_bitmaps: int, nnz: int) -> DecodeStats:
+    """The instruction counts the lane-faithful path would have charged."""
+    return DecodeStats(
+        popcount_ops=num_bitmaps,
+        masked_popcount_ops=num_bitmaps * WARP_SIZE,
+        shared_loads=nnz,
+        values_decoded=nnz,
+        zeros_filled=num_bitmaps * 64 - nnz,
+    )
+
+
+def decode_group_frags(
+    group_bitmaps: np.ndarray,
+    group_values: np.ndarray,
+    config: TileConfig = DEFAULT_TILE_CONFIG,
+) -> Tuple[np.ndarray, DecodeStats]:
+    """Vectorised fragment decode of a whole GroupTile.
+
+    Returns ``(tts_per_gt, 32, 4, 2)`` float16 fragments, bit-identical to
+    stacking :func:`decode_group`'s output.  All per-lane MaskedPopCount
+    offsets fall out of one exclusive cumulative sum over the expanded
+    bitmap bits — the batched equivalent of Algorithm 2's per-lane scans.
+    """
+    group_bitmaps = np.asarray(group_bitmaps, dtype=np.uint64)
+    if group_bitmaps.size % config.bts_per_tt:
+        raise ValueError("bitmap count is not a whole number of TCTiles")
+    values = np.asarray(group_values, dtype=np.float16)
+
+    mask = expand_bitmap_rows(group_bitmaps)  # (nbt, 64) in bit order
+    # Exclusive running count over all bits in storage order: element i of
+    # the flat scan is the number of set bits strictly before bit i, i.e.
+    # exactly base_offset + MaskedPopCount for that bit's lane.
+    flat = mask.reshape(-1)
+    idx = np.cumsum(flat) - flat  # exclusive cumsum, shape (nbt * 64,)
+    gathered = np.zeros(flat.shape, dtype=np.float16)
+    gathered[flat] = values[idx[flat]]
+
+    # Bits 2l / 2l+1 of bitmap r are lane l's (a0, a1) of register r.
+    nbt = group_bitmaps.size
+    frags = gathered.reshape(nbt, WARP_SIZE, 2)
+    frags = frags.reshape(-1, config.bts_per_tt, WARP_SIZE, 2)
+    frags = frags.transpose(0, 2, 1, 3)  # -> (tiles, lane, reg, phase)
+    return np.ascontiguousarray(frags), _closed_form_stats(nbt, int(flat.sum()))
+
+
+def decode_matrix(
+    bitmaps: np.ndarray,
+    values: np.ndarray,
+    m: int,
+    k: int,
+    config: TileConfig = DEFAULT_TILE_CONFIG,
+) -> Tuple[np.ndarray, DecodeStats]:
+    """Batched SMBD decode of every GroupTile of an encoded matrix.
+
+    Returns ``(GR, GC, gt_h, gt_w)`` float16 dense GroupTiles — the same
+    tiles :func:`decode_group_fast` yields one at a time — via a single
+    boolean scatter and one reshape/transpose, with no Python loop over
+    the ``iter_group_tiles`` walk.  ``GR x GC`` is the GroupTile grid of
+    the padded matrix.
+    """
+    bitmaps = np.asarray(bitmaps, dtype=np.uint64)
+    c = config
+    gr, gc = c.group_grid(m, k)
+    if bitmaps.size != gr * gc * c.bts_per_gt:
+        raise ValueError(
+            f"expected {gr * gc * c.bts_per_gt} bitmaps for a "
+            f"{m}x{k} matrix, got {bitmaps.size}"
+        )
+    mask = expand_bitmap_rows(bitmaps)  # (NBT, 64) in storage order
+    rows = np.zeros(mask.shape, dtype=np.float16)
+    rows[mask] = np.asarray(values, dtype=np.float16)
+
+    tr, tc = c.gt_h // c.tt_h, c.gt_w // c.tt_w
+    br, bc = c.tt_h // c.bt_h, c.tt_w // c.bt_w
+    x = rows.reshape(gr, gc, tc, tr, bc, br, c.bt_h, c.bt_w)
+    # -> (GR, GC, tr, br, bit_row, tc, bc, bit_col)
+    x = x.transpose(0, 1, 3, 5, 6, 2, 4, 7)
+    tiles = x.reshape(gr, gc, c.gt_h, c.gt_w)
+    return tiles, _closed_form_stats(int(bitmaps.size), int(mask.sum()))

@@ -31,7 +31,7 @@ from typing import Tuple
 
 import numpy as np
 
-from .bitmap import expand_bitmap_rows
+from .bitmap import expand_bitmap_rows, pack_bitmap_rows
 from .tiles import DEFAULT_TILE_CONFIG, TileConfig
 
 __all__ = ["TCABMEMatrix", "encode", "tca_bme_storage_bytes"]
@@ -232,10 +232,7 @@ def encode(
     rows = _storage_order_view(padded, config)  # (NBT, 64)
     mask = rows != 0
 
-    weights = np.left_shift(
-        np.uint64(1), np.arange(config.bt_h * config.bt_w, dtype=np.uint64)
-    )
-    bitmaps = (mask.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
+    bitmaps = pack_bitmap_rows(mask)
 
     values = rows[mask].astype(np.float16)
 

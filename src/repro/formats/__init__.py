@@ -18,6 +18,7 @@ from .analytic import (
     storage_tiled_csl,
 )
 from .base import SparseFormat, dense_bytes
+from .bsr import BSRMatrix, bsr_storage_bytes
 from .conversion import (
     coords_to_storage_position,
     csr_to_tca_bme,
@@ -25,7 +26,6 @@ from .conversion import (
     tca_bme_to_csr,
     tiled_csl_to_tca_bme,
 )
-from .bsr import BSRMatrix, bsr_storage_bytes
 from .coo import COOMatrix, coo_storage_bytes
 from .csr import CSRMatrix, csr_storage_bytes
 from .registry import FORMATS, TCABMEFormat, encode_as, get_format

@@ -44,7 +44,9 @@ def coords_to_storage_position(
     cols = np.asarray(cols, dtype=np.int64)
     if rows.shape != cols.shape:
         raise ValueError("rows and cols must have equal length")
-    if rows.size and (rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= k):
+    if rows.size and (
+        rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= k
+    ):
         raise ValueError("coordinates out of bounds")
     c = config
     _pm, pk = c.padded_shape(m, k)

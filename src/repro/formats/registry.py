@@ -52,7 +52,8 @@ class TCABMEFormat(SparseFormat):
 #: All concrete formats, keyed by their short name.
 FORMATS: Dict[str, Type[SparseFormat]] = {
     cls.name: cls
-    for cls in (CSRMatrix, TiledCSLMatrix, SparTAMatrix, BSRMatrix, COOMatrix, TCABMEFormat)
+    for cls in (CSRMatrix, TiledCSLMatrix, SparTAMatrix, BSRMatrix, COOMatrix,
+                TCABMEFormat)
 }
 
 

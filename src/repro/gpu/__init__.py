@@ -1,23 +1,21 @@
 """GPU substrate: device specs, memory/occupancy/roofline models, and the
 mechanistic kernel cost simulator standing in for RTX4090/A6000 silicon."""
 
-from .accelerators import ACCELERATORS, AcceleratorSpec, cross_accelerator_cr, get_accelerator
+from .accelerators import (
+    ACCELERATORS,
+    AcceleratorSpec,
+    cross_accelerator_cr,
+    get_accelerator,
+)
 from .cache import CacheStats, SetAssociativeCache, x_panel_dram_bytes
-from .energy import EnergyEstimate, EnergyModel, kernel_energy
 from .calibration import CALIBRATIONS, KernelCalibration, get_calibration
+from .energy import EnergyEstimate, EnergyModel, kernel_energy
 from .instructions import (
     ISSUE_THROUGHPUT,
     InstructionMix,
     flash_llm_instruction_mix,
     spinfer_instruction_mix,
 )
-from .pipeline import PipelineConfig, PipelineTrace, TaskEvent, simulate_pipeline
-from .smbd_program import (
-    build_naive_decode,
-    build_two_phase_decode,
-    run_bitmaptile_decode,
-)
-from .warp_sim import Instr, WarpProgram, WarpResult, WarpSimulator
 from .memory import (
     BANK_WIDTH_BYTES,
     NUM_BANKS,
@@ -27,6 +25,7 @@ from .memory import (
     expected_random_scatter_replays,
 )
 from .occupancy import OccupancyResult, occupancy
+from .pipeline import PipelineConfig, PipelineTrace, TaskEvent, simulate_pipeline
 from .roofline import (
     RooflinePoint,
     attainable_tflops,
@@ -37,8 +36,23 @@ from .roofline import (
     roofline_point,
 )
 from .simulator import KernelProfile, LaunchShape, Traffic, Work, simulate_kernel
-from .specs import A100_SXM, A6000, GPUS, H100_PCIE, RTX3090, RTX4090, GPUSpec, get_gpu
+from .smbd_program import (
+    build_naive_decode,
+    build_two_phase_decode,
+    run_bitmaptile_decode,
+)
+from .specs import (
+    A100_SXM,
+    A6000,
+    GPUS,
+    H100_PCIE,
+    RTX3090,
+    RTX4090,
+    GPUSpec,
+    get_gpu,
+)
 from .tensor_core import mma_m16n8k16, warp_tile_matmul
+from .warp_sim import Instr, WarpProgram, WarpResult, WarpSimulator
 
 __all__ = [
     "A100_SXM",

@@ -83,7 +83,9 @@ class PipelineTrace:
         """Busy fraction of a resource over the whole schedule."""
         if resource not in _RESOURCES:
             raise KeyError(f"unknown resource {resource!r}; options: {_RESOURCES}")
-        return self.busy.get(resource, 0.0) / self.total_time if self.total_time else 0.0
+        if not self.total_time:
+            return 0.0
+        return self.busy.get(resource, 0.0) / self.total_time
 
     def events_for(self, name: str) -> List[TaskEvent]:
         return [e for e in self.events if e.name == name]
@@ -143,13 +145,17 @@ def simulate_pipeline(config: PipelineConfig) -> PipelineTrace:
     events: List[TaskEvent] = []
     depth = 2 if config.double_buffering else 1
 
-    def schedule(name: str, k: int, resource: str, duration: float, deps: List[float]) -> None:
+    def schedule(
+        name: str, k: int, resource: str, duration: float, deps: List[float]
+    ) -> None:
         start = max([free[resource]] + deps)
         finish = start + duration
         free[resource] = finish
         end[name][k] = finish
         events.append(
-            TaskEvent(name=name, iteration=k, resource=resource, start=start, end=finish)
+            TaskEvent(
+                name=name, iteration=k, resource=resource, start=start, end=finish
+            )
         )
 
     for k in range(n):

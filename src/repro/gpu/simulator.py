@@ -61,7 +61,9 @@ class Traffic:
     workspace_bytes: float = 0.0  # split-K partials written + re-read
 
     def __post_init__(self) -> None:
-        for name in ("weight_bytes", "activation_bytes", "output_bytes", "workspace_bytes"):
+        for name in (
+            "weight_bytes", "activation_bytes", "output_bytes", "workspace_bytes"
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} cannot be negative")
 
@@ -204,7 +206,9 @@ def simulate_kernel(
     mma_warp_insts = work.tc_flops / _FLOPS_PER_MMA
     cuda_warp_insts = work.cuda_flops / (2 * 32)  # 1 FMA lane-op each
     decode_warp_insts = (
-        work.decode_values * cal.decode_ops_per_value / 32 if work.decode_values else 0.0
+        work.decode_values * cal.decode_ops_per_value / 32
+        if work.decode_values
+        else 0.0
     )
     warp_insts = (
         load_warp_insts + mma_warp_insts + cuda_warp_insts + decode_warp_insts

@@ -15,7 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-__all__ = ["GPUSpec", "RTX4090", "A6000", "A100_SXM", "H100_PCIE", "RTX3090", "GPUS", "get_gpu"]
+__all__ = [
+    "GPUSpec", "RTX4090", "A6000", "A100_SXM", "H100_PCIE", "RTX3090", "GPUS",
+    "get_gpu",
+]
 
 
 @dataclass(frozen=True)

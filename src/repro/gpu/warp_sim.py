@@ -36,6 +36,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core.bitmap import popcount64
+
 __all__ = [
     "Instr",
     "WarpProgram",
@@ -230,18 +232,18 @@ class WarpSimulator:
                 elif op == "SUB":
                     result = a - b
                 elif op == "SHL":
-                    result = (a.astype(np.uint64) << b.astype(np.uint64)).astype(np.int64)
+                    au, bu = a.astype(np.uint64), b.astype(np.uint64)
+                    result = (au << bu).astype(np.int64)
                 elif op == "SHR":
-                    result = (a.astype(np.uint64) >> b.astype(np.uint64)).astype(np.int64)
+                    au, bu = a.astype(np.uint64), b.astype(np.uint64)
+                    result = (au >> bu).astype(np.int64)
                 elif op == "AND":
                     result = a & b
                 else:
                     result = a | b
             elif op == "POPC":
                 a = self._read(regs, instr.srcs[0]).astype(np.uint64)
-                result = np.array(
-                    [int(v).bit_count() for v in a], dtype=np.int64
-                )
+                result = np.asarray(popcount64(a), dtype=np.int64)
             elif op == "SETP":
                 if instr.dest in regs:
                     # Registers and predicates share one scoreboard

@@ -61,7 +61,9 @@ def _matrix_fields(matrix: TCABMEMatrix, prefix: str = "") -> Dict[str, np.ndarr
     }
 
 
-def _matrix_from_fields(data: Mapping[str, np.ndarray], prefix: str = "") -> TCABMEMatrix:
+def _matrix_from_fields(
+    data: Mapping[str, np.ndarray], prefix: str = ""
+) -> TCABMEMatrix:
     try:
         matrix = TCABMEMatrix(
             shape=tuple(int(v) for v in data[f"{prefix}shape"]),

@@ -9,11 +9,11 @@ from typing import Callable, Dict
 
 from .base import SpMMKernel, SpMMProblem, choose_split_k
 from .cublas import CuBLASKernel
-from .dynamic import ActivationSliceMask, DynamicSpInferKernel, relu_sparsify
 from .cusparse import CuSparseKernel
 from .dispatch import DispatchDecision, KernelDispatcher
-from .parallel_spmm import column_parallel_spmm, row_parallel_spmm
+from .dynamic import ActivationSliceMask, DynamicSpInferKernel, relu_sparsify
 from .flash_llm import FlashLLMKernel
+from .parallel_spmm import column_parallel_spmm, row_parallel_spmm
 from .smat import SMaTKernel
 from .sparta_kernel import SparTAKernel
 from .spinfer import SpInferKernel
@@ -60,5 +60,7 @@ def make_kernel(name: str) -> SpMMKernel:
     try:
         factory = KERNELS[name]
     except KeyError:
-        raise KeyError(f"unknown kernel {name!r}; available: {sorted(KERNELS)}") from None
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
     return factory()

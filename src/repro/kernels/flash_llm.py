@@ -31,23 +31,45 @@ class FlashLLMKernel(SpMMKernel):
         return self.run_encoded(w, x)
 
     def run_encoded(self, w: TiledCSLMatrix, x: np.ndarray) -> np.ndarray:
-        """SpMM against a pre-encoded Tiled-CSL matrix.
+        """SpMM against a pre-encoded Tiled-CSL matrix (batched unpack).
 
-        Walks tiles exactly as thread blocks do: unpack one tile's
-        (location, value) run into a dense tile buffer ("load as
-        sparse"), then multiply it densely ("compute as dense").
+        Scatters every tile's (location, value) run into a stacked tile
+        buffer at once ("load as sparse"), multiplies via one stacked
+        matmul ("compute as dense"), and accumulates tile columns in the
+        same order as :meth:`run_encoded_reference` — bit-identical
+        output, no Python loop over tiles.
         """
-        if w.k != x.shape[0]:
-            raise ValueError(
-                f"inner dimensions disagree: W is {w.shape}, X is {x.shape}"
-            )
         th, tw = w.tile_shape
         rows, cols = w.tile_grid
-        x32 = np.asarray(x, dtype=np.float16).astype(np.float32)
-        pk = cols * tw
-        if pk != x32.shape[0]:
-            pad = np.zeros((pk - x32.shape[0], x32.shape[1]), dtype=np.float32)
-            x32 = np.vstack([x32, pad])
+        x32, _pk = self._padded_activation(w, x)
+        n = x32.shape[1]
+
+        tiles = np.zeros((rows * cols, th * tw), dtype=np.float32)
+        tile_ids = np.repeat(
+            np.arange(rows * cols, dtype=np.int64),
+            np.diff(w.tile_offsets.astype(np.int64)),
+        )
+        tiles[tile_ids, w.locations.astype(np.int64)] = w.values.astype(
+            np.float32
+        )
+        # (rows, cols, th, tw) @ (cols, tw, n) -> (rows, cols, th, n); the
+        # 2-D slices are the same sgemms the reference loop issues.
+        partial = tiles.reshape(rows, cols, th, tw) @ x32.reshape(cols, tw, n)
+        out = np.zeros((rows, th, n), dtype=np.float32)
+        for tc in range(cols):  # in-order adds match the reference walk
+            out += partial[:, tc]
+        return out.reshape(rows * th, n)[: w.m]
+
+    def run_encoded_reference(self, w: TiledCSLMatrix, x: np.ndarray) -> np.ndarray:
+        """Per-tile scalar walk (the retained reference SpMM path).
+
+        Unpacks one tile's run at a time into a dense tile buffer and
+        accumulates per-tile matmuls — the pre-vectorisation hot path,
+        kept for bit-exact differential testing against :meth:`run_encoded`.
+        """
+        th, tw = w.tile_shape
+        rows, cols = w.tile_grid
+        x32, _pk = self._padded_activation(w, x)
 
         out = np.zeros((rows * th, x32.shape[1]), dtype=np.float32)
         tile_buffer = np.empty(th * tw, dtype=np.float32)
@@ -62,6 +84,24 @@ class FlashLLMKernel(SpMMKernel):
                 tc * tw : (tc + 1) * tw
             ]
         return out[: w.m]
+
+    @staticmethod
+    def _padded_activation(
+        w: TiledCSLMatrix, x: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """FP32 activation zero-padded to whole tiles of K."""
+        if w.k != x.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: W is {w.shape}, X is {x.shape}"
+            )
+        _rows, cols = w.tile_grid
+        tw = w.tile_shape[1]
+        x32 = np.asarray(x, dtype=np.float16).astype(np.float32)
+        pk = cols * tw
+        if pk != x32.shape[0]:
+            pad = np.zeros((pk - x32.shape[0], x32.shape[1]), dtype=np.float32)
+            x32 = np.vstack([x32, pad])
+        return x32, pk
 
     def _traffic(self, problem: SpMMProblem) -> Traffic:
         th, tw = DEFAULT_TILE

@@ -27,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.smbd import DecodeStats, decode_group, decode_group_fast
+from ..core.smbd import DecodeStats, decode_group, decode_group_fast, decode_matrix
 from ..core.tca_bme import TCABMEMatrix, encode, tca_bme_storage_bytes
 from ..core.tiles import DEFAULT_TILE_CONFIG, TileConfig
 from ..gpu.simulator import Traffic, Work
@@ -70,18 +70,38 @@ class SpInferKernel(SpMMKernel):
         return self.run_encoded(encode(w_dense, self.tile_config), x)
 
     def run_encoded(self, w: TCABMEMatrix, x: np.ndarray) -> np.ndarray:
-        """SpMM against a pre-encoded weight matrix (vectorised SMBD)."""
-        if w.k != x.shape[0]:
-            raise ValueError(
-                f"inner dimensions disagree: W is {w.shape}, X is {x.shape}"
-            )
-        cfg = w.config
-        x32 = np.asarray(x, dtype=np.float16).astype(np.float32)
-        pm, pk = cfg.padded_shape(w.m, w.k)
-        if pk != x32.shape[0]:
-            pad = np.zeros((pk - x32.shape[0], x32.shape[1]), dtype=np.float32)
-            x32 = np.vstack([x32, pad])
+        """SpMM against a pre-encoded weight matrix (batched SMBD).
 
+        Every GroupTile is decoded in one batched scatter
+        (:func:`repro.core.smbd.decode_matrix`) and multiplied via one
+        stacked matmul; partial products are accumulated group-column by
+        group-column in storage order, so the result is bit-identical to
+        the per-GroupTile walk of :meth:`run_encoded_reference`.
+        """
+        x32, pm, pk = self._padded_activation(w, x)
+        cfg = w.config
+        n = x32.shape[1]
+        grows, gcols = cfg.group_grid(w.m, w.k)
+
+        tiles, stats = decode_matrix(w.bitmaps, w.values, w.m, w.k, cfg)
+        # (GR, GC, gt_h, gt_w) @ (GC, gt_w, n) -> (GR, GC, gt_h, n); each
+        # 2-D slice is the same sgemm the reference loop issues per group.
+        partial = tiles.astype(np.float32) @ x32.reshape(gcols, cfg.gt_w, n)
+        out = np.zeros((grows, cfg.gt_h, n), dtype=np.float32)
+        for gc in range(gcols):  # in-order adds match the reference walk
+            out += partial[:, gc]
+        self.last_decode_stats = stats
+        return out.reshape(pm, n)[: w.m]
+
+    def run_encoded_reference(self, w: TCABMEMatrix, x: np.ndarray) -> np.ndarray:
+        """Per-GroupTile scalar walk (the retained reference SpMM path).
+
+        Decodes one GroupTile at a time along ``iter_group_tiles`` and
+        accumulates per-group matmuls — the pre-vectorisation hot path,
+        kept for bit-exact differential testing against :meth:`run_encoded`.
+        """
+        x32, pm, _pk = self._padded_activation(w, x)
+        cfg = w.config
         out = np.zeros((pm, x32.shape[1]), dtype=np.float32)
         stats = DecodeStats()
         for g, (gr, gc) in enumerate(cfg.iter_group_tiles(w.m, w.k)):
@@ -94,6 +114,21 @@ class SpInferKernel(SpMMKernel):
             ]
         self.last_decode_stats = stats
         return out[: w.m]
+
+    def _padded_activation(
+        self, w: TCABMEMatrix, x: np.ndarray
+    ) -> tuple[np.ndarray, int, int]:
+        """FP32 activation zero-padded to whole GroupTiles of K."""
+        if w.k != x.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: W is {w.shape}, X is {x.shape}"
+            )
+        x32 = np.asarray(x, dtype=np.float16).astype(np.float32)
+        pm, pk = w.config.padded_shape(w.m, w.k)
+        if pk != x32.shape[0]:
+            pad = np.zeros((pk - x32.shape[0], x32.shape[1]), dtype=np.float32)
+            x32 = np.vstack([x32, pad])
+        return x32, pm, pk
 
     def run_fragment_path(self, w_dense: np.ndarray, x: np.ndarray) -> np.ndarray:
         """Instruction-accurate route: lane-faithful SMBD into mma fragments.

@@ -46,7 +46,8 @@ class SputnikKernel(SpMMKernel):
 
     def _grid_blocks(self, problem: SpMMProblem, split_k: int) -> int:
         # 1-D row tiling: one thread block per 8-row strip.
-        return max(1, -(-problem.m // 8)) * split_k  # row-parallel decomposition, no K split
+        # Row-parallel decomposition; split_k stays 1 for this kernel.
+        return max(1, -(-problem.m // 8)) * split_k
 
     def _traffic(self, problem: SpMMProblem) -> Traffic:
         return Traffic(

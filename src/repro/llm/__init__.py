@@ -1,7 +1,29 @@
 """LLM inference substrate: model zoo, memory model, tensor parallelism,
 framework presets, and the end-to-end generation simulator."""
 
+from .accuracy import (
+    accuracy_sweep,
+    layer_reconstruction_error,
+    logit_kl_divergence,
+    top1_agreement,
+)
+from .collectives import (
+    allgather,
+    reduce_scatter,
+    ring_allreduce,
+    ring_allreduce_seconds,
+    tree_allreduce,
+    tree_allreduce_seconds,
+)
+from .disaggregation import (
+    DisaggregatedConfig,
+    DisaggregatedResult,
+    build_disaggregated_runtime,
+    kv_migration_seconds,
+    simulate_disaggregated,
+)
 from .frameworks import FRAMEWORKS, FrameworkPreset, get_framework
+from .functional_model import FunctionalTransformer, TinyConfig
 from .inference import (
     InferenceConfig,
     InferenceEngine,
@@ -25,35 +47,13 @@ from .offloading import (
 )
 from .parallel import CommModel, allreduce_seconds, shard_dim, shard_waste
 from .planning import DeploymentPlan, best_batch, min_gpus
-from .accuracy import (
-    accuracy_sweep,
-    layer_reconstruction_error,
-    logit_kl_divergence,
-    top1_agreement,
-)
-from .collectives import (
-    allgather,
-    reduce_scatter,
-    ring_allreduce,
-    ring_allreduce_seconds,
-    tree_allreduce,
-    tree_allreduce_seconds,
-)
-from .disaggregation import (
-    DisaggregatedConfig,
-    DisaggregatedResult,
-    build_disaggregated_runtime,
-    kv_migration_seconds,
-    simulate_disaggregated,
-)
-from .functional_model import FunctionalTransformer, TinyConfig
 from .serving import (
     Request,
-    mixed_workload,
     ServingConfig,
     ServingSimulator,
     ServingStats,
     compare_frameworks,
+    mixed_workload,
     poisson_workload,
 )
 

@@ -145,7 +145,7 @@ def reduce_scatter(buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
     ]
 
 
-# ---- timing ---------------------------------------------------------------------------
+# ---- timing --------------------------------------------------------------------------
 
 
 def ring_allreduce_seconds(

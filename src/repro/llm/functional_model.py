@@ -204,7 +204,7 @@ class FunctionalTransformer:
             for lin in layer.linears()
         )
 
-    # ---- forward pass -----------------------------------------------------------------
+    # ---- forward pass ----------------------------------------------------------------
 
     def _attention(
         self,

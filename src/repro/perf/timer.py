@@ -1,0 +1,82 @@
+"""Deterministic microbenchmark timer.
+
+Timing policy: every case runs ``warmup`` throwaway iterations (JIT-warm
+caches, page in the fixture) followed by ``repeats`` timed iterations on
+``time.perf_counter``.  The reported statistic is the median with the
+median absolute deviation (MAD) as the spread estimate — both are robust
+to the occasional scheduler hiccup that poisons means on shared CI
+runners.
+
+Checksums: every case hashes its result so a perf baseline doubles as a
+functional regression gate.  Array checksums cover raw bytes plus dtype
+and shape; integer checksums cover platform-independent counters (used
+where float results are BLAS-order dependent and therefore not portable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from statistics import median
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["Measurement", "checksum_arrays", "checksum_ints", "measure"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Robust timing summary of one benchmark case."""
+
+    median_s: float
+    mad_s: float
+    repeats: int
+
+    @property
+    def median_us(self) -> float:
+        return self.median_s * 1e6
+
+
+def checksum_arrays(*arrays: np.ndarray) -> str:
+    """Stable 16-hex-digit digest of array contents, dtypes and shapes."""
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:16]
+
+
+def checksum_ints(*values: int) -> str:
+    """Stable digest of integer counters (platform-independent)."""
+    h = hashlib.sha256()
+    h.update(",".join(str(int(v)) for v in values).encode())
+    return h.hexdigest()[:16]
+
+
+def measure(
+    fn: Callable[[], object], *, repeats: int = 5, warmup: int = 1
+) -> Tuple[object, Measurement]:
+    """Time ``fn`` and return its (last) result plus the summary.
+
+    The result is returned so the caller can checksum it without paying
+    an extra untimed invocation.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    result: object = None
+    for _ in range(warmup):
+        result = fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    med = median(times)
+    mad = median(abs(t - med) for t in times)
+    return result, Measurement(median_s=med, mad_s=mad, repeats=repeats)

@@ -100,7 +100,11 @@ def sparsegpt_prune(
         # Propagate the block's accumulated error to later blocks.
         if end < k:
             total_err = (
-                np.where(block_mask, 0.0, np.asarray(weights, dtype=np.float64)[:, start:end])
+                np.where(
+                    block_mask,
+                    0.0,
+                    np.asarray(weights, dtype=np.float64)[:, start:end],
+                )
             )
             w[:, end:] -= (
                 total_err / np.diag(chol_block)[None, :] @ hinv_chol[start:end, end:]

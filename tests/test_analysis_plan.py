@@ -31,7 +31,6 @@ from repro.analysis import (
     spec_kv_bytes_per_token,
 )
 from repro.cli import main
-from repro.gpu.specs import get_gpu
 from repro.llm import (
     DisaggregatedConfig,
     InferenceConfig,

@@ -56,7 +56,9 @@ class TestPatternOverlap:
 
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
-            pattern_overlap(encode(random_sparse(64, 64)), encode(random_sparse(64, 96)))
+            pattern_overlap(
+                encode(random_sparse(64, 64)), encode(random_sparse(64, 96))
+            )
 
     def test_config_mismatch_rejected(self):
         w = random_sparse(128, 128, seed=7)

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.gpu.specs import RTX4090
 from repro.kernels import SpMMProblem
 from repro.kernels.dispatch import KernelDispatcher
 

@@ -123,7 +123,9 @@ class TestTiledCSL:
 
     def test_rejects_oversized_tile(self):
         with pytest.raises(ValueError):
-            TiledCSLMatrix.from_dense(np.zeros((8, 8), np.float16), tile_shape=(512, 512))
+            TiledCSLMatrix.from_dense(
+                np.zeros((8, 8), np.float16), tile_shape=(512, 512)
+            )
 
     def test_custom_tile_shape(self):
         w = random_sparse(96, 48, 0.5, seed=5)

@@ -4,7 +4,7 @@ pipeline and its simulated deployment."""
 import numpy as np
 import pytest
 
-from repro.core import TCABMEMatrix, encode
+from repro.core import encode
 from repro.formats import encode_as
 from repro.gpu.specs import RTX4090
 from repro.kernels import SpMMProblem, make_kernel

@@ -68,7 +68,10 @@ def test_a6000_never_faster_than_4090(m, k, n, s):
     for name in ("spinfer", "cublas_tc"):
         kernel = make_kernel(name)
         prob = SpMMProblem(m=m, k=k, n=n, sparsity=s)
-        assert kernel.profile(prob, A6000).time_s >= kernel.profile(prob, RTX4090).time_s * 0.999
+        assert (
+            kernel.profile(prob, A6000).time_s
+            >= kernel.profile(prob, RTX4090).time_s * 0.999
+        )
 
 
 @settings(max_examples=20, deadline=None)
@@ -83,7 +86,9 @@ def test_profile_internal_consistency(m, k, n, s):
         assert 0 <= p.tc_utilization <= 1.0 + 1e-9
         assert p.time_s * 1e6 == pytest.approx(p.time_us)
         # bw_util * time * peak == bytes, by definition.
-        reconstructed = p.bandwidth_utilization * p.time_s * RTX4090.dram_bandwidth_bytes
+        reconstructed = (
+            p.bandwidth_utilization * p.time_s * RTX4090.dram_bandwidth_bytes
+        )
         assert reconstructed == pytest.approx(p.dram_bytes, rel=1e-6)
 
 

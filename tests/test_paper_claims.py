@@ -84,7 +84,9 @@ class TestAbstractClaims:
                                batch_size=batch, prompt_len=64,
                                output_len=out_len, sparsity=0.6)
                     sp = simulate_inference(InferenceConfig(framework="spinfer", **cfg))
-                    fl = simulate_inference(InferenceConfig(framework="flash-llm", **cfg))
+                    fl = simulate_inference(
+                        InferenceConfig(framework="flash-llm", **cfg)
+                    )
                     if not sp.oom and not fl.oom:
                         ratios.append(fl.total_s / sp.total_s)
         assert max(ratios) == pytest.approx(1.58, abs=0.35)

@@ -1,7 +1,6 @@
 """Tests for the discrete-event runtime core and its schedulers."""
 
 import copy
-import math
 
 import pytest
 

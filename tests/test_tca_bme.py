@@ -11,7 +11,7 @@ from repro.core.tca_bme import (
     encode,
     tca_bme_storage_bytes,
 )
-from repro.core.tiles import DEFAULT_TILE_CONFIG, TileConfig
+from repro.core.tiles import TileConfig
 
 
 def random_sparse(m, k, sparsity, seed=0):
@@ -23,7 +23,9 @@ def random_sparse(m, k, sparsity, seed=0):
 
 class TestRoundTrip:
     @pytest.mark.parametrize(
-        "shape", [(64, 64), (128, 64), (64, 128), (256, 192), (8, 8), (100, 70), (1, 1), (63, 65)]
+        "shape",
+        [(64, 64), (128, 64), (64, 128), (256, 192), (8, 8), (100, 70),
+         (1, 1), (63, 65)],
     )
     def test_exact_reconstruction(self, shape):
         w = random_sparse(*shape, sparsity=0.6, seed=shape[0])
@@ -158,7 +160,10 @@ class TestStorage:
         enc = encode(random_sparse(192, 128, 0.55, seed=9))
         assert enc.storage_bytes_aligned() >= enc.storage_bytes()
         # Padding is at most 3 elements (6 bytes) per GroupTile.
-        assert enc.storage_bytes_aligned() <= enc.storage_bytes() + 6 * enc.num_group_tiles
+        assert (
+            enc.storage_bytes_aligned()
+            <= enc.storage_bytes() + 6 * enc.num_group_tiles
+        )
 
     def test_compression_ratio_above_one_at_30pct(self):
         """The paper's headline format claim (Fig. 3)."""

@@ -117,9 +117,13 @@ class TestWarpTileMatmul:
     def test_rejects_non_multiple_of_8(self):
         a = np.zeros((32, 4, 2), np.float16)
         with pytest.raises(ValueError):
-            warp_tile_matmul(a, np.zeros((16, 12), np.float16), np.zeros((16, 12), np.float32))
+            warp_tile_matmul(
+                a, np.zeros((16, 12), np.float16), np.zeros((16, 12), np.float32)
+            )
 
     def test_rejects_wrong_k(self):
         a = np.zeros((32, 4, 2), np.float16)
         with pytest.raises(ValueError):
-            warp_tile_matmul(a, np.zeros((8, 8), np.float16), np.zeros((16, 8), np.float32))
+            warp_tile_matmul(
+                a, np.zeros((8, 8), np.float16), np.zeros((16, 8), np.float32)
+            )

@@ -1,0 +1,276 @@
+"""Bit-exactness of the vectorised hot paths against their references.
+
+Every vectorised path keeps its pre-vectorisation implementation as a
+``*_reference`` sibling; these tests assert exact (bitwise) equality
+between the two across random shapes and sparsities, plus the 4096x4096
+60 %-sparse acceptance fixture with its >= 10x speedup floor.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap import expand_bitmap_rows, pack_bitmap_rows
+from repro.core.reference import encode_reference
+from repro.core.smbd import (
+    DecodeStats,
+    decode_group,
+    decode_group_fast,
+    decode_group_frags,
+    decode_matrix,
+)
+from repro.core.tca_bme import encode
+from repro.formats.tiled_csl import TiledCSLMatrix
+from repro.kernels.flash_llm import FlashLLMKernel
+from repro.kernels.spinfer import SpInferKernel
+
+
+def random_sparse(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float16)
+    w[rng.random((m, k)) < sparsity] = 0
+    return w
+
+
+def random_activation(k, n, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((k, n)).astype(np.float16)
+
+
+SHAPES = [(64, 64, 8), (128, 192, 16), (70, 90, 5), (256, 128, 3)]
+SPARSITIES = [0.3, 0.6, 0.9]
+
+
+class TestBitmapPacking:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pack_expand_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((137, 64)) < 0.4
+        packed = pack_bitmap_rows(mask)
+        np.testing.assert_array_equal(expand_bitmap_rows(packed), mask)
+
+    def test_pack_matches_shift_formula(self):
+        rng = np.random.default_rng(7)
+        mask = rng.random((50, 64)) < 0.5
+        weights = np.left_shift(np.uint64(1), np.arange(64, dtype=np.uint64))
+        expected = (mask.astype(np.uint64) * weights).sum(
+            axis=1, dtype=np.uint64
+        )
+        np.testing.assert_array_equal(pack_bitmap_rows(mask), expected)
+
+    def test_pack_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pack_bitmap_rows(np.zeros((4, 32), dtype=bool))
+
+
+class TestDecodeMatrix:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("sparsity", SPARSITIES)
+    def test_matches_per_group_decode(self, shape, sparsity):
+        m, k, _n = shape
+        enc = encode(random_sparse(m, k, sparsity, seed=m + k))
+        cfg = enc.config
+        tiles, stats = decode_matrix(
+            enc.bitmaps, enc.values, enc.m, enc.k, cfg
+        )
+        looped = DecodeStats()
+        for g, (gr, gc) in enumerate(cfg.iter_group_tiles(enc.m, enc.k)):
+            tile, tile_stats = decode_group_fast(
+                enc.group_bitmaps(g), enc.group_values(g), cfg
+            )
+            looped.merge(tile_stats)
+            np.testing.assert_array_equal(
+                tiles[gr // cfg.gt_h, gc // cfg.gt_w], tile
+            )
+        assert stats == looped
+
+    def test_rejects_wrong_bitmap_count(self):
+        enc = encode(random_sparse(64, 64, 0.5))
+        with pytest.raises(ValueError):
+            decode_matrix(enc.bitmaps[:-1], enc.values, 64, 64, enc.config)
+
+
+class TestFragmentDecode:
+    @pytest.mark.parametrize("sparsity", SPARSITIES)
+    def test_matches_lane_faithful_decode(self, sparsity):
+        enc = encode(random_sparse(128, 128, sparsity, seed=11))
+        cfg = enc.config
+        for g in range(enc.num_group_tiles):
+            ref_stats = DecodeStats()
+            ref = decode_group(
+                enc.group_bitmaps(g), enc.group_values(g), cfg, ref_stats
+            )
+            fast, stats = decode_group_frags(
+                enc.group_bitmaps(g), enc.group_values(g), cfg
+            )
+            np.testing.assert_array_equal(np.stack(ref), fast)
+            assert stats == ref_stats
+
+    def test_whole_matrix_stream_decode(self):
+        # Cumsum offsets are global storage-order counts, so the entire
+        # bitmap/value stream decodes in one call.
+        enc = encode(random_sparse(192, 128, 0.6, seed=13))
+        cfg = enc.config
+        ref = []
+        for g in range(enc.num_group_tiles):
+            ref.extend(
+                decode_group(enc.group_bitmaps(g), enc.group_values(g), cfg)
+            )
+        fast, _stats = decode_group_frags(enc.bitmaps, enc.values, cfg)
+        np.testing.assert_array_equal(np.stack(ref), fast)
+
+
+class TestSpMMEquivalence:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("sparsity", SPARSITIES)
+    def test_spinfer_bit_exact(self, shape, sparsity):
+        m, k, n = shape
+        w = random_sparse(m, k, sparsity, seed=m + n)
+        x = random_activation(k, n, seed=k)
+        kern = SpInferKernel()
+        enc = encode(w)
+        fast = kern.run_encoded(enc, x)
+        fast_stats = kern.last_decode_stats
+        ref = kern.run_encoded_reference(enc, x)
+        np.testing.assert_array_equal(fast, ref)
+        assert fast_stats == kern.last_decode_stats
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("sparsity", SPARSITIES)
+    def test_flash_llm_bit_exact(self, shape, sparsity):
+        m, k, n = shape
+        w = random_sparse(m, k, sparsity, seed=m + n + 1)
+        x = random_activation(k, n, seed=k + 1)
+        kern = FlashLLMKernel()
+        tcsl = TiledCSLMatrix.from_dense(w)
+        np.testing.assert_array_equal(
+            kern.run_encoded(tcsl, x), kern.run_encoded_reference(tcsl, x)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=150),
+        k=st.integers(min_value=1, max_value=150),
+        n=st.integers(min_value=1, max_value=9),
+        sparsity=st.floats(min_value=0.3, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_spinfer_property(self, m, k, n, sparsity, seed):
+        w = random_sparse(m, k, sparsity, seed)
+        x = random_activation(k, n, seed + 1)
+        kern = SpInferKernel()
+        enc = encode(w)
+        np.testing.assert_array_equal(
+            kern.run_encoded(enc, x), kern.run_encoded_reference(enc, x)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=150),
+        k=st.integers(min_value=1, max_value=150),
+        n=st.integers(min_value=1, max_value=9),
+        sparsity=st.floats(min_value=0.3, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_flash_llm_property(self, m, k, n, sparsity, seed):
+        w = random_sparse(m, k, sparsity, seed)
+        x = random_activation(k, n, seed + 1)
+        kern = FlashLLMKernel()
+        tcsl = TiledCSLMatrix.from_dense(w)
+        np.testing.assert_array_equal(
+            kern.run_encoded(tcsl, x), kern.run_encoded_reference(tcsl, x)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=150),
+        k=st.integers(min_value=1, max_value=150),
+        sparsity=st.floats(min_value=0.3, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_encode_decode_property(self, m, k, sparsity, seed):
+        w = random_sparse(m, k, sparsity, seed)
+        enc = encode(w)
+        ref = encode_reference(w)
+        np.testing.assert_array_equal(enc.bitmaps, ref.bitmaps)
+        np.testing.assert_array_equal(enc.values, ref.values)
+        np.testing.assert_array_equal(enc.gtile_offsets, ref.gtile_offsets)
+        tiles, _stats = decode_matrix(
+            enc.bitmaps, enc.values, enc.m, enc.k, enc.config
+        )
+        cfg = enc.config
+        for g, (gr, gc) in enumerate(cfg.iter_group_tiles(enc.m, enc.k)):
+            tile, _s = decode_group_fast(
+                enc.group_bitmaps(g), enc.group_values(g), cfg
+            )
+            np.testing.assert_array_equal(
+                tiles[gr // cfg.gt_h, gc // cfg.gt_w], tile
+            )
+
+
+class TestAcceptanceFixture:
+    """ISSUE 4 acceptance: >= 10x on the 4096x4096 60 %-sparse fixture."""
+
+    @pytest.fixture(scope="class")
+    def fixture_4096(self):
+        return random_sparse(4096, 4096, 0.6, seed=0)
+
+    def test_encode_speedup_and_bit_exactness(self, fixture_4096):
+        w = fixture_4096
+        encode(w)  # warm: page in BLAS/ufunc machinery outside the timing
+        t0 = time.perf_counter()
+        enc = encode(w)
+        t_vec = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ref = encode_reference(w)
+        t_ref = time.perf_counter() - t0
+        np.testing.assert_array_equal(enc.bitmaps, ref.bitmaps)
+        np.testing.assert_array_equal(enc.values, ref.values)
+        np.testing.assert_array_equal(enc.gtile_offsets, ref.gtile_offsets)
+        assert t_ref / t_vec >= 10.0, (
+            f"encode speedup {t_ref / t_vec:.1f}x below the 10x floor "
+            f"(vec {t_vec:.3f}s, ref {t_ref:.3f}s)"
+        )
+
+    def test_decode_speedup_and_bit_exactness(self, fixture_4096):
+        enc = encode(fixture_4096)
+        cfg = enc.config
+        decode_matrix(enc.bitmaps, enc.values, enc.m, enc.k, cfg)  # warm
+        t0 = time.perf_counter()
+        tiles, _stats = decode_matrix(
+            enc.bitmaps, enc.values, enc.m, enc.k, cfg
+        )
+        t_vec = time.perf_counter() - t0
+
+        # Lane-faithful reference decode over a sample of GroupTiles,
+        # extrapolated: timing all 4096 groups costs ~20 s of pure Python
+        # for no extra signal.  Exactness is still checked per sample.
+        sample = range(0, enc.num_group_tiles, 64)
+        t0 = time.perf_counter()
+        for g in sample:
+            decode_group(enc.group_bitmaps(g), enc.group_values(g), cfg)
+        t_ref = (time.perf_counter() - t0) * (
+            enc.num_group_tiles / len(list(sample))
+        )
+        grid_cols = cfg.padded_shape(enc.m, enc.k)[1] // cfg.gt_w
+        for g in sample:
+            frags = decode_group(
+                enc.group_bitmaps(g), enc.group_values(g), cfg
+            )
+            fast_frags, _s = decode_group_frags(
+                enc.group_bitmaps(g), enc.group_values(g), cfg
+            )
+            np.testing.assert_array_equal(np.stack(frags), fast_frags)
+            tile, _s = decode_group_fast(
+                enc.group_bitmaps(g), enc.group_values(g), cfg
+            )
+            np.testing.assert_array_equal(
+                tiles[g // grid_cols, g % grid_cols], tile
+            )
+        assert t_ref / t_vec >= 10.0, (
+            f"decode speedup {t_ref / t_vec:.1f}x below the 10x floor "
+            f"(vec {t_vec:.3f}s, ref ~{t_ref:.3f}s)"
+        )
