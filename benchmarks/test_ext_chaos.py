@@ -1,0 +1,19 @@
+"""Extension bench: fault tolerance under identical injected faults.
+
+The claims the experiment's headline metrics carry: rerouting with
+recompute-from-prompt must beat fail-fast on goodput through a GPU
+crash, and migration retry must rescue a batch a flaky link would
+otherwise lose entirely.
+"""
+
+from repro.bench import ext_chaos
+
+
+def test_ext_chaos(benchmark):
+    exp = benchmark(lambda: ext_chaos(quick=True))
+    exp.save()
+    assert exp.metric("reroute_goodput_gain_vs_fail_fast") > 1.0
+    assert exp.metric("reroute_availability") == 1.0
+    assert exp.metric("fail_fast_availability") < 1.0
+    assert exp.metric("flaky_link_retry_completed") > 0
+    assert exp.metric("flaky_link_fail_fast_completed") == 0

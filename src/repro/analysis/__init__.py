@@ -14,7 +14,9 @@ machine-checked properties that run without executing anything:
   memory budgets (``M001``–``M006``), tensor-parallel sharding
   (``T001``–``T005``), KV-cache plans and allocators
   (``K001``–``K005``), offload feasibility (``O001``–``O004``) and
-  disaggregated configurations (``D001``–``D004``).
+  disaggregated configurations (``D001``–``D004``);
+* :mod:`~repro.analysis.fault_lint` — recovery-policy sanity and
+  fault-run conservation audits (``R001``–``R005``).
 
 ``check_all_builtin_programs`` sweeps every program, schedule and
 container the repo constructs; ``check_all_builtin_deployments`` sweeps
@@ -38,6 +40,11 @@ from .deploy_model import (
     spec_kv_budget_bytes,
     spec_kv_bytes_per_token,
     spec_memory,
+)
+from .fault_lint import (
+    check_builtin_fault_artifacts,
+    lint_fault_outcome,
+    lint_recovery_policy,
 )
 from .findings import RULES, Finding, Report, Rule, Severity
 from .format_lint import lint_csr, lint_format, lint_tca_bme, lint_tiled_csl
@@ -73,6 +80,7 @@ __all__ = [
     "builtin_warp_programs",
     "check_all_builtin_deployments",
     "check_all_builtin_programs",
+    "check_builtin_fault_artifacts",
     "cross_check_with_simulator",
     "effective_sparsity",
     "interpret",
@@ -81,11 +89,13 @@ __all__ = [
     "lint_deployment",
     "lint_deployment_plan",
     "lint_disaggregated",
+    "lint_fault_outcome",
     "lint_format",
     "lint_kv_allocator",
     "lint_kv_plan",
     "lint_offload_plan",
     "lint_pipeline_trace",
+    "lint_recovery_policy",
     "lint_runtime_trace",
     "lint_tca_bme",
     "lint_tiled_csl",

@@ -3,7 +3,8 @@
 Every rule has a stable ID (``W...`` warp-IR, ``P...`` pipeline,
 ``F...`` format, and the deployment families ``M...`` memory, ``T...``
 tensor-parallel, ``K...`` KV-cache, ``O...`` offload, ``D...``
-disaggregation) so CI gates, docs and tests can refer to findings
+disaggregation, ``R...`` recovery/fault-tolerance) so CI gates, docs
+and tests can refer to findings
 without string-matching messages.  A :class:`Report` aggregates findings
 across many checked objects; ``Report.ok`` is the CI gate (no
 error-severity findings).
@@ -162,6 +163,24 @@ RULES: Dict[str, Rule] = {
              "the migration time budget"),
         Rule("D004", "disagg-sparsity-unused", Severity.WARNING,
              "sparsity configured but neither pool's framework can use it"),
+        # ---- recovery-policy / fault-trace rules -----------------------
+        Rule("R001", "retry-without-backoff", Severity.ERROR,
+             "retrying policy with zero/negative base backoff or a decay "
+             "factor below 1 — failed requests hammer the pool in a tight "
+             "loop"),
+        Rule("R002", "unbounded-retry-budget", Severity.ERROR,
+             "retry budget absent or effectively infinite; a persistent "
+             "fault turns every victim into an event-loop spin"),
+        Rule("R003", "timeout-below-service-floor", Severity.ERROR,
+             "per-request deadline at or below the minimum service time — "
+             "every request times out before it can possibly finish"),
+        Rule("R004", "shed-policy-starves", Severity.ERROR,
+             "load-shedding threshold admits no queue at all (depth < 1): "
+             "the server sheds every arrival even when idle"),
+        Rule("R005", "fault-trace-inconsistent", Severity.ERROR,
+             "runtime outcome violates conservation: a request in zero or "
+             "two terminal buckets, lost/duplicated decode tokens, or "
+             "non-monotone trace timestamps"),
     ]
 }
 

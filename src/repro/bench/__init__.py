@@ -13,6 +13,7 @@ from .ablation_bench import (
     abl_split_k,
 )
 from .accuracy_bench import ext_accuracy
+from .chaos_bench import ext_chaos
 from .disagg_bench import ext_disaggregation
 from .e2e_bench import (
     fig02_breakdown,
@@ -44,6 +45,7 @@ __all__ = [
     "abl_quantization",
     "abl_split_k",
     "ext_accuracy",
+    "ext_chaos",
     "ext_disaggregation",
     "ext_memory_walls",
     "ext_offloading",

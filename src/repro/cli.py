@@ -8,8 +8,10 @@ Subcommands mirror the library's main entry points::
     repro encode --m 4096 --k 4096 --sparsity 0.6
     repro simulate --model opt-13b --framework spinfer --gpus 1
     repro serve --model opt-13b --chunked-prefill --preemption
+    repro chaos --plan gpu-crash    # recovery policies under faults
     repro lint --all-builtin        # static checks (W*/P*/F* rules)
     repro lint --deployment         # deployment checks (M*/T*/K*/O*/D*)
+    repro lint --faults             # recovery-policy checks (R* rules)
     repro models                    # list the model zoo
 
 Everything prints rendered text tables; ``bench`` additionally writes
@@ -49,6 +51,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl_splitk": bench_mod.abl_split_k,
     "abl_mma_shape": bench_mod.abl_mma_shape,
     "abl_quant": bench_mod.abl_quantization,
+    "ext_chaos": bench_mod.ext_chaos,
     "ext_serving": bench_mod.ext_serving,
     "ext_serving_runtime": bench_mod.ext_serving_runtime,
     "ext_disagg": bench_mod.ext_disaggregation,
@@ -403,6 +406,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .llm.chaos import ChaosConfig, chaos_report
+
+    cfg = ChaosConfig(
+        model=args.model,
+        framework=args.framework,
+        gpu=args.gpu,
+        replicas=args.replicas,
+        num_requests=args.requests,
+        arrival_rate=args.arrival_rate,
+        seed=args.seed,
+        plan=args.plan,
+    )
+    if args.quick:
+        cfg = cfg.quick()
+    report = chaos_report(cfg, policies=args.policies)
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"chaos: plan {cfg.plan!r} on {cfg.model} / {cfg.framework}, "
+        f"{cfg.replicas} replica(s), {cfg.num_requests} request(s)"
+    )
+    rows = []
+    for name, m in sorted(report["policies"].items()):
+        rows.append([
+            name, m["completed"],
+            m["failed"] + m["shed"] + m["timed_out"] + m["cancelled"],
+            m["retries"], m["wasted_recompute_tokens"],
+            f"{m['goodput_tokens_per_s']:.1f}", f"{m['availability']:.3f}",
+            f"{m['makespan_s']:.3f}",
+        ])
+    print(format_table(
+        ["policy", "done", "lost", "retries", "wasted_tok",
+         "goodput", "avail", "makespan_s"],
+        rows,
+    ))
+    print(f"best goodput: {report['winner_goodput']}")
+    return 0
+
+
 def _cmd_dispatch(args: argparse.Namespace) -> int:
     from .kernels.dispatch import KernelDispatcher
 
@@ -471,18 +517,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Severity,
         check_all_builtin_deployments,
         check_all_builtin_programs,
+        check_builtin_fault_artifacts,
     )
 
     # Target selection: --all-builtin sweeps the kernel-layer artifacts
     # (warp programs, pipeline traces, formats), --deployment sweeps the
     # deployment artifacts (specs, KV plans, offload, disaggregation,
-    # planner output).  With neither flag both sweeps run.
-    run_programs = args.all_builtin or not args.deployment
-    run_deployments = args.deployment or not args.all_builtin
+    # planner output), --faults sweeps recovery policies and chaos-run
+    # outcomes.  With no flag every sweep runs.
+    any_flag = args.all_builtin or args.deployment or args.faults
+    run_programs = args.all_builtin or not any_flag
+    run_deployments = args.deployment or not any_flag
+    run_faults = args.faults or not any_flag
     report = Report()
     for enabled, sweep in (
         (run_programs, check_all_builtin_programs),
         (run_deployments, check_all_builtin_deployments),
+        (run_faults, check_builtin_fault_artifacts),
     ):
         if enabled:
             part = sweep()
@@ -624,11 +675,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit stats as JSON instead of text")
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay one workload under a pinned fault plan once per "
+        "recovery policy and compare SLO metrics (goodput, availability, "
+        "retries, wasted recompute)",
+    )
+    p_chaos.add_argument("--plan", default="gpu-crash",
+                         choices=("gpu-crash", "stragglers", "chaos-mix",
+                                  "flaky-link"),
+                         help="builtin fault plan to inject")
+    p_chaos.add_argument("--model", choices=sorted(MODELS), default="opt-13b")
+    p_chaos.add_argument("--framework", default="spinfer")
+    p_chaos.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_chaos.add_argument("--replicas", type=int, default=2,
+                         help="GPU replicas behind the router")
+    p_chaos.add_argument("--requests", type=int, default=24)
+    p_chaos.add_argument("--arrival-rate", type=float, default=4.0)
+    p_chaos.add_argument("--seed", type=int, default=3,
+                         help="workload seed (the fault plan has its own "
+                         "pinned seed)")
+    p_chaos.add_argument("--policies", nargs="+", default=None,
+                         choices=("fail-fast", "retry", "reroute"),
+                         help="recovery policies to compare (default: all)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="smaller workload (CI replay gate)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the deterministic comparison report as "
+                         "JSON (byte-identical across runs of the same "
+                         "seeds)")
+    p_chaos.set_defaults(func=_cmd_chaos)
+
     p_lint = sub.add_parser(
         "lint",
         help="statically check warp programs, pipeline schedules, sparse "
-        "formats and deployment plans (rules W*/P*/F*/M*/T*/K*/O*/D*, "
-        "see docs/ANALYSIS.md)",
+        "formats, deployment plans and recovery policies (rules "
+        "W*/P*/F*/M*/T*/K*/O*/D*/R*, see docs/ANALYSIS.md)",
     )
     p_lint.add_argument(
         "--all-builtin", action="store_true",
@@ -640,6 +722,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep every builtin deployment: model x GPU x framework "
         "specs, derived KV plans, offload and disaggregated configs, "
         "and cross-check the planner's output",
+    )
+    p_lint.add_argument(
+        "--faults", action="store_true",
+        help="sweep the builtin recovery policies (good ones must be "
+        "clean, deliberately broken ones must trip their documented "
+        "R rules) and audit quick chaos runs for conservation",
     )
     p_lint.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")

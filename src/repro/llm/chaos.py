@@ -1,0 +1,238 @@
+"""Chaos harness: recovery policies compared under identical faults.
+
+The question the ROADMAP's capacity-planning goal actually needs
+answered is not "how fast is the server?" but "how much of its
+throughput survives a GPU crash, and which recovery policy keeps the
+most of it?".  This module runs the SAME workload under the SAME pinned
+:class:`~repro.runtime.faults.FaultPlan` once per recovery policy and
+reports SLO metrics (goodput, availability, retries-per-request, wasted
+recompute tokens) side by side.
+
+Everything here is deterministic end to end: the workload comes from a
+seeded generator, the fault plan is pinned, backoff jitter is an
+integer hash — so ``chaos_report`` produces byte-identical JSON on
+every run, which is exactly what the CI replay gate diffs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..runtime import (
+    RECOVERY_POLICIES,
+    FaultPlan,
+    FaultTolerantRuntime,
+    RuntimeStats,
+    builtin_fault_plans,
+    get_recovery_policy,
+)
+from .serving import Request, ServingConfig, ServingSimulator, poisson_workload
+
+__all__ = [
+    "ChaosConfig",
+    "build_chaos_runtime",
+    "run_chaos",
+    "compare_recovery_policies",
+    "chaos_report",
+]
+
+#: Plans that target the replica router (GPU-level faults) vs the
+#: disaggregated runtime (migration faults).
+ROUTER_PLANS = ("gpu-crash", "stragglers", "chaos-mix")
+DISAGG_PLANS = ("flaky-link",)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos scenario: workload + fleet + fault plan."""
+
+    model: str = "opt-13b"
+    framework: str = "spinfer"
+    gpu: str = "RTX4090"
+    replicas: int = 2
+    num_requests: int = 24
+    arrival_rate: float = 4.0
+    prompt_len: int = 64
+    output_len: int = 96
+    seed: int = 3
+    max_batch: int = 16
+    #: Tight KV cap so the scenario stresses admission, not DRAM size.
+    kv_cap_tokens: Optional[int] = 20000
+    policy: str = "fcfs"
+    chunk_tokens: int = 128
+    plan: str = "gpu-crash"
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0:
+            raise ValueError("need at least one replica")
+        if self.num_requests <= 0 or self.arrival_rate <= 0:
+            raise ValueError("need a positive workload")
+        known = set(ROUTER_PLANS) | set(DISAGG_PLANS)
+        if self.plan not in known:
+            raise ValueError(
+                f"unknown fault plan {self.plan!r}; "
+                f"available: {sorted(known)}"
+            )
+
+    def quick(self) -> "ChaosConfig":
+        """A smaller copy for smoke tests and the CI gate."""
+        from dataclasses import replace
+
+        return replace(self, num_requests=12, output_len=64)
+
+
+def _workload(cfg: ChaosConfig) -> List[Request]:
+    return poisson_workload(
+        cfg.num_requests,
+        cfg.arrival_rate,
+        prompt_len=cfg.prompt_len,
+        output_len=cfg.output_len,
+        seed=cfg.seed,
+    )
+
+
+def _fault_plan(cfg: ChaosConfig) -> FaultPlan:
+    return builtin_fault_plans()[cfg.plan]
+
+
+def build_chaos_runtime(
+    cfg: ChaosConfig, recovery_name: str
+) -> FaultTolerantRuntime:
+    """Replica fleet + injector for one policy run (router plans only)."""
+    if cfg.plan not in ROUTER_PLANS:
+        raise ValueError(
+            f"plan {cfg.plan!r} targets the disaggregated runtime; "
+            "use run_chaos()"
+        )
+    serving_cfg = ServingConfig(
+        model=cfg.model,
+        framework=cfg.framework,
+        gpu=cfg.gpu,
+        max_batch=cfg.max_batch,
+        policy=cfg.policy,
+        chunked_prefill=True,
+        chunk_tokens=cfg.chunk_tokens,
+        preemption=True,
+        kv_cap_tokens=cfg.kv_cap_tokens,
+    )
+    sim = ServingSimulator(serving_cfg)
+    pools = [sim.build_pool(name=f"gpu{i}") for i in range(cfg.replicas)]
+    return FaultTolerantRuntime(
+        pools,
+        get_recovery_policy(recovery_name),
+        policy=cfg.policy,
+        prefill_mode="chunked",
+        chunk_tokens=cfg.chunk_tokens,
+        preemption=True,
+        fault_plan=_fault_plan(cfg),
+    )
+
+
+def _run_disagg(cfg: ChaosConfig, recovery_name: str) -> RuntimeStats:
+    from .disaggregation import DisaggregatedConfig, build_disaggregated_runtime
+
+    dcfg = DisaggregatedConfig(
+        model=cfg.model,
+        prefill_framework="fastertransformer",
+        decode_framework=cfg.framework,
+        gpu=cfg.gpu,
+        batch_size=8,
+        prompt_len=256,
+        output_len=cfg.output_len,
+    )
+    runtime = build_disaggregated_runtime(
+        dcfg,
+        recovery=get_recovery_policy(recovery_name),
+        fault_plan=_fault_plan(cfg),
+    )
+    requests = [
+        Request(i, 0.0, dcfg.prompt_len, dcfg.output_len)
+        for i in range(dcfg.batch_size)
+    ]
+    return runtime.run(requests)
+
+
+def run_chaos(cfg: ChaosConfig, recovery_name: str) -> RuntimeStats:
+    """One policy, one plan, one workload — fully deterministic."""
+    import copy
+
+    if cfg.plan in DISAGG_PLANS:
+        return _run_disagg(cfg, recovery_name)
+    runtime = build_chaos_runtime(cfg, recovery_name)
+    return runtime.run(copy.deepcopy(_workload(cfg)))
+
+
+def compare_recovery_policies(
+    cfg: ChaosConfig, policies: Optional[Sequence[str]] = None
+) -> Dict[str, RuntimeStats]:
+    """Every policy against the identical workload + fault plan."""
+    names = list(policies) if policies else sorted(RECOVERY_POLICIES)
+    return {name: run_chaos(cfg, name) for name in names}
+
+
+def _trace_digest(stats: RuntimeStats) -> str:
+    """Content hash of the full event log — the replay-identity check
+    two chaos runs are compared by."""
+    log = repr(stats.trace.event_log()).encode()
+    return hashlib.sha256(log).hexdigest()
+
+
+def _policy_metrics(stats: RuntimeStats) -> Dict:
+    return {
+        "completed": len(stats.completed),
+        "rejected": len(stats.rejected),
+        "failed": len(stats.failed),
+        "shed": len(stats.shed),
+        "timed_out": len(stats.timed_out),
+        "cancelled": len(stats.cancelled),
+        "retries": stats.retries,
+        "faults": stats.faults,
+        "preemptions": stats.preemptions,
+        "wasted_recompute_tokens": stats.wasted_recompute_tokens,
+        "goodput_tokens_per_s": round(stats.goodput_tokens_per_s, 6),
+        "availability": round(stats.availability, 6),
+        "retries_per_request": round(stats.retries_per_request, 6),
+        "makespan_s": round(stats.makespan_s, 9),
+        "trace_sha256": _trace_digest(stats),
+    }
+
+
+def chaos_report(
+    cfg: ChaosConfig, policies: Optional[Sequence[str]] = None
+) -> Dict:
+    """Deterministic JSON-ready comparison (``repro chaos --json``)."""
+    results = compare_recovery_policies(cfg, policies)
+    by_policy = {
+        name: _policy_metrics(stats) for name, stats in sorted(results.items())
+    }
+    winner = max(
+        sorted(by_policy),
+        key=lambda name: by_policy[name]["goodput_tokens_per_s"],
+    )
+    return {
+        "scenario": {
+            "model": cfg.model,
+            "framework": cfg.framework,
+            "gpu": cfg.gpu,
+            "replicas": cfg.replicas,
+            "num_requests": cfg.num_requests,
+            "arrival_rate": cfg.arrival_rate,
+            "prompt_len": cfg.prompt_len,
+            "output_len": cfg.output_len,
+            "seed": cfg.seed,
+            "plan": cfg.plan,
+        },
+        "fault_plan": _fault_plan(cfg).to_dict(),
+        "policies": by_policy,
+        "winner_goodput": winner,
+    }
+
+
+def chaos_report_json(
+    cfg: ChaosConfig, policies: Optional[Sequence[str]] = None
+) -> str:
+    """Byte-stable serialisation: sorted keys, no whitespace drift."""
+    return json.dumps(chaos_report(cfg, policies), indent=2, sort_keys=True)

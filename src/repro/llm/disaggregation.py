@@ -149,16 +149,26 @@ def _demand_pool(
 
 
 def build_disaggregated_runtime(
-    cfg: DisaggregatedConfig, snapshot_every: int = 0
+    cfg: DisaggregatedConfig,
+    snapshot_every: int = 0,
+    recovery=None,
+    fault_plan=None,
 ) -> DisaggregatedRuntime:
-    """Wire the two pools of ``cfg`` into an event runtime."""
+    """Wire the two pools of ``cfg`` into an event runtime.
+
+    ``recovery`` (a :class:`~repro.runtime.faults.RecoveryPolicy`)
+    governs what happens when a ``fault_plan`` loses a KV migration in
+    flight: retry across the link after backoff, or fail the batch.
+    Both default to None — the fault-free runtime is bit-identical to
+    the pre-fault one.
+    """
     prefill_engine = _engine(cfg, cfg.prefill_framework, cfg.prefill_gpus)
     decode_engine = _engine(cfg, cfg.decode_framework, cfg.decode_gpus)
     # The migration cost model is linear in migrated tokens; scale the
     # closed-form helper (whole-batch volume) down to a per-token rate
     # so partial batches price correctly too.
     rate = kv_migration_seconds(cfg) / (cfg.batch_size * cfg.prompt_len)
-    return DisaggregatedRuntime(
+    runtime = DisaggregatedRuntime(
         prefill_pool=_demand_pool(
             prefill_engine, "prefill", cfg.prompt_len, cfg.batch_size
         ),
@@ -170,7 +180,13 @@ def build_disaggregated_runtime(
         ),
         migration_seconds=lambda tokens: rate * tokens,
         snapshot_every=snapshot_every,
+        recovery=recovery,
     )
+    if fault_plan is not None:
+        from ..runtime.faults import FaultInjector
+
+        FaultInjector(fault_plan).arm(runtime)
+    return runtime
 
 
 def simulate_disaggregated(

@@ -148,10 +148,32 @@ class KVBlockAllocator:
         return child
 
     def free(self, seq_id: int) -> int:
-        """Release a sequence; returns how many blocks became free."""
-        alloc = self._sequences.pop(seq_id, None)
+        """Release a sequence; returns how many blocks became free.
+
+        Freeing an unknown sequence raises (``KeyError``), and so does
+        releasing a block the allocator does not count as owned — a
+        double free or a corrupted block table.  Raising here is the
+        contract: silent tolerance would leak blocks or hand one block
+        to two sequences, and every later accounting answer (admission,
+        preemption, snapshots) would be quietly wrong.
+        """
+        alloc = self._sequences.get(seq_id)
         if alloc is None:
             raise KeyError(f"unknown sequence {seq_id}")
+        # Validate the whole table before mutating anything, so a
+        # corrupt entry cannot leave the free list half-updated.
+        seen: Dict[int, int] = {}
+        for block in alloc.block_ids:
+            seen[block] = seen.get(block, 0) + 1
+        for block, times in seen.items():
+            owned = self._refcount.get(block, 0)
+            if owned < times:
+                raise RuntimeError(
+                    f"double free: sequence {seq_id} releases block "
+                    f"{block} x{times} but the allocator counts only "
+                    f"{owned} live reference(s)"
+                )
+        del self._sequences[seq_id]
         released = 0
         for block in alloc.block_ids:
             self._refcount[block] -= 1
@@ -159,6 +181,14 @@ class KVBlockAllocator:
                 del self._refcount[block]
                 self._free.append(block)
                 released += 1
+        return released
+
+    def free_all(self) -> int:
+        """Release every live sequence (GPU-crash recovery path);
+        returns how many blocks went back to the free list."""
+        released = 0
+        for seq_id in sorted(self._sequences):
+            released += self.free(seq_id)
         return released
 
     # ---- introspection --------------------------------------------------------------

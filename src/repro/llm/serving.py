@@ -279,8 +279,12 @@ class ServingSimulator:
 
     # ---- runtime construction --------------------------------------------------------
 
-    def build_pool(self) -> GPUPool:
-        """The per-GPU resource model this server schedules against."""
+    def build_pool(self, name: str = "gpu0") -> GPUPool:
+        """The per-GPU resource model this server schedules against.
+
+        ``name`` distinguishes replicas when several pools share one
+        loop (the fault-tolerant router builds one pool per replica).
+        """
         cfg = self.config
         budget = self.kv_budget
         if cfg.kv_cap_tokens is not None:
@@ -292,6 +296,7 @@ class ServingSimulator:
             kv_budget_bytes=budget,
             block_size=cfg.block_size,
             max_batch=cfg.max_batch,
+            name=name,
         )
 
     def build_scheduler(self) -> ContinuousBatchingScheduler:

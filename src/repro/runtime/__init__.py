@@ -26,6 +26,18 @@ and the trace format.
 
 from .core import EventLoop, GPUPool
 from .events import EventKind, TraceEvent
+from .faults import (
+    BROKEN_RECOVERY_POLICIES,
+    RECOVERY_POLICIES,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultTolerantRuntime,
+    RecoveryPolicy,
+    builtin_fault_plans,
+    get_recovery_policy,
+)
 from .policies import POLICIES, AdmissionPolicy, FCFSPolicy, SJFPolicy, get_policy
 from .scheduler import (
     PREFILL_MODES,
@@ -53,4 +65,14 @@ __all__ = [
     "SeqState",
     "KVSnapshot",
     "RuntimeTrace",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultTolerantRuntime",
+    "RecoveryPolicy",
+    "RECOVERY_POLICIES",
+    "BROKEN_RECOVERY_POLICIES",
+    "builtin_fault_plans",
+    "get_recovery_policy",
 ]

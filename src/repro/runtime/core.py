@@ -12,13 +12,16 @@ their own.
 Determinism contract: events fire in ``(time, insertion order)`` order.
 Ties on the clock are broken by a monotone sequence number, never by
 object identity or hash order, so the same inputs always replay the
-same schedule.
+same schedule.  Cancellation (``cancel(handle)``) removes an event's
+callback without disturbing the sequence numbering, so a run with
+cancelled events replays exactly like a run where they were never
+scheduled.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..llm.inference import InferenceEngine, PhaseBreakdown
 from ..llm.kv_cache import KVBlockAllocator
@@ -37,27 +40,48 @@ class EventLoop:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int]] = []
+        self._callbacks: Dict[int, Callable[[], None]] = {}
         self._seq = 0
         self.dispatched = 0
+        self.cancelled = 0
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` when the clock reaches ``time``."""
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` when the clock reaches ``time``.
+
+        Returns a cancellation handle for :meth:`cancel`.
+        """
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at {time} before now={self.now}"
             )
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        handle = self._seq
+        heapq.heappush(self._heap, (time, handle))
+        self._callbacks[handle] = callback
         self._seq += 1
+        return handle
 
-    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> int:
         if delay < 0:
             raise ValueError("delay cannot be negative")
-        self.schedule_at(self.now + delay, callback)
+        return self.schedule_at(self.now + delay, callback)
+
+    def cancel(self, handle: int) -> bool:
+        """Cancel a pending event; returns True if it was still pending.
+
+        Cancelling never perturbs the ``(time, seq)`` ordering of the
+        surviving events — the heap entry stays in place and is skipped
+        at pop time, so determinism is preserved (timeout machinery in
+        the fault-tolerant schedulers depends on this).
+        """
+        if self._callbacks.pop(handle, None) is None:
+            return False
+        self.cancelled += 1
+        return True
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._callbacks)
 
     def run(self, max_events: int = MAX_EVENTS) -> None:
         """Dispatch events until the queue drains."""
@@ -69,7 +93,10 @@ class EventLoop:
                     "progress (likely a policy that re-enqueues without "
                     "advancing the clock)"
                 )
-            time, _, callback = heapq.heappop(self._heap)
+            time, handle = heapq.heappop(self._heap)
+            callback = self._callbacks.pop(handle, None)
+            if callback is None:
+                continue  # cancelled; never fires, never advances the clock
             self.now = time
             self.dispatched += 1
             callback()
@@ -121,6 +148,25 @@ class GPUPool:
         self.oversubscribed = (
             total_blocks * block_size * self.kv_per_token > kv_budget_bytes
         )
+        #: Fault state: a crashed pool stops serving; a straggling pool
+        #: multiplies every iteration cost until it recovers.
+        self.alive = True
+        self.slowdown = 1.0
+
+    # ---- fault surface ---------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Mark the pool crashed.  The KV it held is gone; the scheduler
+        on top is responsible for freeing the bookkeeping and failing or
+        re-routing its sequences."""
+        self.alive = False
+
+    def set_slowdown(self, factor: float) -> None:
+        """Multiply iteration costs by ``factor`` (straggler model).
+        ``1.0`` restores nominal speed."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.slowdown = factor
 
     # ---- capacity ------------------------------------------------------------------
 
@@ -139,10 +185,19 @@ class GPUPool:
     # ---- iteration costs -------------------------------------------------------------
 
     def decode_step(self, batch: int, avg_context: float) -> PhaseBreakdown:
-        return self.engine.decode_step_seconds(batch, avg_context)
+        step = self.engine.decode_step_seconds(batch, avg_context)
+        if self.slowdown != 1.0:
+            step = step.scaled(self.slowdown)
+        return step
 
     def prefill_tokens_seconds(self, tokens: int) -> float:
-        return self.engine.prefill_tokens_seconds(tokens)
+        seconds = self.engine.prefill_tokens_seconds(tokens)
+        if self.slowdown != 1.0:
+            seconds *= self.slowdown
+        return seconds
 
     def prefill_breakdown(self, batch: int, prompt_len: int) -> PhaseBreakdown:
-        return self.engine.prefill_breakdown(batch, prompt_len)
+        phase = self.engine.prefill_breakdown(batch, prompt_len)
+        if self.slowdown != 1.0:
+            phase = phase.scaled(self.slowdown)
+        return phase

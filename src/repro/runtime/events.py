@@ -43,6 +43,25 @@ class EventKind:
     MIGRATE_START = "migrate_start"
     MIGRATE_END = "migrate_end"
     SNAPSHOT = "snapshot"
+    # ---- faults and recovery (repro.runtime.faults) -------------------
+    #: An injected fault landed (``info["fault"]`` names the kind).
+    FAULT = "fault"
+    #: A straggling pool returned to nominal speed.
+    RECOVER = "recover"
+    #: A migration attempt was lost in flight.
+    MIGRATE_FAIL = "migrate_fail"
+    #: A request missed its deadline and was evicted.
+    TIMEOUT = "timeout"
+    #: A request was cancelled (client abort or injected cancellation).
+    CANCEL = "cancel"
+    #: Admission-level load shedding: rejected with a reason, not queued.
+    SHED = "shed"
+    #: A failed request re-enters service after backoff.
+    RETRY = "retry"
+    #: A failed request was re-routed to a surviving pool.
+    REROUTE = "reroute"
+    #: A request exhausted its recovery options and failed terminally.
+    FAIL = "fail"
 
 
 @dataclass(frozen=True)

@@ -61,6 +61,24 @@ class AdmissionPolicy:
             return None
         return heapq.heappop(self._ready)[2]
 
+    def remove(self, request_id: int):
+        """Drop a waiting request by id (timeout/cancellation eviction).
+
+        Returns the removed request, or None when it is not queued
+        here.  Re-heapifying after the removal does not perturb pop
+        order: keys are untouched and every key is unique (the monotone
+        counter breaks ties), so the remaining requests pop in exactly
+        the order they would have anyway.
+        """
+        for heap in (self._future, self._ready):
+            for i, entry in enumerate(heap):
+                if entry[2].request_id == request_id:
+                    heap[i] = heap[-1]
+                    heap.pop()
+                    heapq.heapify(heap)
+                    return entry[2]
+        return None
+
     def next_arrival(self) -> Optional[float]:
         """Earliest future arrival time, or None when only ready work
         (or nothing) remains."""

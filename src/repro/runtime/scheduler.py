@@ -72,20 +72,69 @@ class SeqState:
 
 @dataclass
 class RuntimeStats:
-    """Aggregate outcome of one scheduler run."""
+    """Aggregate outcome of one scheduler run.
+
+    Every submitted request lands in exactly ONE terminal bucket:
+    ``completed``, ``rejected`` (impossible at arrival — would never
+    fit), ``shed`` (load-shedding under degraded capacity), ``failed``
+    (recovery exhausted after faults), ``timed_out`` (deadline missed)
+    or ``cancelled``.  The fault-conservation linter (rule R005) and
+    the hypothesis property tests pin this partition down.
+    """
 
     completed: List = field(default_factory=list)
     rejected: List = field(default_factory=list)
+    failed: List = field(default_factory=list)
+    shed: List = field(default_factory=list)
+    timed_out: List = field(default_factory=list)
+    cancelled: List = field(default_factory=list)
     makespan_s: float = 0.0
     peak_batch: int = 0
     peak_concurrency: int = 0
     preemptions: int = 0
     iterations: int = 0
+    retries: int = 0
+    faults: int = 0
+    wasted_recompute_tokens: int = 0
     prefill_s: float = 0.0
     decode_breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     kv_budget_bytes: float = 0.0
     total_blocks: int = 0
     trace: Optional[RuntimeTrace] = None
+
+    # ---- SLO metrics ----------------------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        """Requests the service accepted responsibility for: everything
+        terminal except arrival-time rejections (those could never fit
+        and are a sizing error, not a service failure)."""
+        return (
+            len(self.completed)
+            + len(self.failed)
+            + len(self.shed)
+            + len(self.timed_out)
+            + len(self.cancelled)
+        )
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Output tokens of COMPLETED requests per second of makespan —
+        work burned on requests that later failed or timed out does not
+        count (that is the whole point of the metric under faults)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        tokens = sum(r.output_len for r in self.completed)
+        return tokens / self.makespan_s
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that completed."""
+        return len(self.completed) / self.offered if self.offered else 1.0
+
+    @property
+    def retries_per_request(self) -> float:
+        return self.retries / self.offered if self.offered else 0.0
 
 
 class ContinuousBatchingScheduler:
@@ -99,6 +148,7 @@ class ContinuousBatchingScheduler:
         chunk_tokens: int = 128,
         preemption: bool = False,
         snapshot_every: int = 0,
+        recovery=None,
     ) -> None:
         if prefill_mode not in PREFILL_MODES:
             raise ValueError(
@@ -114,11 +164,24 @@ class ContinuousBatchingScheduler:
         self.chunk_tokens = chunk_tokens
         self.preemption = preemption
         self.snapshot_every = snapshot_every
+        #: Optional :class:`~repro.runtime.faults.RecoveryPolicy`.  When
+        #: None every fault path is dead code and the scheduler behaves
+        #: bit-identically to the pre-fault runtime.
+        self.recovery = recovery
+        #: Set by :class:`~repro.runtime.faults.FaultTolerantRuntime`
+        #: when this scheduler is one replica behind a router; the
+        #: router then owns deadlines and crash rerouting.
+        self.router = None
+        self.failed = False
         self._policy: AdmissionPolicy = get_policy(policy)
         self._running: List[SeqState] = []
         self._committed_blocks = 0  # reserve-mode worst-case accounting
         self._busy = False
         self._admit_counter = 0
+        self._pending_transients = 0
+        self._iter_handle: Optional[int] = None
+        self._iter_cost = 0.0
+        self._deadlines: dict = {}  # request_id -> cancellable handle
         self._loop: Optional[EventLoop] = None
         self.trace = RuntimeTrace()
         self.stats = RuntimeStats(
@@ -130,13 +193,20 @@ class ContinuousBatchingScheduler:
     # ---- wiring ----------------------------------------------------------------------
 
     def attach(
-        self, loop: EventLoop, trace: Optional[RuntimeTrace] = None
+        self,
+        loop: EventLoop,
+        trace: Optional[RuntimeTrace] = None,
+        stats: Optional[RuntimeStats] = None,
     ) -> "ContinuousBatchingScheduler":
-        """Bind to an external loop (two-pool compositions share one)."""
+        """Bind to an external loop (multi-pool compositions share one
+        loop, one trace and — for fleet-level SLO metrics — one stats
+        object)."""
         self._loop = loop
         if trace is not None:
             self.trace = trace
             self.stats.trace = trace
+        if stats is not None:
+            self.stats = stats
         return self
 
     def run(self, requests: Sequence) -> RuntimeStats:
@@ -174,8 +244,23 @@ class ContinuousBatchingScheduler:
     # ---- arrivals --------------------------------------------------------------------
 
     def submit(self, req) -> None:
-        """A request reaches this pool now (arrival or KV hand-off)."""
+        """A request reaches this pool now (arrival, KV hand-off, or a
+        post-fault resubmission)."""
         now = self._loop.now
+        if not self.pool.alive:
+            # A resubmission raced a crash (the naive same-pool retry
+            # discipline does exactly this): count it as another
+            # failure attempt, or fail terminally when standalone.
+            if self.router is not None:
+                self.router.on_pool_failure(req, self)
+            else:
+                self.trace.record(
+                    now, EventKind.FAIL, req.request_id, self.pool.name,
+                    reason="pool down",
+                )
+                self.stats.failed.append(req)
+                self._resolve(req)
+            return
         total_tokens = req.prompt_len + req.output_len
         self.trace.record(
             now, EventKind.ARRIVE, req.request_id, self.pool.name,
@@ -193,8 +278,36 @@ class ContinuousBatchingScheduler:
                 ),
             )
             self.stats.rejected.append(req)
+            self._resolve(req)
+            return
+        if (
+            self.recovery is not None
+            and self.recovery.shed_queue_depth is not None
+            and len(self._policy) >= self.recovery.shed_queue_depth
+        ):
+            # Load shedding: reject-with-reason at admission instead of
+            # letting a degraded fleet's queue collapse into timeouts.
+            self.trace.record(
+                now, EventKind.SHED, req.request_id, self.pool.name,
+                reason=(
+                    f"queue depth {len(self._policy)} at limit "
+                    f"{self.recovery.shed_queue_depth}"
+                ),
+            )
+            self.stats.shed.append(req)
+            self._resolve(req)
             return
         self._policy.push(req)
+        if (
+            self.recovery is not None
+            and self.recovery.deadline_s is not None
+            and self.router is None
+            and req.request_id not in self._deadlines
+        ):
+            # Standalone mode arms its own deadlines; behind a router
+            # the router owns them (a deadline must survive rerouting
+            # across scheduler instances).
+            self._arm_deadline(req)
         # Defer behind every other event queued at this instant so
         # simultaneous submissions (a burst, a migrated batch) are all
         # visible to the same admission pass — the legacy loop admitted
@@ -420,7 +533,8 @@ class ContinuousBatchingScheduler:
             self.stats.peak_concurrency, len(self._running)
         )
         self._busy = True
-        loop.schedule_at(
+        self._iter_cost = total
+        self._iter_handle = loop.schedule_at(
             t0 + total, lambda: self._finish_iteration(decoders)
         )
 
@@ -428,7 +542,27 @@ class ContinuousBatchingScheduler:
         loop = self._loop
         now = loop.now
         alloc = self.pool.allocator
+        self._iter_handle = None
+        if self._pending_transients:
+            # A transient kernel/ECC error landed during this iteration
+            # and destroyed its output: recharge the full iteration time
+            # and redo it.  The KV appends already happened, so the
+            # rerun recomputes the same tokens without re-appending — no
+            # duplication, just wasted work (which we count).
+            self._pending_transients -= 1
+            live = sum(1 for s in decoders if s in self._running)
+            self.stats.wasted_recompute_tokens += live
+            self.trace.record(
+                now, EventKind.RETRY, None, self.pool.name,
+                scope="iteration", lost_s=self._iter_cost, batch=live,
+            )
+            self._iter_handle = loop.schedule_after(
+                self._iter_cost, lambda: self._finish_iteration(decoders)
+            )
+            return
         for seq in decoders:
+            if seq not in self._running:
+                continue  # evicted mid-iteration (timeout/cancel/crash)
             req = seq.req
             req.generated += 1
             if req.first_token_s is None:
@@ -447,6 +581,7 @@ class ContinuousBatchingScheduler:
                     now, EventKind.FINISH, seq.seq_id, self.pool.name,
                     latency_s=now - req.arrival_s,
                 )
+                self._resolve(req)
         if (
             self.snapshot_every
             and self.stats.iterations % self.snapshot_every == 0
@@ -454,6 +589,136 @@ class ContinuousBatchingScheduler:
             self.trace.snapshot(alloc, now, self.pool.name)
         self._busy = False
         self._kick()
+
+    # ---- faults and recovery ---------------------------------------------------------
+    #
+    # Everything below is dead code when ``recovery`` is None and no
+    # injector targets this scheduler — the no-fault event schedule is
+    # bit-identical to the pre-fault runtime.
+
+    def _arm_deadline(self, req) -> None:
+        deadline = max(req.arrival_s + self.recovery.deadline_s, self._loop.now)
+        handle = self._loop.schedule_at(
+            deadline, lambda: self._deadline_fired(req)
+        )
+        self._deadlines[req.request_id] = handle
+
+    def _deadline_fired(self, req) -> None:
+        # The handle is cancelled from every terminal path, so firing
+        # means the request is still live here (running or queued).
+        self._deadlines.pop(req.request_id, None)
+        self.evict(
+            req, EventKind.TIMEOUT, self.stats.timed_out,
+            reason=f"deadline {self.recovery.deadline_s}s exceeded",
+        )
+
+    def evict(self, req, kind: str, bucket: List, reason: str) -> bool:
+        """Terminally remove a live request (running or waiting) with a
+        trace record; returns False when the request is not here (e.g.
+        it sits in a router's backoff window)."""
+        now = self._loop.now
+        seq = next((s for s in self._running if s.req is req), None)
+        if seq is not None:
+            # Tokens materialised in KV are discarded — wasted work.
+            tokens = self.pool.allocator.sequence(seq.seq_id).tokens
+            self.pool.allocator.free(seq.seq_id)
+            self._committed_blocks -= seq.reserved_blocks
+            self._running.remove(seq)
+            self.stats.wasted_recompute_tokens += tokens
+        elif self._policy.remove(req.request_id) is None:
+            return False
+        self.trace.record(
+            now, kind, req.request_id, self.pool.name, reason=reason
+        )
+        bucket.append(req)
+        self._resolve(req)
+        return True
+
+    def cancel_request(self, request_id: int) -> bool:
+        """Client abort / injected cancellation of a live request."""
+        for seq in self._running:
+            if seq.req.request_id == request_id:
+                return self.evict(
+                    seq.req, EventKind.CANCEL, self.stats.cancelled,
+                    reason="client cancelled",
+                )
+        removed = self._policy.remove(request_id)
+        if removed is None:
+            return False
+        self.trace.record(
+            self._loop.now, EventKind.CANCEL, request_id, self.pool.name,
+            reason="client cancelled",
+        )
+        self.stats.cancelled.append(removed)
+        self._resolve(removed)
+        return True
+
+    def transient_error(self) -> None:
+        """A recoverable kernel/ECC error: the in-flight iteration's
+        output is lost and the iteration reruns; an idle pool shrugs."""
+        self.stats.faults += 1
+        if self._busy:
+            self._pending_transients += 1
+            effect = "rerun_iteration"
+        else:
+            effect = "noop_idle"
+        self.trace.record(
+            self._loop.now, EventKind.FAULT, None, self.pool.name,
+            fault="transient", effect=effect,
+        )
+
+    def fail_pool(self, reason: str = "gpu_crash") -> None:
+        """The pool's GPUs crash: all resident KV is lost, the in-flight
+        iteration never completes, and every live request either fails
+        terminally (standalone) or goes back to the router for
+        retry/reroute with recompute-from-prompt."""
+        if self.failed:
+            return
+        now = self._loop.now
+        self.failed = True
+        self.pool.fail()
+        self.stats.faults += 1
+        self.trace.record(
+            now, EventKind.FAULT, None, self.pool.name,
+            fault="gpu_crash", reason=reason,
+        )
+        if self._iter_handle is not None:
+            self._loop.cancel(self._iter_handle)
+            self._iter_handle = None
+        self._busy = False
+        self._pending_transients = 0
+        victims = [s.req for s in self._running]
+        for seq in self._running:
+            self.stats.wasted_recompute_tokens += (
+                self.pool.allocator.sequence(seq.seq_id).tokens
+            )
+        self.pool.allocator.free_all()
+        self._running.clear()
+        self._committed_blocks = 0
+        while True:
+            queued = self._policy.pop_ready(now)
+            if queued is None:
+                break
+            victims.append(queued)
+        for req in victims:
+            if self.router is not None:
+                self.router.on_pool_failure(req, self)
+            else:
+                self.trace.record(
+                    now, EventKind.FAIL, req.request_id, self.pool.name,
+                    reason="pool crashed",
+                )
+                self.stats.failed.append(req)
+                self._resolve(req)
+
+    def _resolve(self, req) -> None:
+        """Terminal bookkeeping shared by every exit path: disarm the
+        deadline and tell the router (if any) the request is done."""
+        handle = self._deadlines.pop(req.request_id, None)
+        if handle is not None:
+            self._loop.cancel(handle)
+        if self.router is not None:
+            self.router.on_terminal(req)
 
 
 class DisaggregatedRuntime:
@@ -473,10 +738,12 @@ class DisaggregatedRuntime:
         migration_seconds: Callable[[int], float],
         decode_policy: str = "fcfs",
         snapshot_every: int = 0,
+        recovery=None,
     ) -> None:
         self.prefill_pool = prefill_pool
         self.decode_pool = decode_pool
         self.migration_seconds = migration_seconds
+        self.recovery = recovery
         self.loop = EventLoop()
         self.trace = RuntimeTrace()
         self.decode_sched = ContinuousBatchingScheduler(
@@ -491,6 +758,7 @@ class DisaggregatedRuntime:
         self._arrived: List[Tuple[float, int, object]] = []
         self._prefill_busy = False
         self._migrations = 0
+        self._migration_faults = 0
 
     # ---- prefill pool ----------------------------------------------------------------
 
@@ -550,8 +818,59 @@ class DisaggregatedRuntime:
         )
         self._kick_prefill()
 
-    def _finish_migration(self, batch: List) -> None:
+    def migration_fault(self) -> None:
+        """Arm one migration failure: the next migration completion is
+        lost in flight and must be retried (recovery permitting) or the
+        batch fails terminally."""
+        self._migration_faults += 1
+        self.decode_sched.stats.faults += 1
+        self.trace.record(
+            self.loop.now, EventKind.FAULT, None, self.decode_pool.name,
+            fault="migration",
+        )
+
+    def _finish_migration(self, batch: List, attempt: int = 1) -> None:
         now = self.loop.now
+        stats = self.decode_sched.stats
+        if self._migration_faults > 0:
+            self._migration_faults -= 1
+            self.trace.record(
+                now, EventKind.MIGRATE_FAIL, None, self.decode_pool.name,
+                batch=len(batch), attempt=attempt,
+            )
+            tokens = sum(r.prompt_len for r in batch)
+            retryable = (
+                self.recovery is not None
+                and self.recovery.mode != "fail_fast"
+                and attempt <= self.recovery.max_retries
+            )
+            if retryable:
+                # Re-send the same cache across the link after backoff;
+                # the prefill-side blocks stay pinned for the resend.
+                stats.retries += 1
+                resend = self.migration_seconds(tokens)
+                delay = resend + self.recovery.backoff_s(
+                    attempt, batch[0].request_id
+                )
+                self.kv_migration_s += resend
+                self.trace.record(
+                    now, EventKind.RETRY, None, self.decode_pool.name,
+                    scope="migration", attempt=attempt, delay_s=delay,
+                )
+                self.loop.schedule_after(
+                    delay, lambda: self._finish_migration(batch, attempt + 1)
+                )
+                return
+            # Terminal: the prefilled cache is gone — count it wasted.
+            stats.wasted_recompute_tokens += tokens
+            for req in batch:
+                self.prefill_pool.allocator.free(req.request_id)
+                self.trace.record(
+                    now, EventKind.FAIL, req.request_id,
+                    self.decode_pool.name, reason="kv migration lost",
+                )
+                stats.failed.append(req)
+            return
         self._migrations += 1
         for req in batch:
             self.prefill_pool.allocator.free(req.request_id)

@@ -24,6 +24,7 @@ class TestFindings:
             "K001", "K002", "K003", "K004", "K005",
             "O001", "O002", "O003", "O004",
             "D001", "D002", "D003", "D004",
+            "R001", "R002", "R003", "R004", "R005",
         }
         assert expected == set(RULES)
 

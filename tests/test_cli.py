@@ -16,7 +16,7 @@ class TestParser:
             "fig12", "fig13", "fig14", "fig15", "fig16", "tab01",
             "abl_grouptile", "abl_splitk", "abl_mma_shape", "abl_quant",
             "ext_serving", "ext_serving_runtime", "ext_disagg",
-            "ext_accuracy", "ext_offload", "ext_memory",
+            "ext_accuracy", "ext_offload", "ext_memory", "ext_chaos",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -228,3 +228,49 @@ class TestServeCommand:
         ])
         assert rc == 1
         assert "infeasible" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_text_output(self, capsys):
+        rc = main(["chaos", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fail-fast" in out
+        assert "reroute" in out
+        assert "best goodput" in out
+
+    def test_json_replay_identical(self, capsys):
+        rc = main(["chaos", "--quick", "--json"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(["chaos", "--quick", "--json"])
+        assert rc == 0
+        assert capsys.readouterr().out == first
+
+    def test_reroute_beats_fail_fast_on_gpu_crash(self, capsys):
+        import json
+
+        rc = main(["chaos", "--quick", "--json", "--plan", "gpu-crash"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        policies = report["policies"]
+        assert (policies["reroute"]["goodput_tokens_per_s"]
+                > policies["fail-fast"]["goodput_tokens_per_s"])
+        assert report["winner_goodput"] == "reroute"
+
+    def test_flaky_link_retry_rescues_batch(self, capsys):
+        import json
+
+        rc = main(["chaos", "--quick", "--json", "--plan", "flaky-link",
+                   "--policies", "fail-fast", "retry"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        policies = report["policies"]
+        assert policies["fail-fast"]["completed"] == 0
+        assert policies["retry"]["completed"] > 0
+
+    def test_faults_lint_gate(self, capsys):
+        rc = main(["lint", "--faults"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out

@@ -117,3 +117,80 @@ class TestBaselineFormatCorruption:
         with pytest.raises(ValueError):
             BSRMatrix(b.shape, b.block_row_ptr, b.block_col_idx,
                       b.blocks.reshape(-1, 8, 32), (16, 16))
+
+
+class TestCorruptedRuntimeTrace:
+    """Tampered runtime traces must be rejected by the trace auditor,
+    the same way tampered format containers fail the format linter."""
+
+    @staticmethod
+    def _traced_run():
+        from repro.llm.serving import ServingConfig, ServingSimulator, poisson_workload
+
+        sim = ServingSimulator(ServingConfig(
+            model="opt-13b", framework="spinfer", max_batch=8,
+            snapshot_every=2,
+        ))
+        sched = sim.build_scheduler()
+        stats = sched.run(poisson_workload(
+            6, arrival_rate=4.0, prompt_len=32, output_len=16, seed=0,
+        ))
+        return stats.trace
+
+    @staticmethod
+    def _errors(trace):
+        from repro.analysis import Severity, lint_runtime_trace
+
+        return [
+            f for f in lint_runtime_trace(trace)
+            if f.severity == Severity.ERROR
+        ]
+
+    def test_clean_trace_passes(self):
+        assert self._errors(self._traced_run()) == []
+
+    def test_negative_snapshot_time_rejected(self):
+        import dataclasses
+
+        trace = self._traced_run()
+        trace.snapshots[0] = dataclasses.replace(trace.snapshots[0], t=-1.0)
+        errors = self._errors(trace)
+        assert any(
+            f.rule_id == "R005" and "negative time" in f.message
+            for f in errors
+        )
+
+    def test_out_of_order_snapshots_rejected(self):
+        trace = self._traced_run()
+        assert len(trace.snapshots) >= 2
+        trace.snapshots.reverse()
+        errors = self._errors(trace)
+        assert any(
+            f.rule_id == "R005" and "non-decreasing" in f.message
+            for f in errors
+        )
+
+    def test_out_of_order_events_rejected(self):
+        trace = self._traced_run()
+        trace.events.append(trace.events[0])  # replay t=0 after the end
+        errors = self._errors(trace)
+        assert any(
+            f.rule_id == "R005" and f.subject == "trace:events"
+            for f in errors
+        )
+
+    def test_negative_block_id_in_snapshot_rejected(self):
+        trace = self._traced_run()
+        snap = next(s for s in trace.snapshots if s.tables)
+        seq = next(iter(snap.tables))
+        snap.tables[seq][0] = -3
+        errors = self._errors(trace)
+        assert any(f.rule_id == "K005" for f in errors)
+
+    def test_negative_token_count_in_snapshot_rejected(self):
+        trace = self._traced_run()
+        snap = next(s for s in trace.snapshots if s.tokens)
+        seq = next(iter(snap.tokens))
+        snap.tokens[seq] = -7
+        errors = self._errors(trace)
+        assert any(f.rule_id == "K005" for f in errors)

@@ -188,3 +188,68 @@ class TestCopyOnWrite:
         assert 999 not in a.sequence(1).block_ids
         assert 99 not in a.refcounts().values()
         assert 999 not in a.free_block_ids()
+
+
+class TestFreeGuards:
+    """Double frees and corrupted block tables must raise, not leak."""
+
+    def test_double_free_raises(self):
+        a = allocator()
+        a.allocate(1, 20)
+        a.free(1)
+        with pytest.raises(KeyError, match="unknown sequence"):
+            a.free(1)
+
+    def test_free_of_unowned_block_raises(self):
+        a = allocator()
+        a.allocate(1, 20)
+        a.free(1)
+        a.allocate(2, 4)
+        # Corrupt seq 2's table to also claim seq 1's released block.
+        freed_block = next(
+            b for b in a.free_block_ids()
+            if b not in a.sequence(2).block_ids
+        )
+        a._sequences[2].block_ids.append(freed_block)
+        with pytest.raises(RuntimeError, match="double free"):
+            a.free(2)
+
+    def test_duplicated_block_in_table_raises(self):
+        a = allocator()
+        a.allocate(1, 4)
+        block = a.sequence(1).block_ids[0]
+        a._sequences[1].block_ids.append(block)  # x2, refcount says 1
+        with pytest.raises(RuntimeError, match="double free"):
+            a.free(1)
+
+    def test_failed_free_mutates_nothing(self):
+        a = allocator()
+        a.allocate(1, 4)
+        a.allocate(2, 4)
+        free_before = list(a.free_block_ids())
+        refs_before = dict(a.refcounts())
+        a._sequences[1].block_ids.append(a.sequence(2).block_ids[0])
+        a._sequences[1].block_ids.append(a.sequence(2).block_ids[0])
+        with pytest.raises(RuntimeError, match="double free"):
+            a.free(1)
+        assert a.free_block_ids() == free_before
+        assert a.refcounts() == refs_before
+        assert 1 in a.block_tables()  # the sequence is still live
+
+    def test_forked_block_frees_once_per_owner(self):
+        a = allocator()
+        a.allocate(1, 20)
+        a.fork(1, 2)
+        a.free(1)
+        a.free(2)
+        with pytest.raises(KeyError):
+            a.free(2)
+        assert a.free_blocks == a.total_blocks
+
+    def test_free_all_is_deterministic_and_complete(self):
+        a = allocator()
+        for seq in (5, 3, 9):
+            a.allocate(seq, 24)
+        assert a.free_all() == 6
+        assert a.free_blocks == a.total_blocks
+        assert a.block_tables() == {}

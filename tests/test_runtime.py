@@ -68,6 +68,61 @@ class TestEventLoop:
         with pytest.raises(RuntimeError, match="not making progress"):
             loop.run(max_events=100)
 
+    def test_cancel_prevents_firing(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule_at(1.0, lambda: fired.append("cancelled"))
+        loop.schedule_at(2.0, lambda: fired.append("kept"))
+        assert loop.cancel(handle) is True
+        loop.run()
+        assert fired == ["kept"]
+        assert loop.cancelled == 1
+
+    def test_cancel_is_idempotent(self):
+        loop = EventLoop()
+        handle = loop.schedule_at(1.0, lambda: None)
+        assert loop.cancel(handle) is True
+        assert loop.cancel(handle) is False
+        assert loop.cancel(12345) is False
+        assert loop.cancelled == 1
+
+    def test_cancelled_event_never_advances_clock(self):
+        loop = EventLoop()
+        handle = loop.schedule_at(9.0, lambda: None)
+        loop.schedule_at(1.0, lambda: None)
+        loop.cancel(handle)
+        loop.run()
+        assert loop.now == 1.0  # the cancelled 9.0 event left no mark
+
+    def test_pending_events_tracks_cancellation(self):
+        loop = EventLoop()
+        h1 = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        assert loop.pending_events == 2
+        loop.cancel(h1)
+        assert loop.pending_events == 1
+
+    def test_cancelled_run_replays_like_never_scheduled(self):
+        """Determinism contract: cancelling an event reproduces the
+        schedule of a run where it was never scheduled at all."""
+
+        def drive(with_cancelled: bool):
+            loop = EventLoop()
+            order = []
+            loop.schedule_at(1.0, lambda: order.append(("a", loop.now)))
+            if with_cancelled:
+                handle = loop.schedule_at(
+                    1.0, lambda: order.append(("ghost", loop.now))
+                )
+            loop.schedule_at(1.0, lambda: order.append(("b", loop.now)))
+            loop.schedule_at(3.0, lambda: order.append(("c", loop.now)))
+            if with_cancelled:
+                loop.cancel(handle)
+            loop.run()
+            return order, loop.now
+
+        assert drive(True) == drive(False)
+
 
 class TestPolicies:
     def reqs(self):
