@@ -16,12 +16,20 @@ machine-checked properties that run without executing anything:
   (``K001``–``K005``), offload feasibility (``O001``–``O004``) and
   disaggregated configurations (``D001``–``D004``);
 * :mod:`~repro.analysis.fault_lint` — recovery-policy sanity and
-  fault-run conservation audits (``R001``–``R005``).
+  fault-run conservation audits (``R001``–``R005``);
+* :mod:`~repro.analysis.source_lint` — determinism hazards in this
+  repo's own Python source: ambient RNG, wall-clock reads, iteration
+  order over unordered collections (``S001``–``S006``);
+* :mod:`~repro.analysis.schedule_lint` — happens-before schedule-race
+  detection over instrumented event-loop runs, including dual replay
+  under a reversed insertion tie-break (``H001``–``H005``).
 
 ``check_all_builtin_programs`` sweeps every program, schedule and
 container the repo constructs; ``check_all_builtin_deployments`` sweeps
-every deployment artifact and translation-validates the planner.  See
-docs/ANALYSIS.md for the rule catalogue with minimal failing examples.
+every deployment artifact and translation-validates the planner;
+``check_source`` lints the source tree; ``check_builtin_schedules``
+replays every builtin scenario both ways.  See docs/ANALYSIS.md for the
+rule catalogue with minimal failing examples.
 """
 
 from .abstract import AbstractResult, interpret, static_cycle_lower_bound
@@ -46,7 +54,7 @@ from .fault_lint import (
     lint_fault_outcome,
     lint_recovery_policy,
 )
-from .findings import RULES, Finding, Report, Rule, Severity
+from .findings import RULES, Finding, Report, Rule, Severity, reconcile_expected
 from .format_lint import lint_csr, lint_format, lint_tca_bme, lint_tiled_csl
 from .pipeline_lint import lint_pipeline_trace
 from .plan_lint import (
@@ -60,6 +68,19 @@ from .plan_lint import (
     lint_kv_plan,
     lint_offload_plan,
     lint_runtime_trace,
+)
+from .schedule_lint import (
+    builtin_schedule_scenarios,
+    check_builtin_schedules,
+    dual_replay,
+    lint_schedule_log,
+)
+from .source_lint import (
+    check_source,
+    check_source_fixtures,
+    check_source_tree,
+    lint_source_file,
+    lint_source_text,
 )
 from .warp_lint import cross_check_with_simulator, lint_warp_program
 
@@ -77,11 +98,17 @@ __all__ = [
     "builtin_formats",
     "builtin_runtime_traces",
     "builtin_pipeline_traces",
+    "builtin_schedule_scenarios",
     "builtin_warp_programs",
     "check_all_builtin_deployments",
     "check_all_builtin_programs",
     "check_builtin_fault_artifacts",
+    "check_builtin_schedules",
+    "check_source",
+    "check_source_fixtures",
+    "check_source_tree",
     "cross_check_with_simulator",
+    "dual_replay",
     "effective_sparsity",
     "interpret",
     "kv_plan_for_spec",
@@ -97,9 +124,13 @@ __all__ = [
     "lint_pipeline_trace",
     "lint_recovery_policy",
     "lint_runtime_trace",
+    "lint_schedule_log",
+    "lint_source_file",
+    "lint_source_text",
     "lint_tca_bme",
     "lint_tiled_csl",
     "lint_warp_program",
+    "reconcile_expected",
     "spec_kv_budget_bytes",
     "spec_kv_bytes_per_token",
     "spec_memory",

@@ -94,6 +94,7 @@ def builtin_formats():
 def check_all_builtin_programs() -> Report:
     """Run every static checker over everything the repo constructs."""
     report = Report()
+    report.add_family("W", "P", "F")
     for program, shared in builtin_warp_programs():
         report.extend(lint_warp_program(program, shared_size=int(shared.size)))
         report.extend(cross_check_with_simulator(program, shared))

@@ -19,7 +19,6 @@ demoted to notes so the gate stays green.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Iterable, List
 
 from ..runtime.faults import (
@@ -27,7 +26,7 @@ from ..runtime.faults import (
     RECOVERY_POLICIES,
     RecoveryPolicy,
 )
-from .findings import Finding, Report, Severity
+from .findings import Finding, Report, reconcile_expected
 
 __all__ = [
     "DEFAULT_MIN_SERVICE_S",
@@ -170,39 +169,15 @@ def lint_fault_outcome(stats, subject: str = "chaos") -> List[Finding]:
 def _expect_findings(
     findings: Iterable[Finding], expected_rules: Iterable[str], subject: str
 ) -> List[Finding]:
-    """Reconcile a broken builtin's findings with its documentation.
-
-    Expected rules that fired are demoted to notes (they prove the
-    linter works); unexpected findings pass through untouched; a
-    documented rule that did NOT fire becomes an error under its own
-    id — the linter lost a check.
-    """
-    expected = set(expected_rules)
-    out: List[Finding] = []
-    fired = set()
-    for finding in findings:
-        if finding.rule_id in expected:
-            fired.add(finding.rule_id)
-            out.append(
-                dataclasses.replace(
-                    finding,
-                    message="expected (builtin broken policy): "
-                    + finding.message,
-                    severity=Severity.INFO,
-                )
-            )
-        else:
-            out.append(finding)
-    for rule_id in sorted(expected - fired):
-        out.append(
-            Finding(
-                rule_id,
-                "documented broken policy did not trip this rule — the "
-                "linter check regressed",
-                subject=subject,
-            )
-        )
-    return out
+    """Reconcile a broken builtin's findings with its documentation
+    (shared machinery in :func:`repro.analysis.findings.
+    reconcile_expected`)."""
+    return reconcile_expected(
+        list(findings),
+        sorted(set(expected_rules)),
+        subject,
+        context="builtin broken policy",
+    )
 
 
 def check_builtin_fault_artifacts(run_chaos: bool = True) -> Report:
@@ -214,6 +189,7 @@ def check_builtin_fault_artifacts(run_chaos: bool = True) -> Report:
     fault plan and audits each outcome for R005 conservation.
     """
     report = Report()
+    report.add_family("R")
     for name in sorted(RECOVERY_POLICIES):
         report.extend(lint_recovery_policy(RECOVERY_POLICIES[name]))
         report.checked += 1

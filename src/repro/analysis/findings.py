@@ -1,13 +1,15 @@
 """Finding/report machinery shared by all static checkers.
 
 Every rule has a stable ID (``W...`` warp-IR, ``P...`` pipeline,
-``F...`` format, and the deployment families ``M...`` memory, ``T...``
+``F...`` format, the deployment families ``M...`` memory, ``T...``
 tensor-parallel, ``K...`` KV-cache, ``O...`` offload, ``D...``
-disaggregation, ``R...`` recovery/fault-tolerance) so CI gates, docs
-and tests can refer to findings
+disaggregation, ``R...`` recovery/fault-tolerance, and the determinism
+families ``S...`` source hazards, ``H...`` happens-before schedule
+races) so CI gates, docs and tests can refer to findings
 without string-matching messages.  A :class:`Report` aggregates findings
 across many checked objects; ``Report.ok`` is the CI gate (no
-error-severity findings).
+error-severity findings) and ``Report.families`` records which rule
+families actually ran, so CI can assert none was silently skipped.
 """
 
 from __future__ import annotations
@@ -15,9 +17,16 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["Severity", "Rule", "RULES", "Finding", "Report"]
+__all__ = [
+    "Severity",
+    "Rule",
+    "RULES",
+    "Finding",
+    "Report",
+    "reconcile_expected",
+]
 
 
 class Severity(enum.IntEnum):
@@ -181,6 +190,45 @@ RULES: Dict[str, Rule] = {
              "runtime outcome violates conservation: a request in zero or "
              "two terminal buckets, lost/duplicated decode tokens, or "
              "non-monotone trace timestamps"),
+        # ---- source determinism hazards (AST pass over src/repro) ------
+        Rule("S001", "ambient-rng", Severity.ERROR,
+             "unseeded/ambient RNG call (np.random.* module functions or "
+             "random.* without a pinned Generator) — results change run "
+             "to run"),
+        Rule("S002", "wall-clock-read", Severity.ERROR,
+             "wall-clock read (time.time, datetime.now, ...) in simulation "
+             "code — observable state must derive from the event clock"),
+        Rule("S003", "unordered-iteration-mutates", Severity.ERROR,
+             "loop over an unordered collection (set, dict.values()/.keys()"
+             ") whose body mutates state or accumulates floats — iteration "
+             "order leaks into results"),
+        Rule("S004", "identity-ordered-sort", Severity.ERROR,
+             "sorting/ordering keyed on id() or object identity — addresses "
+             "vary across runs and interpreters"),
+        Rule("S005", "mutable-default-arg", Severity.WARNING,
+             "mutable default argument in a public API — call-order state "
+             "leaks between invocations"),
+        Rule("S006", "unordered-float-accumulation", Severity.ERROR,
+             "float accumulation whose order depends on an unordered "
+             "source — IEEE addition does not commute, sums drift with "
+             "hash order"),
+        # ---- happens-before schedule races (over ScheduleLog) ----------
+        Rule("H001", "tie-break-ordered-write-race", Severity.WARNING,
+             "same-timestamp event pair with intersecting write-sets "
+             "ordered only by insertion tie-break — the outcome hangs on "
+             "scheduling accidents"),
+        Rule("H002", "dual-replay-divergence", Severity.ERROR,
+             "observable trace/stats diverge when same-time insertion "
+             "tie-breaking is reversed — a real schedule race"),
+        Rule("H003", "schedule-time-travel", Severity.ERROR,
+             "a recorded event fires at a non-finite time or before the "
+             "instant that scheduled it"),
+        Rule("H004", "cancelled-handle-reuse", Severity.WARNING,
+             "cancel() on a handle that already fired or was already "
+             "cancelled — stale handle bookkeeping in the caller"),
+        Rule("H005", "same-timestamp-cascade", Severity.ERROR,
+             "unbounded chain of events scheduling each other at one "
+             "instant — the clock cannot advance"),
     ]
 }
 
@@ -229,6 +277,50 @@ class Finding:
         }
 
 
+def reconcile_expected(
+    findings: Sequence[Finding],
+    expected_rules: Sequence[str],
+    subject: str,
+    context: str = "builtin broken artifact",
+) -> List[Finding]:
+    """Reconcile a deliberately-broken artifact against its manifest.
+
+    Expected findings are demoted to INFO (the sweep is regression-
+    testing the checker, not judging the artifact); an expected rule
+    that did NOT fire is promoted to a fresh ERROR — the checker
+    regressed and its CI gate must fail.  Unexpected findings pass
+    through at their native severity.
+    """
+    out: List[Finding] = []
+    seen = set()
+    for f in findings:
+        seen.add(f.rule_id)
+        if f.rule_id in expected_rules:
+            out.append(
+                Finding(
+                    f.rule_id,
+                    f"expected ({context}): {f.message}",
+                    subject=f.subject,
+                    location=f.location,
+                    severity=Severity.INFO,
+                )
+            )
+        else:
+            out.append(f)
+    for rule_id in expected_rules:
+        if rule_id not in seen:
+            out.append(
+                Finding(
+                    rule_id,
+                    f"documented broken artifact did not trip this rule — "
+                    f"the {rule_id} check regressed",
+                    subject=subject,
+                    severity=Severity.ERROR,
+                )
+            )
+    return out
+
+
 @dataclass
 class Report:
     """Findings aggregated over a sweep of checked objects."""
@@ -236,6 +328,21 @@ class Report:
     findings: List[Finding] = field(default_factory=list)
     #: Number of objects checked (programs + traces + formats).
     checked: int = 0
+    #: Rule families (leading rule-ID letters, e.g. ``["S", "H"]``) the
+    #: sweep actually RAN — independent of whether anything fired.  CI
+    #: asserts against this so a silently-skipped family fails loudly.
+    families: List[str] = field(default_factory=list)
+
+    def add_family(self, *letters: str) -> None:
+        for letter in letters:
+            if letter not in self.families:
+                self.families.append(letter)
+
+    def merge(self, other: "Report") -> None:
+        """Fold another report into this one (sweep composition)."""
+        self.findings.extend(other.findings)
+        self.checked += other.checked
+        self.add_family(*other.families)
 
     def extend(self, findings: Iterable[Finding]) -> None:
         self.findings.extend(findings)
@@ -274,6 +381,7 @@ class Report:
         return {
             "checked": self.checked,
             "ok": self.ok,
+            "families": sorted(self.families),
             "errors": self.count(Severity.ERROR),
             "warnings": self.count(Severity.WARNING),
             "notes": self.count(Severity.INFO),

@@ -1,0 +1,28 @@
+"""Deliberately-hazardous source fixtures for the S-family lint.
+
+Each ``broken_s*`` module commits exactly the determinism sin its name
+promises; ``clean_reference`` commits none.  :data:`EXPECTED` maps each
+module to the rule ids it must trip — the ``repro lint --source`` sweep
+reconciles fixtures against this manifest exactly like the broken
+recovery policies: an expected rule that fires is demoted to a note, an
+expected rule that does NOT fire is an error (the checker regressed),
+and any finding on ``clean_reference`` fails at native severity.
+
+Nothing here is imported by production code; the modules only ever meet
+the AST linter, never the interpreter's hot path.
+"""
+
+from typing import Dict, Tuple
+
+__all__ = ["EXPECTED"]
+
+#: fixture module name -> rule ids it must trip (empty = must be clean).
+EXPECTED: Dict[str, Tuple[str, ...]] = {
+    "broken_s001": ("S001",),
+    "broken_s002": ("S002",),
+    "broken_s003": ("S003",),
+    "broken_s004": ("S004",),
+    "broken_s005": ("S005",),
+    "broken_s006": ("S006",),
+    "clean_reference": (),
+}

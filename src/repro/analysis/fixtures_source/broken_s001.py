@@ -1,0 +1,15 @@
+"""S001 fixture: ambient RNG reads that change run to run."""
+
+import random
+
+import numpy as np
+
+
+def jittered_delays(n):
+    # Module-level numpy RNG: draws come from interpreter-global state.
+    noise = np.random.uniform(0.0, 1.0, size=n)
+    # Stdlib shared stream: order of *other* callers changes this value.
+    offset = random.random()
+    # Entropy-seeded generator: pinned API, unpinned seed.
+    rng = np.random.default_rng()
+    return noise + offset + rng.standard_normal(n)

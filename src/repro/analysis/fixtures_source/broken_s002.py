@@ -1,0 +1,12 @@
+"""S002 fixture: wall-clock reads inside simulation logic."""
+
+import time
+from datetime import datetime
+
+
+def stamp_events(events):
+    started = time.time()
+    for ev in events:
+        ev["wall_s"] = time.perf_counter() - started
+        ev["day"] = datetime.now().isoformat()
+    return events

@@ -1,0 +1,21 @@
+"""S003 fixture: unordered iteration leaking order into state."""
+
+
+def drain_queues(queues):
+    drained = []
+    for q in queues.values():  # dict hash order decides `drained`
+        drained.append(q)
+    return drained
+
+
+def total_tokens(sequences):
+    # Accumulation folded in .values() order (ints here, but the fold
+    # order is still unspecified — the S006 twin makes it float).
+    return sum(seq["tokens"] for seq in sequences.values())
+
+
+def visit_all(pending):
+    order = []
+    for name in set(pending):  # set iteration order is hash order
+        order.append(name)
+    return order

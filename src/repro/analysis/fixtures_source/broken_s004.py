@@ -1,0 +1,10 @@
+"""S004 fixture: ordering keyed on object identity."""
+
+
+def stable_order(requests):
+    # id() is an address: same program, different order every run.
+    return sorted(requests, key=id)
+
+
+def priority_order(requests):
+    return sorted(requests, key=lambda r: (r.priority, id(r)))

@@ -1,0 +1,12 @@
+"""S005 fixture: mutable default argument in a public API."""
+
+
+def submit(request, queue=[]):
+    # Every call shares ONE list: results depend on call history.
+    queue.append(request)
+    return queue
+
+
+def configure(name, overrides={}):
+    overrides.setdefault("mode", "fifo")
+    return name, overrides

@@ -1,0 +1,14 @@
+"""S006 fixture: float accumulation in unordered (hash) order."""
+
+import math
+
+
+def mean_latency(latencies_by_id):
+    # IEEE addition does not commute: the sum's low bits depend on
+    # dict hash order, which depends on insertion history.
+    total = sum(v / 1000.0 for v in latencies_by_id.values())
+    return total / len(latencies_by_id)
+
+
+def fused_cost(costs):
+    return math.fsum(float(c) for c in set(costs))

@@ -841,6 +841,7 @@ def check_all_builtin_deployments(
     own ``best_batch``/``min_gpus`` output.
     """
     report = Report()
+    report.add_family("M", "T", "K", "O", "D")
     for spec in builtin_deployment_specs():
         report.extend(lint_deployment(spec))
         report.checked += 1

@@ -1,0 +1,497 @@
+"""Source-level determinism lint (S rules): an AST pass over src/repro.
+
+Every determinism gate downstream — byte-identical chaos replays,
+sha256 bench checksums, the H-family dual replay — assumes the *source*
+never consults ambient nondeterminism.  This module checks that
+assumption mechanically:
+
+* **S001** ambient RNG: ``np.random.*`` module functions or stdlib
+  ``random.*`` calls (a pinned ``np.random.default_rng(seed)``
+  Generator is the sanctioned idiom; ``default_rng()`` with no seed is
+  still ambient).
+* **S002** wall-clock reads: ``time.time``/``perf_counter``/
+  ``datetime.now`` and friends — simulation state must derive from the
+  event clock, and even measurement helpers must be pragma-audited.
+* **S003** iteration over an unordered collection (``set``,
+  ``dict.values()/.keys()/.items()``) whose body mutates outer state
+  (``+=``, ``.append``/``.extend``) or that feeds an accumulation
+  (``sum``/``fsum``/``join``) — iteration order leaks into results.
+* **S004** ordering keyed on ``id()`` — addresses vary across runs.
+* **S005** mutable default arguments in public functions.
+* **S006** the float-flavoured subset of S003: accumulation whose
+  operands involve division, float literals or ``float()`` — IEEE
+  addition does not commute, so hash-order sums drift bit-by-bit.
+
+Suppression is per-line and per-rule, via a ``repro: allow`` comment
+naming the rule (e.g. ``allow S00x audited: <why>`` with the x filled
+in).  The pragma must carry a reason (a bare ``allow S00x`` is ignored
+and flagged), may sit on the offending line or the line above,
+and an *unused* pragma is itself a warning — suppressions cannot
+outlive the hazard they excuse.
+
+``check_source_tree`` sweeps the installed ``repro`` package;
+``check_source_fixtures`` reconciles the deliberately-hazardous
+snippets in :mod:`repro.analysis.fixtures_source` against their
+``EXPECTED`` manifest exactly like the broken recovery policies: an
+expected rule that fails to fire is an ERROR (the checker regressed).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, Report, Severity, reconcile_expected
+
+__all__ = [
+    "lint_source_text",
+    "lint_source_file",
+    "check_source_tree",
+    "check_source_fixtures",
+    "check_source",
+]
+
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\s+(S\d{3})\b[ \t]*(.*)")
+
+#: ``numpy.random`` attributes that construct *pinned* generators
+#: rather than reading ambient stream state.
+_PINNED_RNG_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "BitGenerator",
+}
+
+#: Wall-clock reads (fully resolved dotted names).
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Accumulation consumers: order-sensitive folds over their argument.
+_ACCUMULATORS = {"sum", "math.fsum"}
+
+_UNORDERED_METHODS = {"values", "keys", "items"}
+
+
+class _Pragma:
+    def __init__(self, rule_id: str, reason: str, line: int) -> None:
+        self.rule_id = rule_id
+        self.reason = reason.strip()
+        self.line = line
+        self.used = False
+
+
+def _collect_pragmas(text: str) -> List[_Pragma]:
+    pragmas = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = PRAGMA_RE.search(line)
+        if m:
+            pragmas.append(_Pragma(m.group(1), m.group(2), lineno))
+    return pragmas
+
+
+class _Visitor(ast.NodeVisitor):
+    """One pass over a module; findings accumulate in ``self.findings``."""
+
+    def __init__(self, subject: str) -> None:
+        self.subject = subject
+        self.findings: List[Finding] = []
+        #: local alias -> canonical dotted module path
+        self.aliases: Dict[str, str] = {}
+
+    # ---- emit ------------------------------------------------------------------------
+
+    def _flag(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule_id,
+                message,
+                subject=self.subject,
+                location=getattr(node, "lineno", None),
+            )
+        )
+
+    # ---- imports and name resolution -------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain with aliases expanded."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # ---- S001 / S002 / S004 ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is not None:
+            self._check_rng(node, resolved)
+            if resolved in _WALL_CLOCK:
+                self._flag(
+                    "S002", node,
+                    f"wall-clock read {resolved}() — derive time from the "
+                    "event clock (or pragma-audit measurement code)",
+                )
+        for kw in node.keywords:
+            if kw.arg == "key" and self._mentions_id(kw.value):
+                self._flag(
+                    "S004", node,
+                    "ordering keyed on id() — object addresses differ "
+                    "across runs; key on a stable field instead",
+                )
+        self._check_accumulation(node, resolved)
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, resolved: str) -> None:
+        if resolved.startswith("numpy.random."):
+            leaf = resolved.rsplit(".", 1)[1]
+            if leaf not in _PINNED_RNG_CONSTRUCTORS:
+                self._flag(
+                    "S001", node,
+                    f"ambient RNG {resolved}() — draw from a pinned "
+                    "np.random.default_rng(seed) Generator instead",
+                )
+            elif leaf == "default_rng" and not (node.args or node.keywords):
+                self._flag(
+                    "S001", node,
+                    "np.random.default_rng() without a seed is entropy-"
+                    "seeded — pass an explicit seed",
+                )
+        elif resolved == "random" or resolved.startswith("random."):
+            leaf = resolved.rsplit(".", 1)[-1]
+            if leaf == "Random" and (node.args or node.keywords):
+                return  # random.Random(seed) is pinned
+            self._flag(
+                "S001", node,
+                f"stdlib {resolved}() reads the shared ambient stream — "
+                "use a pinned np.random.default_rng(seed)",
+            )
+
+    @staticmethod
+    def _mentions_id(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"
+            ):
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "id":
+                # bare ``key=id``
+                return True
+        return False
+
+    # ---- unordered sources -----------------------------------------------------------
+
+    def _is_unordered(self, node: ast.AST) -> Optional[str]:
+        """Describe ``node`` if its iteration order is unordered."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set"
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")
+            ):
+                return "set(...)"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _UNORDERED_METHODS
+                and not node.args
+                and not node.keywords
+            ):
+                return f".{node.func.attr}()"
+        return None
+
+    def _unordered_in_comprehension(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for gen in node.generators:
+                desc = self._is_unordered(gen.iter)
+                if desc is not None:
+                    return desc
+        return self._is_unordered(node)
+
+    @staticmethod
+    def _float_flavoured(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                return True
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "float"
+            ):
+                return True
+        return False
+
+    # ---- S003 / S006: accumulation consumers -----------------------------------------
+
+    def _check_accumulation(
+        self, node: ast.Call, resolved: Optional[str]
+    ) -> None:
+        is_join = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+        )
+        if resolved not in _ACCUMULATORS and not is_join:
+            return
+        if not node.args:
+            return
+        desc = self._unordered_in_comprehension(node.args[0])
+        if desc is None:
+            return
+        what = resolved if resolved in _ACCUMULATORS else "join"
+        if self._float_flavoured(node):
+            self._flag(
+                "S006", node,
+                f"float accumulation {what}(...) over unordered {desc} — "
+                "IEEE sums drift with hash order; iterate sorted keys",
+            )
+        else:
+            self._flag(
+                "S003", node,
+                f"accumulation {what}(...) over unordered {desc} — make "
+                "the fold order explicit (sorted keys)",
+            )
+
+    # ---- S003: mutating loops --------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        desc = self._is_unordered(node.iter)
+        if desc is not None:
+            loop_names = {
+                n.id
+                for n in ast.walk(node.target)
+                if isinstance(n, ast.Name)
+            }
+            mutated = self._body_mutations(node.body, loop_names)
+            if mutated:
+                self._flag(
+                    "S003", node,
+                    f"loop over unordered {desc} mutates {mutated!r} — "
+                    "iteration order leaks into state; iterate sorted "
+                    "keys or an ordered sequence",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _body_mutations(
+        body: Sequence[ast.stmt], loop_names: Set[str]
+    ) -> Optional[str]:
+        """Name of outer state the loop body mutates order-sensitively."""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.AugAssign)
+                    and isinstance(sub.target, ast.Name)
+                    and sub.target.id not in loop_names
+                ):
+                    return sub.target.id
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("append", "extend")
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id not in loop_names
+                ):
+                    return sub.func.value.id
+        return None
+
+    # ---- S005: mutable defaults ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        if node.name.startswith("_"):
+            return  # private helpers are the caller's problem
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                self._flag(
+                    "S005", default,
+                    f"mutable default argument in public {node.name}() — "
+                    "one instance is shared across every call; default "
+                    "to None",
+                )
+
+
+def _apply_pragmas(
+    findings: List[Finding], pragmas: List[_Pragma], subject: str
+) -> List[Finding]:
+    out: List[Finding] = []
+    for f in findings:
+        suppressed = None
+        for p in pragmas:
+            if (
+                p.rule_id == f.rule_id
+                and p.reason
+                and f.location is not None
+                and p.line in (f.location, f.location - 1)
+            ):
+                suppressed = p
+                break
+        if suppressed is not None:
+            suppressed.used = True
+            out.append(
+                Finding(
+                    f.rule_id,
+                    f"suppressed ({suppressed.reason}): {f.message}",
+                    subject=f.subject,
+                    location=f.location,
+                    severity=Severity.INFO,
+                )
+            )
+        else:
+            out.append(f)
+    for p in pragmas:
+        if not p.reason:
+            out.append(
+                Finding(
+                    p.rule_id,
+                    "suppression pragma without a reason is ignored — "
+                    "state why the hazard is safe",
+                    subject=subject,
+                    location=p.line,
+                    severity=Severity.WARNING,
+                )
+            )
+        elif not p.used:
+            out.append(
+                Finding(
+                    p.rule_id,
+                    "unused suppression pragma — the hazard it excused is "
+                    "gone; delete the pragma",
+                    subject=subject,
+                    location=p.line,
+                    severity=Severity.WARNING,
+                )
+            )
+    return out
+
+
+def lint_source_text(text: str, subject: str = "<string>") -> List[Finding]:
+    """S001–S006 over one module's source text."""
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "S002",
+                f"unparseable source ({exc.msg} at line {exc.lineno}) — "
+                "the determinism lint cannot vouch for this file",
+                subject=subject,
+                location=exc.lineno,
+                severity=Severity.ERROR,
+            )
+        ]
+    visitor = _Visitor(subject)
+    visitor.visit(tree)
+    return _apply_pragmas(
+        visitor.findings, _collect_pragmas(text), subject
+    )
+
+
+def lint_source_file(path: Path, root: Optional[Path] = None) -> List[Finding]:
+    path = Path(path)
+    subject = f"src:{path.relative_to(root)}" if root else f"src:{path.name}"
+    return lint_source_text(path.read_text(), subject=subject)
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parent.parent  # src/repro
+
+
+def check_source_tree(root: Optional[Path] = None) -> Report:
+    """Sweep every module of the installed ``repro`` package.
+
+    The deliberately-hazardous fixture package is excluded here and
+    reconciled separately by :func:`check_source_fixtures`.
+    """
+    root = Path(root) if root is not None else _package_root()
+    report = Report()
+    report.add_family("S")
+    for path in sorted(root.rglob("*.py")):
+        if "fixtures_source" in path.parts:
+            continue
+        report.extend(lint_source_file(path, root=root.parent))
+        report.checked += 1
+    return report
+
+
+def check_source_fixtures() -> Report:
+    """Reconcile the hazardous fixtures against their manifest."""
+    from . import fixtures_source
+
+    report = Report()
+    report.add_family("S")
+    pkg_dir = Path(fixtures_source.__file__).resolve().parent
+    for module_name in sorted(fixtures_source.EXPECTED):
+        expected = fixtures_source.EXPECTED[module_name]
+        path = pkg_dir / f"{module_name}.py"
+        subject = f"fixture:{module_name}"
+        findings = lint_source_text(path.read_text(), subject=subject)
+        report.extend(
+            reconcile_expected(
+                findings, expected, subject, context="builtin broken fixture"
+            )
+        )
+        report.checked += 1
+    return report
+
+
+def check_source(run_fixtures: bool = True) -> Report:
+    """The ``repro lint --source`` sweep: tree + fixture reconciliation."""
+    report = check_source_tree()
+    if run_fixtures:
+        report.merge(check_source_fixtures())
+    return report

@@ -21,6 +21,9 @@ def ext_disaggregation(
         model=model, prompt_len=prompt_len, output_len=output_len
     )
     rows: List[List[object]] = []
+    # compare_deployments builds its dict in fixed construction order,
+    # which is this table's row order.
+    # repro: allow S003 audited: fixed construction order of the dict
     for label, r in results.items():
         rows.append(
             [

@@ -39,8 +39,8 @@ def kernel_sweep(
     for s in sparsities:
         for n in ns:
             problem = SpMMProblem(m=m, k=k, n=n, sparsity=s)
-            for name, kernel in instances.items():
-                p = kernel.profile(problem, gpu)
+            for name in kernels:  # caller's order, not dict hash order
+                p = instances[name].profile(problem, gpu)
                 rows.append(
                     [name, s, n, p.time_us, p.dram_bytes / 1e6,
                      p.bandwidth_utilization, p.tc_utilization]

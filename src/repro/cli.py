@@ -12,6 +12,8 @@ Subcommands mirror the library's main entry points::
     repro lint --all-builtin        # static checks (W*/P*/F* rules)
     repro lint --deployment         # deployment checks (M*/T*/K*/O*/D*)
     repro lint --faults             # recovery-policy checks (R* rules)
+    repro lint --source             # determinism lint of repo source (S*)
+    repro lint --schedule           # schedule-race dual replay (H* rules)
     repro models                    # list the model zoo
 
 Everything prints rendered text tables; ``bench`` additionally writes
@@ -518,27 +520,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         check_all_builtin_deployments,
         check_all_builtin_programs,
         check_builtin_fault_artifacts,
+        check_builtin_schedules,
+        check_source,
     )
 
     # Target selection: --all-builtin sweeps the kernel-layer artifacts
     # (warp programs, pipeline traces, formats), --deployment sweeps the
     # deployment artifacts (specs, KV plans, offload, disaggregation,
     # planner output), --faults sweeps recovery policies and chaos-run
-    # outcomes.  With no flag every sweep runs.
-    any_flag = args.all_builtin or args.deployment or args.faults
+    # outcomes, --source lints this repo's own Python for determinism
+    # hazards, --schedule dual-replays every builtin scenario and audits
+    # its happens-before schedule log.  With no flag every sweep runs.
+    any_flag = (
+        args.all_builtin or args.deployment or args.faults
+        or args.source or args.schedule
+    )
     run_programs = args.all_builtin or not any_flag
     run_deployments = args.deployment or not any_flag
     run_faults = args.faults or not any_flag
+    run_source = args.source or not any_flag
+    run_schedule = args.schedule or not any_flag
     report = Report()
     for enabled, sweep in (
         (run_programs, check_all_builtin_programs),
         (run_deployments, check_all_builtin_deployments),
         (run_faults, check_builtin_fault_artifacts),
+        (run_source, check_source),
+        (run_schedule, check_builtin_schedules),
     ):
         if enabled:
-            part = sweep()
-            report.extend(part.findings)
-            report.checked += part.checked
+            report.merge(sweep())
     if args.json:
         print(report.to_json())
     else:
@@ -709,8 +720,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint",
         help="statically check warp programs, pipeline schedules, sparse "
-        "formats, deployment plans and recovery policies (rules "
-        "W*/P*/F*/M*/T*/K*/O*/D*/R*, see docs/ANALYSIS.md)",
+        "formats, deployment plans, recovery policies, the repo's own "
+        "source and the event-loop schedule (rules "
+        "W*/P*/F*/M*/T*/K*/O*/D*/R*/S*/H*, see docs/ANALYSIS.md)",
     )
     p_lint.add_argument(
         "--all-builtin", action="store_true",
@@ -728,6 +740,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep the builtin recovery policies (good ones must be "
         "clean, deliberately broken ones must trip their documented "
         "R rules) and audit quick chaos runs for conservation",
+    )
+    p_lint.add_argument(
+        "--source", action="store_true",
+        help="lint the repo's own Python for determinism hazards "
+        "(ambient RNG, wall-clock reads, unordered iteration — S rules); "
+        "the broken fixture package must trip its documented findings",
+    )
+    p_lint.add_argument(
+        "--schedule", action="store_true",
+        help="instrument every builtin serving/disaggregation/chaos "
+        "scenario, audit its happens-before schedule log and dual-replay "
+        "it under a reversed same-time tie-break (H rules)",
     )
     p_lint.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")

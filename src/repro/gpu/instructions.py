@@ -67,10 +67,15 @@ class InstructionMix:
 
     @property
     def total(self) -> float:
+        # Reordering this float fold would shift the committed BENCH
+        # checksums; counts insert in fixed emitter order, so the fold
+        # order is already pinned.
+        # repro: allow S003 audited: fixed insertion order, checksummed
         return sum(self.counts.values())
 
     def issue_cycles_per_sm(self, gpu: GPUSpec) -> float:
         """SM-cycles needed to issue the mix, spread over the chip."""
+        # repro: allow S006 audited: fixed insertion order, checksummed
         cycles = sum(
             count / ISSUE_THROUGHPUT[op] for op, count in self.counts.items()
         )

@@ -99,7 +99,7 @@ def _fault_plan(cfg: ChaosConfig) -> FaultPlan:
 
 
 def build_chaos_runtime(
-    cfg: ChaosConfig, recovery_name: str
+    cfg: ChaosConfig, recovery_name: str, loop=None
 ) -> FaultTolerantRuntime:
     """Replica fleet + injector for one policy run (router plans only)."""
     if cfg.plan not in ROUTER_PLANS:
@@ -128,10 +128,13 @@ def build_chaos_runtime(
         chunk_tokens=cfg.chunk_tokens,
         preemption=True,
         fault_plan=_fault_plan(cfg),
+        loop=loop,
     )
 
 
-def _run_disagg(cfg: ChaosConfig, recovery_name: str) -> RuntimeStats:
+def _run_disagg(
+    cfg: ChaosConfig, recovery_name: str, loop=None, recorder=None
+) -> RuntimeStats:
     from .disaggregation import DisaggregatedConfig, build_disaggregated_runtime
 
     dcfg = DisaggregatedConfig(
@@ -147,7 +150,10 @@ def _run_disagg(cfg: ChaosConfig, recovery_name: str) -> RuntimeStats:
         dcfg,
         recovery=get_recovery_policy(recovery_name),
         fault_plan=_fault_plan(cfg),
+        loop=loop,
     )
+    if recorder is not None:
+        recorder.set_trace(runtime.trace)
     requests = [
         Request(i, 0.0, dcfg.prompt_len, dcfg.output_len)
         for i in range(dcfg.batch_size)
@@ -155,13 +161,23 @@ def _run_disagg(cfg: ChaosConfig, recovery_name: str) -> RuntimeStats:
     return runtime.run(requests)
 
 
-def run_chaos(cfg: ChaosConfig, recovery_name: str) -> RuntimeStats:
-    """One policy, one plan, one workload — fully deterministic."""
+def run_chaos(
+    cfg: ChaosConfig, recovery_name: str, loop=None, recorder=None
+) -> RuntimeStats:
+    """One policy, one plan, one workload — fully deterministic.
+
+    ``loop`` lets instrumented callers (the H-family schedule lint)
+    supply an :class:`~repro.runtime.core.EventLoop` carrying an
+    observer or a permuted tie-break; ``recorder`` is bound to the
+    runtime's trace before the run so write-sets attribute correctly.
+    """
     import copy
 
     if cfg.plan in DISAGG_PLANS:
-        return _run_disagg(cfg, recovery_name)
-    runtime = build_chaos_runtime(cfg, recovery_name)
+        return _run_disagg(cfg, recovery_name, loop=loop, recorder=recorder)
+    runtime = build_chaos_runtime(cfg, recovery_name, loop=loop)
+    if recorder is not None:
+        recorder.set_trace(runtime.trace)
     return runtime.run(copy.deepcopy(_workload(cfg)))
 
 

@@ -153,6 +153,7 @@ def build_disaggregated_runtime(
     snapshot_every: int = 0,
     recovery=None,
     fault_plan=None,
+    loop=None,
 ) -> DisaggregatedRuntime:
     """Wire the two pools of ``cfg`` into an event runtime.
 
@@ -181,6 +182,7 @@ def build_disaggregated_runtime(
         migration_seconds=lambda tokens: rate * tokens,
         snapshot_every=snapshot_every,
         recovery=recovery,
+        loop=loop,
     )
     if fault_plan is not None:
         from ..runtime.faults import FaultInjector

@@ -76,7 +76,9 @@ class KVBlockAllocator:
     @property
     def tokens_in_use(self) -> int:
         """Stored tokens across every sequence (not slot capacity)."""
-        return sum(a.tokens for a in self._sequences.values())
+        return sum(
+            self._sequences[sid].tokens for sid in sorted(self._sequences)
+        )
 
     # ---- allocation -----------------------------------------------------------------
 
@@ -232,8 +234,7 @@ class KVBlockAllocator:
         ``<= block_size - 1`` slack per sequence.  Values near 1 mean the
         allocator wastes almost nothing.
         """
-        stored = sum(a.tokens for a in self._sequences.values())
-        slots = sum(
-            len(a.block_ids) * self.block_size for a in self._sequences.values()
-        )
+        by_seq = [self._sequences[sid] for sid in sorted(self._sequences)]
+        stored = sum(a.tokens for a in by_seq)
+        slots = sum(len(a.block_ids) * self.block_size for a in by_seq)
         return slots / stored if stored else 1.0

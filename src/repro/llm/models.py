@@ -238,6 +238,9 @@ def kernel_matrix_zoo() -> List[Tuple[str, int, int]]:
     """
     seen = set()
     out: List[Tuple[str, int, int]] = []
+    # MODELS is a module literal whose curated order IS the Fig. 10
+    # dataset order; committed bench baselines key on it.
+    # repro: allow S003 audited: insertion order of a module-literal dict
     for model in MODELS.values():
         for w in model.weight_matrices():
             key = (w.m, w.k)

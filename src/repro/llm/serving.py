@@ -310,11 +310,16 @@ class ServingSimulator:
             snapshot_every=cfg.snapshot_every,
         )
 
-    def run(self, requests: List[Request]) -> ServingStats:
-        """Simulate the trace to completion on the event runtime."""
+    def run(self, requests: List[Request], loop=None) -> ServingStats:
+        """Simulate the trace to completion on the event runtime.
+
+        ``loop`` lets instrumented callers (the H-family schedule lint)
+        supply an :class:`~repro.runtime.core.EventLoop` carrying an
+        observer or a permuted tie-break.
+        """
         if not requests:
             raise ValueError("empty workload")
-        res = self.build_scheduler().run(requests)
+        res = self.build_scheduler().run(requests, loop=loop)
         return ServingStats(
             completed=res.completed,
             makespan_s=res.makespan_s,

@@ -74,8 +74,12 @@ def measure(
         result = fn()
     times = []
     for _ in range(repeats):
+        # Wall-clock measurement is this module's entire purpose; the
+        # regression gate consumes medians, never raw timestamps.
+        # repro: allow S002 audited: perf harness measures wall time
         t0 = time.perf_counter()
         result = fn()
+        # repro: allow S002 audited: perf harness measures wall time
         times.append(time.perf_counter() - t0)
     med = median(times)
     mad = median(abs(t - med) for t in times)

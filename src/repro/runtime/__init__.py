@@ -39,6 +39,7 @@ from .faults import (
     get_recovery_policy,
 )
 from .policies import POLICIES, AdmissionPolicy, FCFSPolicy, SJFPolicy, get_policy
+from .schedule_log import ScheduleLog, ScheduleRecord, ScheduleRecorder
 from .scheduler import (
     PREFILL_MODES,
     ContinuousBatchingScheduler,
@@ -65,6 +66,9 @@ __all__ = [
     "SeqState",
     "KVSnapshot",
     "RuntimeTrace",
+    "ScheduleLog",
+    "ScheduleRecord",
+    "ScheduleRecorder",
     "FaultKind",
     "FaultEvent",
     "FaultPlan",

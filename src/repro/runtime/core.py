@@ -9,18 +9,32 @@ KV-memory truth.  Schedulers (:mod:`repro.runtime.scheduler`) are
 policies layered on top; they own no clock and no memory arithmetic of
 their own.
 
-Determinism contract: events fire in ``(time, insertion order)`` order.
-Ties on the clock are broken by a monotone sequence number, never by
-object identity or hash order, so the same inputs always replay the
-same schedule.  Cancellation (``cancel(handle)``) removes an event's
-callback without disturbing the sequence numbering, so a run with
-cancelled events replays exactly like a run where they were never
-scheduled.
+Determinism contract: events fire in ``(time, phase, insertion order)``
+order.  Ties on the clock are broken first by *phase* — :meth:`EventLoop.
+defer` schedules at phase 1, guaranteed after every ordinarily-scheduled
+(phase 0) event at the same instant — and then by a monotone sequence
+number, never by object identity or hash order, so the same inputs
+always replay the same schedule.  The phase makes the "defer behind this
+instant" idiom (admission kicks that must see every simultaneous
+arrival) independent of insertion tie-breaking: the H-family schedule
+linter (:mod:`repro.analysis.schedule_lint`) replays loops with the
+insertion tie-break reversed (``tie_break="lifo"``) and requires the
+observable trace to be unchanged.  Cancellation (``cancel(handle)``)
+removes an event's callback without disturbing the sequence numbering,
+so a run with cancelled events replays exactly like a run where they
+were never scheduled.
+
+An :class:`EventLoop` optionally carries an ``observer`` (see
+:class:`~repro.runtime.schedule_log.ScheduleRecorder`) notified on every
+schedule/cancel/dispatch — the hook the happens-before analysis records
+its schedule log through.  With no observer the hooks are two attribute
+checks per event.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..llm.inference import InferenceEngine, PhaseBreakdown
@@ -36,45 +50,90 @@ MAX_EVENTS = 5_000_000
 
 
 class EventLoop:
-    """Explicit-clock event queue with deterministic tie-breaking."""
+    """Explicit-clock event queue with deterministic tie-breaking.
 
-    def __init__(self) -> None:
+    ``tie_break`` controls how equal ``(time, phase)`` events order:
+    ``"fifo"`` (default, insertion order) or ``"lifo"`` (reverse
+    insertion order).  LIFO exists purely for the H002 dual-replay
+    check — any schedule whose *observable* behaviour differs between
+    the two orderings has a race hiding behind the insertion tie-break.
+    """
+
+    def __init__(self, tie_break: str = "fifo") -> None:
+        if tie_break not in ("fifo", "lifo"):
+            raise ValueError(f"unknown tie_break {tie_break!r}")
         self.now = 0.0
-        self._heap: List[Tuple[float, int]] = []
+        self.tie_break = tie_break
+        self._heap: List[Tuple[float, int, int]] = []
         self._callbacks: Dict[int, Callable[[], None]] = {}
         self._seq = 0
         self.dispatched = 0
         self.cancelled = 0
+        #: Optional schedule observer (duck-typed; see
+        #: :class:`~repro.runtime.schedule_log.ScheduleRecorder`).
+        self.observer = None
+        #: Handle currently being dispatched (parent attribution for
+        #: the happens-before graph), or None outside :meth:`run`.
+        self._dispatching: Optional[int] = None
+
+    def _push(
+        self, time: float, callback: Callable[[], None], phase: int
+    ) -> int:
+        handle = self._seq
+        key = handle if self.tie_break == "fifo" else -handle
+        heapq.heappush(self._heap, (time, phase, key))
+        self._callbacks[handle] = callback
+        self._seq += 1
+        if self.observer is not None:
+            self.observer.on_schedule(handle, time, phase, self._dispatching)
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
         """Run ``callback`` when the clock reaches ``time``.
 
         Returns a cancellation handle for :meth:`cancel`.
         """
+        if not math.isfinite(time):
+            raise ValueError(
+                f"cannot schedule at non-finite time {time!r} — NaN/inf "
+                "silently corrupt heap ordering"
+            )
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at {time} before now={self.now}"
             )
-        handle = self._seq
-        heapq.heappush(self._heap, (time, handle))
-        self._callbacks[handle] = callback
-        self._seq += 1
-        return handle
+        return self._push(time, callback, phase=0)
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> int:
         if delay < 0:
             raise ValueError("delay cannot be negative")
         return self.schedule_at(self.now + delay, callback)
 
+    def defer(self, callback: Callable[[], None]) -> int:
+        """Run ``callback`` at the current instant, *after* every
+        ordinarily-scheduled event at this timestamp.
+
+        This is the first-class form of the old ``schedule_at(now, cb)``
+        idiom (admission kicks that must observe every simultaneous
+        arrival).  Phase 1 ordering makes the guarantee independent of
+        insertion tie-breaking, so deferred work commutes under the
+        H002 dual replay instead of racing with phase-0 events.
+        """
+        return self._push(self.now, callback, phase=1)
+
     def cancel(self, handle: int) -> bool:
         """Cancel a pending event; returns True if it was still pending.
 
-        Cancelling never perturbs the ``(time, seq)`` ordering of the
-        surviving events — the heap entry stays in place and is skipped
-        at pop time, so determinism is preserved (timeout machinery in
-        the fault-tolerant schedulers depends on this).
+        Cancelling never perturbs the ``(time, phase, seq)`` ordering of
+        the surviving events — the heap entry stays in place and is
+        skipped at pop time, so determinism is preserved (timeout
+        machinery in the fault-tolerant schedulers depends on this).
         """
-        if self._callbacks.pop(handle, None) is None:
+        pending = self._callbacks.pop(handle, None) is not None
+        if self.observer is not None:
+            # Stale cancels are reported too: H004 audits them.
+            self.observer.on_cancel(handle, pending)
+        if not pending:
             return False
         self.cancelled += 1
         return True
@@ -93,13 +152,22 @@ class EventLoop:
                     "progress (likely a policy that re-enqueues without "
                     "advancing the clock)"
                 )
-            time, handle = heapq.heappop(self._heap)
+            time, _phase, key = heapq.heappop(self._heap)
+            handle = key if self.tie_break == "fifo" else -key
             callback = self._callbacks.pop(handle, None)
             if callback is None:
                 continue  # cancelled; never fires, never advances the clock
             self.now = time
             self.dispatched += 1
-            callback()
+            self._dispatching = handle
+            if self.observer is not None:
+                self.observer.on_dispatch(handle, time)
+            try:
+                callback()
+            finally:
+                self._dispatching = None
+                if self.observer is not None:
+                    self.observer.on_dispatch_done(handle)
 
 
 class GPUPool:

@@ -573,13 +573,14 @@ class FaultTolerantRuntime:
         preemption: bool = True,
         snapshot_every: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        loop: Optional[EventLoop] = None,
     ) -> None:
         if not pools:
             raise ValueError("the router needs at least one pool")
         if len({p.name for p in pools}) != len(pools):
             raise ValueError("pool names must be unique")
         self.recovery = recovery
-        self.loop = EventLoop()
+        self.loop = loop if loop is not None else EventLoop()
         self.trace = RuntimeTrace()
         self.stats = RuntimeStats(
             kv_budget_bytes=sum(p.kv_budget_bytes for p in pools),

@@ -209,11 +209,15 @@ class ContinuousBatchingScheduler:
             self.stats = stats
         return self
 
-    def run(self, requests: Sequence) -> RuntimeStats:
-        """Simulate a whole trace on a private loop."""
+    def run(
+        self, requests: Sequence, loop: Optional[EventLoop] = None
+    ) -> RuntimeStats:
+        """Simulate a whole trace on a private loop (or a supplied one —
+        instrumented runs hand in a loop carrying a schedule observer)."""
         if not requests:
             raise ValueError("empty workload")
-        loop = EventLoop()
+        if loop is None:
+            loop = EventLoop()
         self.attach(loop)
         for req in sorted(
             requests, key=lambda r: (r.arrival_s, r.request_id)
@@ -311,8 +315,10 @@ class ContinuousBatchingScheduler:
         # Defer behind every other event queued at this instant so
         # simultaneous submissions (a burst, a migrated batch) are all
         # visible to the same admission pass — the legacy loop admitted
-        # everything arrived at-or-before `now` in one iteration.
-        self._loop.schedule_at(self._loop.now, self._kick)
+        # everything arrived at-or-before `now` in one iteration.  The
+        # phase-1 guarantee (not insertion order) is what makes this
+        # commute under the H002 dual replay.
+        self._loop.defer(self._kick)
 
     # ---- the iteration engine --------------------------------------------------------
 
@@ -739,12 +745,13 @@ class DisaggregatedRuntime:
         decode_policy: str = "fcfs",
         snapshot_every: int = 0,
         recovery=None,
+        loop: Optional[EventLoop] = None,
     ) -> None:
         self.prefill_pool = prefill_pool
         self.decode_pool = decode_pool
         self.migration_seconds = migration_seconds
         self.recovery = recovery
-        self.loop = EventLoop()
+        self.loop = loop if loop is not None else EventLoop()
         self.trace = RuntimeTrace()
         self.decode_sched = ContinuousBatchingScheduler(
             decode_pool,
@@ -772,7 +779,7 @@ class DisaggregatedRuntime:
         # Defer the kick behind every other event queued at this instant
         # so simultaneous arrivals prefill as ONE batch (the closed-form
         # behaviour), not as a 1-request batch plus a remainder.
-        self.loop.schedule_at(self.loop.now, self._kick_prefill)
+        self.loop.defer(self._kick_prefill)
 
     def _kick_prefill(self) -> None:
         if self._prefill_busy or not self._arrived:

@@ -25,6 +25,8 @@ class TestFindings:
             "O001", "O002", "O003", "O004",
             "D001", "D002", "D003", "D004",
             "R001", "R002", "R003", "R004", "R005",
+            "S001", "S002", "S003", "S004", "S005", "S006",
+            "H001", "H002", "H003", "H004", "H005",
         }
         assert expected == set(RULES)
 

@@ -1,0 +1,159 @@
+"""Tests for the H-rule happens-before schedule-race detector."""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    check_builtin_schedules,
+    dual_replay,
+    lint_schedule_log,
+)
+from repro.analysis.schedule_lint import (
+    BROKEN_SCHEDULES,
+    builtin_schedule_scenarios,
+)
+from repro.runtime import EventLoop, RuntimeTrace, ScheduleRecorder
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+def recorded(scenario):
+    loop = EventLoop()
+    recorder = ScheduleRecorder(loop)
+    scenario(loop, recorder)
+    return recorder.log
+
+
+class TestBrokenSchedules:
+    """Every deliberately broken schedule trips exactly its rule."""
+
+    def test_write_race_trips_h001(self):
+        _, scenario, _ = BROKEN_SCHEDULES["write-race"]
+        assert rule_ids(lint_schedule_log(recorded(scenario))) == ["H001"]
+
+    def test_order_dependent_toy_trips_h002(self):
+        """An order-dependent update (x*2 vs x+3 at the same instant)
+        must diverge under the reversed tie-break — the end-to-end
+        proof that dual replay detects real races."""
+        _, scenario, _ = BROKEN_SCHEDULES["order-dependent"]
+        findings = dual_replay(scenario)
+        assert "H002" in rule_ids(findings)
+        assert all(f.severity == Severity.ERROR for f in findings)
+
+    def test_time_travel_log_trips_h003(self):
+        _, build_log, _ = BROKEN_SCHEDULES["time-travel-log"]
+        findings = lint_schedule_log(build_log())
+        assert rule_ids(findings) == ["H003"]
+        assert len(findings) == 2  # back-in-time AND non-finite
+
+    def test_stale_cancel_trips_h004(self):
+        _, scenario, _ = BROKEN_SCHEDULES["stale-cancel"]
+        assert rule_ids(lint_schedule_log(recorded(scenario))) == ["H004"]
+
+    def test_cascade_trips_h005(self):
+        _, scenario, _ = BROKEN_SCHEDULES["same-time-cascade"]
+        assert rule_ids(lint_schedule_log(recorded(scenario))) == ["H005"]
+
+
+class TestH001Exemptions:
+    """Orders the runtime *guarantees* must not be flagged as races."""
+
+    def make_trace_pair(self, schedule_second):
+        loop = EventLoop()
+        recorder = ScheduleRecorder(loop)
+        trace = RuntimeTrace()
+        recorder.set_trace(trace)
+
+        def first():
+            trace.record(1.0, "admit", 0, "gpu0")
+            schedule_second(loop, trace)
+
+        loop.schedule_at(1.0, first)
+        loop.run()
+        return recorder.log
+
+    def test_phase_separation_is_not_a_race(self):
+        loop = EventLoop()
+        recorder = ScheduleRecorder(loop)
+        trace = RuntimeTrace()
+        recorder.set_trace(trace)
+
+        def first():
+            trace.record(1.0, "admit", 0, "gpu0")
+            loop.defer(lambda: trace.record(1.0, "preempt", 0, "gpu0"))
+
+        loop.schedule_at(1.0, first)
+        loop.run()
+        assert lint_schedule_log(recorder.log) == []
+
+    def test_causal_ancestry_is_not_a_race(self):
+        log = self.make_trace_pair(
+            lambda loop, trace: loop.schedule_at(
+                1.0, lambda: trace.record(1.0, "preempt", 0, "gpu0")
+            )
+        )
+        assert lint_schedule_log(log) == []
+
+    def test_disjoint_writes_are_not_a_race(self):
+        loop = EventLoop()
+        recorder = ScheduleRecorder(loop)
+        trace = RuntimeTrace()
+        recorder.set_trace(trace)
+        loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 0, "gpu0"))
+        loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 1, "gpu0"))
+        loop.run()
+        assert lint_schedule_log(recorder.log) == []
+
+    def test_pool_wildcard_intersects_same_pool(self):
+        loop = EventLoop()
+        recorder = ScheduleRecorder(loop)
+        trace = RuntimeTrace()
+        recorder.set_trace(trace)
+        # seq-less event -> (gpu0, "*") write, clashes with (gpu0, 3).
+        loop.schedule_at(1.0, lambda: trace.record(1.0, "fault", None, "gpu0"))
+        loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 3, "gpu0"))
+        loop.run()
+        assert rule_ids(lint_schedule_log(recorder.log)) == ["H001"]
+
+    def test_shallow_same_time_chain_is_not_a_cascade(self):
+        loop = EventLoop()
+        recorder = ScheduleRecorder(loop)
+        remaining = {"n": 5}
+
+        def hop():
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                loop.defer(hop)
+
+        loop.schedule_at(1.0, hop)
+        loop.run()
+        assert lint_schedule_log(recorder.log) == []
+
+
+class TestBuiltinScenarios:
+    """The determinism contract: every builtin scenario is race-free
+    and behaves identically under the reversed tie-break."""
+
+    @pytest.mark.parametrize("name", sorted(builtin_schedule_scenarios()))
+    def test_schedule_log_is_clean(self, name):
+        scenario = builtin_schedule_scenarios()[name]
+        findings = lint_schedule_log(recorded(scenario), subject=name)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    @pytest.mark.parametrize("name", sorted(builtin_schedule_scenarios()))
+    def test_dual_replay_is_bit_identical(self, name):
+        scenario = builtin_schedule_scenarios()[name]
+        assert dual_replay(scenario, subject=name) == []
+
+
+class TestSweep:
+    def test_full_sweep_reconciles(self):
+        report = check_builtin_schedules()
+        assert report.ok
+        assert report.families == ["H"]
+        # Builtins are silent; broken fixtures reconcile to info.
+        assert all(f.severity == Severity.INFO for f in report.findings)
+        fired = {f.rule_id for f in report.findings}
+        assert fired == {"H001", "H002", "H003", "H004", "H005"}

@@ -427,3 +427,92 @@ class TestGPUPool:
             self.pool(kv_cap_tokens=512).allocator.total_blocks
             < self.pool().allocator.total_blocks
         )
+
+
+class TestEventLoopTieBreak:
+    def test_non_finite_time_rejected(self):
+        loop = EventLoop()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                loop.schedule_at(bad, lambda: None)
+        with pytest.raises(ValueError, match="non-finite"):
+            loop.schedule_after(float("nan"), lambda: None)
+        # Nothing leaked into the heap: the loop still drains instantly.
+        loop.run()
+        assert loop.dispatched == 0
+
+    def test_unknown_tie_break_rejected(self):
+        with pytest.raises(ValueError, match="tie_break"):
+            EventLoop(tie_break="random")
+
+    def test_lifo_reverses_same_time_order(self):
+        loop = EventLoop(tie_break="lifo")
+        fired = []
+        for tag in ("a", "b", "c"):
+            loop.schedule_at(1.0, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == ["c", "b", "a"]
+
+    def test_lifo_still_respects_time_order(self):
+        loop = EventLoop(tie_break="lifo")
+        fired = []
+        loop.schedule_at(2.0, lambda: fired.append("late"))
+        loop.schedule_at(1.0, lambda: fired.append("early"))
+        loop.run()
+        assert fired == ["early", "late"]
+
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    def test_defer_runs_after_all_same_instant_events(self, tie_break):
+        """The admission-kick idiom: a deferred callback lands behind
+        every phase-0 event at the same instant, under EITHER tie-break
+        — that is what makes the idiom dual-replay safe."""
+        loop = EventLoop(tie_break=tie_break)
+        fired = []
+
+        def first():
+            loop.defer(lambda: fired.append("deferred"))
+
+        loop.schedule_at(1.0, first)
+        loop.schedule_at(1.0, lambda: fired.append("second"))
+        loop.run()
+        assert fired == ["second", "deferred"]
+
+    def test_observer_sees_schedule_dispatch_and_stale_cancel(self):
+        from repro.runtime import ScheduleRecorder
+
+        loop = EventLoop()
+        recorder = ScheduleRecorder(loop)
+        h0 = loop.schedule_at(1.0, lambda: None)
+        h1 = loop.schedule_at(2.0, lambda: None)
+        loop.cancel(h1)
+        loop.run()
+        loop.cancel(h0)  # already fired -> stale
+        log = recorder.log
+        rec0 = log.record_for(h0)
+        rec1 = log.record_for(h1)
+        assert rec0.dispatched and rec0.fire_t == 1.0
+        assert rec1.cancelled and not rec1.dispatched
+        assert log.stale_cancels == [h0]
+
+    def test_recorder_attributes_writes_and_parents(self):
+        from repro.runtime import RuntimeTrace, ScheduleRecorder
+
+        loop = EventLoop()
+        recorder = ScheduleRecorder(loop)
+        trace = RuntimeTrace()
+        recorder.set_trace(trace)
+        child_handle = []
+
+        def parent():
+            trace.record(1.0, "admit", 7, "gpu0")
+            child_handle.append(
+                loop.schedule_at(2.0, lambda: trace.record(2.0, "finish", 7, "gpu0"))
+            )
+
+        root = loop.schedule_at(1.0, parent)
+        loop.run()
+        log = recorder.log
+        assert log.record_for(root).writes == frozenset({("gpu0", 7)})
+        child = log.record_for(child_handle[0])
+        assert child.parent == root
+        assert root in log.ancestors(child.handle)
