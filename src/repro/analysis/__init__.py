@@ -22,14 +22,22 @@ machine-checked properties that run without executing anything:
   order over unordered collections (``S001``–``S006``);
 * :mod:`~repro.analysis.schedule_lint` — happens-before schedule-race
   detection over instrumented event-loop runs, including dual replay
-  under a reversed insertion tie-break (``H001``–``H005``).
+  under a reversed insertion tie-break (``H001``–``H005``);
+* :mod:`~repro.analysis.plan_validator` — static verification of
+  compiled execution plans: buffer lifetimes, fusion legality, memo
+  soundness, budgets, liveness, ordering, barriers and translation
+  validation against the interpreted loop (``E001``–``E008``).
 
 ``check_all_builtin_programs`` sweeps every program, schedule and
 container the repo constructs; ``check_all_builtin_deployments`` sweeps
 every deployment artifact and translation-validates the planner;
 ``check_source`` lints the source tree; ``check_builtin_schedules``
-replays every builtin scenario both ways.  See docs/ANALYSIS.md for the
-rule catalogue with minimal failing examples.
+replays every builtin scenario both ways; ``check_builtin_plans``
+audits every builtin compiled plan.  Every module registers its rules
+into the shared :data:`~repro.analysis.findings.FAMILIES` /
+:data:`~repro.analysis.findings.RULES` tables at import
+(``repro lint --list-rules`` prints the combined catalogue).  See
+docs/ANALYSIS.md for the rule catalogue with minimal failing examples.
 """
 
 from .abstract import AbstractResult, interpret, static_cycle_lower_bound
@@ -54,9 +62,25 @@ from .fault_lint import (
     lint_fault_outcome,
     lint_recovery_policy,
 )
-from .findings import RULES, Finding, Report, Rule, Severity, reconcile_expected
+from .findings import (
+    FAMILIES,
+    RULES,
+    Finding,
+    Report,
+    Rule,
+    RuleFamily,
+    Severity,
+    ensure_all_registered,
+    reconcile_expected,
+    rule_table,
+)
 from .format_lint import lint_csr, lint_format, lint_tca_bme, lint_tiled_csl
 from .pipeline_lint import lint_pipeline_trace
+from .plan_validator import (
+    check_builtin_plans,
+    lint_execution_plan,
+    translation_validate,
+)
 from .plan_lint import (
     builtin_deployment_specs,
     builtin_runtime_traces,
@@ -88,10 +112,12 @@ __all__ = [
     "AbstractResult",
     "DefUse",
     "DeploymentSpec",
+    "FAMILIES",
     "Finding",
     "KVCachePlan",
     "Report",
     "Rule",
+    "RuleFamily",
     "RULES",
     "Severity",
     "builtin_deployment_specs",
@@ -103,6 +129,7 @@ __all__ = [
     "check_all_builtin_deployments",
     "check_all_builtin_programs",
     "check_builtin_fault_artifacts",
+    "check_builtin_plans",
     "check_builtin_schedules",
     "check_source",
     "check_source_fixtures",
@@ -110,12 +137,14 @@ __all__ = [
     "cross_check_with_simulator",
     "dual_replay",
     "effective_sparsity",
+    "ensure_all_registered",
     "interpret",
     "kv_plan_for_spec",
     "lint_csr",
     "lint_deployment",
     "lint_deployment_plan",
     "lint_disaggregated",
+    "lint_execution_plan",
     "lint_fault_outcome",
     "lint_format",
     "lint_kv_allocator",
@@ -131,8 +160,10 @@ __all__ = [
     "lint_tiled_csl",
     "lint_warp_program",
     "reconcile_expected",
+    "rule_table",
     "spec_kv_budget_bytes",
     "spec_kv_bytes_per_token",
     "spec_memory",
     "static_cycle_lower_bound",
+    "translation_validate",
 ]

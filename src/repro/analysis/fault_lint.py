@@ -26,7 +26,14 @@ from ..runtime.faults import (
     RECOVERY_POLICIES,
     RecoveryPolicy,
 )
-from .findings import Finding, Report, reconcile_expected
+from .findings import (
+    Finding,
+    Report,
+    Rule,
+    Severity,
+    reconcile_expected,
+    register_rules,
+)
 
 __all__ = [
     "DEFAULT_MIN_SERVICE_S",
@@ -35,6 +42,29 @@ __all__ = [
     "lint_fault_outcome",
     "check_builtin_fault_artifacts",
 ]
+
+register_rules(
+    "R", "recovery policies and fault traces", __name__, "--faults",
+    [
+        Rule("R001", "retry-without-backoff", Severity.ERROR,
+             "retrying policy with zero/negative base backoff or a decay "
+             "factor below 1 — failed requests hammer the pool in a tight "
+             "loop"),
+        Rule("R002", "unbounded-retry-budget", Severity.ERROR,
+             "retry budget absent or effectively infinite; a persistent "
+             "fault turns every victim into an event-loop spin"),
+        Rule("R003", "timeout-below-service-floor", Severity.ERROR,
+             "per-request deadline at or below the minimum service time — "
+             "every request times out before it can possibly finish"),
+        Rule("R004", "shed-policy-starves", Severity.ERROR,
+             "load-shedding threshold admits no queue at all (depth < 1): "
+             "the server sheds every arrival even when idle"),
+        Rule("R005", "fault-trace-inconsistent", Severity.ERROR,
+             "runtime outcome violates conservation: a request in zero or "
+             "two terminal buckets, lost/duplicated decode tokens, or "
+             "non-monotone trace timestamps"),
+    ],
+)
 
 #: Floor on a plausible per-request service time.  One decode step on
 #: the slowest modelled GPU is already ~10 ms; a deadline at or below

@@ -3,29 +3,45 @@
 Every rule has a stable ID (``W...`` warp-IR, ``P...`` pipeline,
 ``F...`` format, the deployment families ``M...`` memory, ``T...``
 tensor-parallel, ``K...`` KV-cache, ``O...`` offload, ``D...``
-disaggregation, ``R...`` recovery/fault-tolerance, and the determinism
+disaggregation, ``R...`` recovery/fault-tolerance, the determinism
 families ``S...`` source hazards, ``H...`` happens-before schedule
-races) so CI gates, docs and tests can refer to findings
-without string-matching messages.  A :class:`Report` aggregates findings
-across many checked objects; ``Report.ok`` is the CI gate (no
-error-severity findings) and ``Report.families`` records which rule
-families actually ran, so CI can assert none was silently skipped.
+races, and ``E...`` compiled execution plans) so CI gates, docs and
+tests can refer to findings without string-matching messages.
+
+The catalogue itself is a *registration table*: each lint module owns
+its family's :class:`Rule` definitions and registers them here at
+import time via :func:`register_rules`, so there is exactly one place a
+rule's ID, severity and summary live — next to the code that implements
+it.  :func:`rule_table` (``repro lint --list-rules``) renders the whole
+registry; :func:`ensure_all_registered` imports every lint module so
+the table is complete regardless of which modules the caller touched.
+
+A :class:`Report` aggregates findings across many checked objects;
+``Report.ok`` is the CI gate (no error-severity findings) and
+``Report.families`` records which rule families actually ran, so CI can
+assert none was silently skipped.
 """
 
 from __future__ import annotations
 
 import enum
+import importlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Severity",
     "Rule",
+    "RuleFamily",
     "RULES",
+    "FAMILIES",
     "Finding",
     "Report",
+    "ensure_all_registered",
     "reconcile_expected",
+    "register_rules",
+    "rule_table",
 ]
 
 
@@ -50,187 +66,110 @@ class Rule:
     summary: str
 
 
-#: The rule catalogue.  docs/ANALYSIS.md documents each entry with a
-#: minimal failing example; tests assert the IDs stay stable.
-RULES: Dict[str, Rule] = {
-    r.rule_id: r
-    for r in [
-        # ---- warp-IR dataflow rules (over WarpProgram) -----------------
-        Rule("W001", "unguarded-lds", Severity.ERROR,
-             "LDS with no predicate, or a predicate never defined by SETP"),
-        Rule("W002", "read-of-unwritten-register", Severity.ERROR,
-             "instruction reads a register or predicate with no prior def"),
-        Rule("W003", "dead-write", Severity.WARNING,
-             "register written, then overwritten before any read"),
-        Rule("W004", "namespace-collision", Severity.ERROR,
-             "one name used as both data register and predicate"),
-        Rule("W005", "lds-out-of-bounds", Severity.ERROR,
-             "statically-evaluated LDS address escapes shared memory"),
-        Rule("W006", "bank-conflict", Severity.INFO,
-             "statically-predicted shared-memory bank replays on an LDS"),
-        Rule("W007", "redundant-masked-popcount", Severity.ERROR,
-             "two MaskedPopCounts of the same bitmap register (Algorithm 2 "
-             "requires phase II to reuse phase I's count)"),
-        Rule("W008", "cycle-bound-violated", Severity.ERROR,
-             "static scoreboard lower bound exceeds simulated cycles"),
-        Rule("W009", "bank-conflict-mispredicted", Severity.ERROR,
-             "static bank-replay prediction disagrees with the simulator"),
-        # ---- pipeline schedule rules (over PipelineTrace) --------------
-        Rule("P001", "resource-double-booked", Severity.ERROR,
-             "two tasks overlap on one resource (mem/cuda/tc)"),
-        Rule("P002", "dependency-violation", Severity.ERROR,
-             "a stage starts before a task-graph dependency finishes"),
-        Rule("P003", "buffer-overwrite-race", Severity.ERROR,
-             "a load writes a buffer slot before its consumer releases it"),
-        Rule("P004", "missing-stage", Severity.ERROR,
-             "an iteration lacks one of load_w/load_x/decode/compute"),
-        Rule("P005", "malformed-event", Severity.ERROR,
-             "event with negative duration, unknown resource or iteration"),
-        # ---- sparse-format rules (TCA-BME / Tiled-CSL / CSR) -----------
-        Rule("F001", "offsets-not-monotone", Severity.ERROR,
-             "offset array not starting at 0, non-monotone, or last != NNZ"),
-        Rule("F002", "popcount-mismatch", Severity.ERROR,
-             "per-GroupTile bitmap popcount != its Values slice length"),
-        Rule("F003", "storage-budget-mismatch", Severity.ERROR,
-             "container byte count disagrees with the paper's analytic "
-             "storage equation (Eq. 9 / Eq. 2 / Eq. 3)"),
-        Rule("F004", "density-mismatch", Severity.ERROR,
-             "round-trip non-zero count disagrees with stored value count"),
-        Rule("F005", "index-out-of-range", Severity.ERROR,
-             "intra-tile location / column index / bitmap count escapes the "
-             "container geometry"),
-        # ---- deployment memory-budget rules (over DeploymentSpec) ------
-        Rule("M001", "deployment-oom", Severity.ERROR,
-             "per-GPU footprint at max batch/context exceeds DRAM capacity "
-             "(Eq. 12-style memory model; the Figs. 13-14 OOM wall)"),
-        Rule("M002", "no-kv-headroom", Severity.ERROR,
-             "static footprint (weights + embeddings + activations + "
-             "runtime overhead) alone leaves no KV-cache budget"),
-        Rule("M003", "admission-impossible", Severity.ERROR,
-             "one max-length sequence's KV cache exceeds the whole KV "
-             "budget — the serving admission loop can never admit it"),
-        Rule("M004", "thin-oom-margin", Severity.WARNING,
-             "deployment fits but DRAM headroom is below the safety margin "
-             "(fragmentation or a longer prompt tips it over)"),
-        Rule("M005", "sparsity-format-mismatch", Severity.ERROR,
-             "sparsity outside [0, 1), dense weight format asked to encode "
-             "sparsity, or a sparse format running at sparsity 0"),
-        Rule("M006", "counterproductive-compression", Severity.WARNING,
-             "sparse weight format stores more bytes than dense FP16 at "
-             "this sparsity (below the format's breakeven)"),
-        # ---- tensor-parallel sharding rules (over DeploymentSpec) ------
-        Rule("T001", "ranks-exceed-heads", Severity.ERROR,
-             "more tensor-parallel ranks than attention heads — a rank "
-             "would own zero heads"),
-        Rule("T002", "shard-padding-waste", Severity.WARNING,
-             "ceil-sharding pads weight shards; quantifies the wasted "
-             "bytes across all ranks"),
-        Rule("T003", "kv-head-replication", Severity.WARNING,
-             "more ranks than KV heads: GQA KV projections replicate and "
-             "the sharded KV-cache accounting undercounts"),
-        Rule("T004", "ragged-allreduce", Severity.WARNING,
-             "hidden size not divisible by ranks — the all-reduce "
-             "exchanges ceil-padded activations"),
-        Rule("T005", "non-power-of-two-ranks", Severity.WARNING,
-             "GPU count is not a power of two; the ring collective model "
-             "and the planner's search assume powers of two"),
-        # ---- KV-cache plan/allocator rules -----------------------------
-        Rule("K001", "kv-plan-undersized", Severity.ERROR,
-             "block pool cannot page max_seqs sequences of max_seq_len "
-             "tokens"),
-        Rule("K002", "kv-plan-overcommits-budget", Severity.ERROR,
-             "block pool claims more bytes than the DRAM KV budget backs"),
-        Rule("K003", "block-size-slack", Severity.WARNING,
-             "block size leaves excessive per-sequence slack (or exceeds "
-             "max_seq_len outright)"),
-        Rule("K004", "refcount-conservation", Severity.ERROR,
-             "allocator refcounts disagree with block-table references, "
-             "or used + free blocks do not cover the pool"),
-        Rule("K005", "block-table-invalid", Severity.ERROR,
-             "a sequence references an out-of-range/free/duplicated block "
-             "or stores more tokens than its blocks hold"),
-        # ---- offload feasibility rules (over OffloadPlan) --------------
-        Rule("O001", "offload-layer-split-invalid", Severity.ERROR,
-             "resident/streamed layer split is negative or does not sum "
-             "to the model's layer count"),
-        Rule("O002", "stream-deadline-miss", Severity.ERROR,
-             "per-step streamed weight bytes cannot cross the host link "
-             "within the decode-step deadline"),
-        Rule("O003", "layer-bytes-mismatch", Severity.ERROR,
-             "plan's per-layer byte count disagrees with the analytic "
-             "sparsity-scaled storage equation"),
-        Rule("O004", "resident-overflow", Severity.ERROR,
-             "resident layers + KV reservation + embeddings + overhead "
-             "exceed GPU DRAM"),
-        # ---- disaggregated-deployment rules ----------------------------
-        Rule("D001", "disagg-prefill-oom", Severity.ERROR,
-             "prefill pool cannot hold the model at prompt-length context"),
-        Rule("D002", "disagg-decode-oom", Severity.ERROR,
-             "decode pool cannot hold the model at full context"),
-        Rule("D003", "kv-migration-exceeds-budget", Severity.WARNING,
-             "prefill->decode KV migration over the interconnect exceeds "
-             "the migration time budget"),
-        Rule("D004", "disagg-sparsity-unused", Severity.WARNING,
-             "sparsity configured but neither pool's framework can use it"),
-        # ---- recovery-policy / fault-trace rules -----------------------
-        Rule("R001", "retry-without-backoff", Severity.ERROR,
-             "retrying policy with zero/negative base backoff or a decay "
-             "factor below 1 — failed requests hammer the pool in a tight "
-             "loop"),
-        Rule("R002", "unbounded-retry-budget", Severity.ERROR,
-             "retry budget absent or effectively infinite; a persistent "
-             "fault turns every victim into an event-loop spin"),
-        Rule("R003", "timeout-below-service-floor", Severity.ERROR,
-             "per-request deadline at or below the minimum service time — "
-             "every request times out before it can possibly finish"),
-        Rule("R004", "shed-policy-starves", Severity.ERROR,
-             "load-shedding threshold admits no queue at all (depth < 1): "
-             "the server sheds every arrival even when idle"),
-        Rule("R005", "fault-trace-inconsistent", Severity.ERROR,
-             "runtime outcome violates conservation: a request in zero or "
-             "two terminal buckets, lost/duplicated decode tokens, or "
-             "non-monotone trace timestamps"),
-        # ---- source determinism hazards (AST pass over src/repro) ------
-        Rule("S001", "ambient-rng", Severity.ERROR,
-             "unseeded/ambient RNG call (np.random.* module functions or "
-             "random.* without a pinned Generator) — results change run "
-             "to run"),
-        Rule("S002", "wall-clock-read", Severity.ERROR,
-             "wall-clock read (time.time, datetime.now, ...) in simulation "
-             "code — observable state must derive from the event clock"),
-        Rule("S003", "unordered-iteration-mutates", Severity.ERROR,
-             "loop over an unordered collection (set, dict.values()/.keys()"
-             ") whose body mutates state or accumulates floats — iteration "
-             "order leaks into results"),
-        Rule("S004", "identity-ordered-sort", Severity.ERROR,
-             "sorting/ordering keyed on id() or object identity — addresses "
-             "vary across runs and interpreters"),
-        Rule("S005", "mutable-default-arg", Severity.WARNING,
-             "mutable default argument in a public API — call-order state "
-             "leaks between invocations"),
-        Rule("S006", "unordered-float-accumulation", Severity.ERROR,
-             "float accumulation whose order depends on an unordered "
-             "source — IEEE addition does not commute, sums drift with "
-             "hash order"),
-        # ---- happens-before schedule races (over ScheduleLog) ----------
-        Rule("H001", "tie-break-ordered-write-race", Severity.WARNING,
-             "same-timestamp event pair with intersecting write-sets "
-             "ordered only by insertion tie-break — the outcome hangs on "
-             "scheduling accidents"),
-        Rule("H002", "dual-replay-divergence", Severity.ERROR,
-             "observable trace/stats diverge when same-time insertion "
-             "tie-breaking is reversed — a real schedule race"),
-        Rule("H003", "schedule-time-travel", Severity.ERROR,
-             "a recorded event fires at a non-finite time or before the "
-             "instant that scheduled it"),
-        Rule("H004", "cancelled-handle-reuse", Severity.WARNING,
-             "cancel() on a handle that already fired or was already "
-             "cancelled — stale handle bookkeeping in the caller"),
-        Rule("H005", "same-timestamp-cascade", Severity.ERROR,
-             "unbounded chain of events scheduling each other at one "
-             "instant — the clock cannot advance"),
-    ]
-}
+@dataclass(frozen=True)
+class RuleFamily:
+    """One registered rule family (a leading rule-ID letter)."""
+
+    letter: str
+    title: str
+    #: Module that owns (implements and registered) the family.
+    module: str
+    #: ``repro lint`` flag whose sweep exercises the family.
+    gate: str
+    rule_ids: Tuple[str, ...]
+
+
+#: The rule catalogue, populated by :func:`register_rules` calls at the
+#: bottom of each lint module.  docs/ANALYSIS.md documents each entry
+#: with a minimal failing example; tests assert the IDs stay stable.
+RULES: Dict[str, Rule] = {}
+
+#: Family letter -> :class:`RuleFamily`, in registration order.
+FAMILIES: Dict[str, RuleFamily] = {}
+
+#: Every module that registers rules; imported on demand so the
+#: catalogue is complete even when the caller only touched one checker.
+_LINT_MODULES: Tuple[str, ...] = (
+    "repro.analysis.warp_lint",
+    "repro.analysis.pipeline_lint",
+    "repro.analysis.format_lint",
+    "repro.analysis.plan_lint",
+    "repro.analysis.fault_lint",
+    "repro.analysis.source_lint",
+    "repro.analysis.schedule_lint",
+    "repro.analysis.plan_validator",
+)
+
+
+def register_rules(
+    letter: str,
+    title: str,
+    module: str,
+    gate: str,
+    rules: Sequence[Rule],
+) -> None:
+    """Register one rule family (idempotent for identical re-imports).
+
+    Every rule ID must start with ``letter``; a conflicting
+    re-registration (same ID, different definition, different module)
+    is a programming error and raises.
+    """
+    if not rules:
+        raise ValueError(f"family {letter!r} registered no rules")
+    for rule in rules:
+        if not rule.rule_id.startswith(letter):
+            raise ValueError(
+                f"rule {rule.rule_id!r} registered under family {letter!r}"
+            )
+        existing = RULES.get(rule.rule_id)
+        if existing is not None and existing != rule:
+            raise ValueError(
+                f"rule {rule.rule_id!r} already registered with a "
+                "different definition"
+            )
+    prior = FAMILIES.get(letter)
+    family = RuleFamily(
+        letter=letter,
+        title=title,
+        module=module,
+        gate=gate,
+        rule_ids=tuple(r.rule_id for r in rules),
+    )
+    if prior is not None and prior != family:
+        raise ValueError(
+            f"family {letter!r} already registered by {prior.module}"
+        )
+    FAMILIES[letter] = family
+    for rule in rules:
+        RULES[rule.rule_id] = rule
+
+
+def ensure_all_registered() -> None:
+    """Import every lint module so the registry is complete."""
+    for mod in _LINT_MODULES:
+        importlib.import_module(mod)
+
+
+def rule_table() -> List[Dict[str, Any]]:
+    """The full catalogue as JSON-ready rows (``lint --list-rules``)."""
+    ensure_all_registered()
+    rows: List[Dict[str, Any]] = []
+    for letter in sorted(FAMILIES):
+        fam = FAMILIES[letter]
+        for rule_id in fam.rule_ids:
+            rule = RULES[rule_id]
+            rows.append(
+                {
+                    "rule_id": rule.rule_id,
+                    "name": rule.name,
+                    "severity": str(rule.default_severity),
+                    "family": fam.letter,
+                    "family_title": fam.title,
+                    "gate": fam.gate,
+                    "summary": rule.summary,
+                }
+            )
+    return rows
 
 
 @dataclass(frozen=True)
@@ -246,6 +185,10 @@ class Finding:
     severity: Optional[Severity] = None
 
     def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            # A consumer may construct findings (e.g. from a JSON
+            # artifact) before the owning lint module was imported.
+            ensure_all_registered()
         if self.rule_id not in RULES:
             raise KeyError(f"unregistered rule id {self.rule_id!r}")
         if self.severity is None:

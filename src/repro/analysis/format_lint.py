@@ -19,9 +19,27 @@ from ..core.bitmap import popcount64
 from ..core.tca_bme import TCABMEMatrix, tca_bme_storage_bytes
 from ..formats.csr import CSRMatrix, csr_storage_bytes
 from ..formats.tiled_csl import TiledCSLMatrix, tiled_csl_storage_bytes
-from .findings import Finding
+from .findings import Finding, Rule, Severity, register_rules
 
 __all__ = ["lint_format", "lint_tca_bme", "lint_tiled_csl", "lint_csr"]
+
+register_rules(
+    "F", "sparse-format invariants", __name__, "--all-builtin",
+    [
+        Rule("F001", "offsets-not-monotone", Severity.ERROR,
+             "offset array not starting at 0, non-monotone, or last != NNZ"),
+        Rule("F002", "popcount-mismatch", Severity.ERROR,
+             "per-GroupTile bitmap popcount != its Values slice length"),
+        Rule("F003", "storage-budget-mismatch", Severity.ERROR,
+             "container byte count disagrees with the paper's analytic "
+             "storage equation (Eq. 9 / Eq. 2 / Eq. 3)"),
+        Rule("F004", "density-mismatch", Severity.ERROR,
+             "round-trip non-zero count disagrees with stored value count"),
+        Rule("F005", "index-out-of-range", Severity.ERROR,
+             "intra-tile location / column index / bitmap count escapes the "
+             "container geometry"),
+    ],
+)
 
 
 def _offset_findings(

@@ -23,9 +23,25 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..gpu.pipeline import PipelineTrace, TaskEvent
-from .findings import Finding
+from .findings import Finding, Rule, Severity, register_rules
 
 __all__ = ["lint_pipeline_trace"]
+
+register_rules(
+    "P", "pipeline schedule", __name__, "--all-builtin",
+    [
+        Rule("P001", "resource-double-booked", Severity.ERROR,
+             "two tasks overlap on one resource (mem/cuda/tc)"),
+        Rule("P002", "dependency-violation", Severity.ERROR,
+             "a stage starts before a task-graph dependency finishes"),
+        Rule("P003", "buffer-overwrite-race", Severity.ERROR,
+             "a load writes a buffer slot before its consumer releases it"),
+        Rule("P004", "missing-stage", Severity.ERROR,
+             "an iteration lacks one of load_w/load_x/decode/compute"),
+        Rule("P005", "malformed-event", Severity.ERROR,
+             "event with negative duration, unknown resource or iteration"),
+    ],
+)
 
 _RESOURCES = ("mem", "cuda", "tc")
 _STAGES = ("load_w", "load_x", "decode", "compute")

@@ -53,7 +53,7 @@ from .deploy_model import (
     spec_memory,
     spec_model,
 )
-from .findings import Finding, Report, Severity
+from .findings import Finding, Report, Rule, Severity, register_rules
 
 __all__ = [
     "lint_deployment",
@@ -67,6 +67,104 @@ __all__ = [
     "builtin_runtime_traces",
     "check_all_builtin_deployments",
 ]
+
+register_rules(
+    "M", "deployment memory budgets", __name__, "--deployment",
+    [
+        Rule("M001", "deployment-oom", Severity.ERROR,
+             "per-GPU footprint at max batch/context exceeds DRAM capacity "
+             "(Eq. 12-style memory model; the Figs. 13-14 OOM wall)"),
+        Rule("M002", "no-kv-headroom", Severity.ERROR,
+             "static footprint (weights + embeddings + activations + "
+             "runtime overhead) alone leaves no KV-cache budget"),
+        Rule("M003", "admission-impossible", Severity.ERROR,
+             "one max-length sequence's KV cache exceeds the whole KV "
+             "budget — the serving admission loop can never admit it"),
+        Rule("M004", "thin-oom-margin", Severity.WARNING,
+             "deployment fits but DRAM headroom is below the safety margin "
+             "(fragmentation or a longer prompt tips it over)"),
+        Rule("M005", "sparsity-format-mismatch", Severity.ERROR,
+             "sparsity outside [0, 1), dense weight format asked to encode "
+             "sparsity, or a sparse format running at sparsity 0"),
+        Rule("M006", "counterproductive-compression", Severity.WARNING,
+             "sparse weight format stores more bytes than dense FP16 at "
+             "this sparsity (below the format's breakeven)"),
+    ],
+)
+
+register_rules(
+    "T", "tensor-parallel sharding", __name__, "--deployment",
+    [
+        Rule("T001", "ranks-exceed-heads", Severity.ERROR,
+             "more tensor-parallel ranks than attention heads — a rank "
+             "would own zero heads"),
+        Rule("T002", "shard-padding-waste", Severity.WARNING,
+             "ceil-sharding pads weight shards; quantifies the wasted "
+             "bytes across all ranks"),
+        Rule("T003", "kv-head-replication", Severity.WARNING,
+             "more ranks than KV heads: GQA KV projections replicate and "
+             "the sharded KV-cache accounting undercounts"),
+        Rule("T004", "ragged-allreduce", Severity.WARNING,
+             "hidden size not divisible by ranks — the all-reduce "
+             "exchanges ceil-padded activations"),
+        Rule("T005", "non-power-of-two-ranks", Severity.WARNING,
+             "GPU count is not a power of two; the ring collective model "
+             "and the planner's search assume powers of two"),
+    ],
+)
+
+register_rules(
+    "K", "KV-cache plans and allocators", __name__, "--deployment",
+    [
+        Rule("K001", "kv-plan-undersized", Severity.ERROR,
+             "block pool cannot page max_seqs sequences of max_seq_len "
+             "tokens"),
+        Rule("K002", "kv-plan-overcommits-budget", Severity.ERROR,
+             "block pool claims more bytes than the DRAM KV budget backs"),
+        Rule("K003", "block-size-slack", Severity.WARNING,
+             "block size leaves excessive per-sequence slack (or exceeds "
+             "max_seq_len outright)"),
+        Rule("K004", "refcount-conservation", Severity.ERROR,
+             "allocator refcounts disagree with block-table references, "
+             "or used + free blocks do not cover the pool"),
+        Rule("K005", "block-table-invalid", Severity.ERROR,
+             "a sequence references an out-of-range/free/duplicated block "
+             "or stores more tokens than its blocks hold"),
+    ],
+)
+
+register_rules(
+    "O", "offload feasibility", __name__, "--deployment",
+    [
+        Rule("O001", "offload-layer-split-invalid", Severity.ERROR,
+             "resident/streamed layer split is negative or does not sum "
+             "to the model's layer count"),
+        Rule("O002", "stream-deadline-miss", Severity.ERROR,
+             "per-step streamed weight bytes cannot cross the host link "
+             "within the decode-step deadline"),
+        Rule("O003", "layer-bytes-mismatch", Severity.ERROR,
+             "plan's per-layer byte count disagrees with the analytic "
+             "sparsity-scaled storage equation"),
+        Rule("O004", "resident-overflow", Severity.ERROR,
+             "resident layers + KV reservation + embeddings + overhead "
+             "exceed GPU DRAM"),
+    ],
+)
+
+register_rules(
+    "D", "disaggregated deployments", __name__, "--deployment",
+    [
+        Rule("D001", "disagg-prefill-oom", Severity.ERROR,
+             "prefill pool cannot hold the model at prompt-length context"),
+        Rule("D002", "disagg-decode-oom", Severity.ERROR,
+             "decode pool cannot hold the model at full context"),
+        Rule("D003", "kv-migration-exceeds-budget", Severity.WARNING,
+             "prefill->decode KV migration over the interconnect exceeds "
+             "the migration time budget"),
+        Rule("D004", "disagg-sparsity-unused", Severity.WARNING,
+             "sparsity configured but neither pool's framework can use it"),
+    ],
+)
 
 #: DRAM fraction that must stay free for a deployment to clear M004.
 DEFAULT_OOM_MARGIN = 0.05

@@ -1,0 +1,681 @@
+"""Static validation of compiled execution plans (E rules).
+
+A compiled :class:`~repro.plan.ir.ExecutionPlan` trades the interpreted
+event loop's per-dispatch safety nets (heap ordering, allocator
+bookkeeping, cost-model re-evaluation) for a flat preallocated step
+array.  Every hazard the loop would have caught dynamically must
+therefore be proven away statically before the tight driver runs:
+
+``lint_execution_plan`` — E001–E007, purely static:
+
+- E001: two tenancies of one reusable KV buffer slot overlap in step
+  time — the replay would read another sequence's cache.
+- E002: a fused step whose constituent dispatches neither provably
+  commute (disjoint write-sets) nor are causally ordered — the
+  H-family oracle's criterion, re-proved from the per-origin
+  provenance the compiler kept.
+- E003: a kernel launch references a conversion-memo entry that is
+  missing, carries a different content checksum, or was encoded for a
+  different GPU — a stale cache silently serving wrong weights.
+- E004: slot lifetimes exceed the pool's block budget (peak worst-case
+  occupancy for ``reserve`` pools, single-assignment feasibility
+  always).
+- E005: dead steps (an ``events`` step replaying nothing) or
+  unreachable steps (after the halt).
+- E006: step order diverges from the interpreted loop's
+  ``(time, phase, insertion)`` dispatch contract.
+- E007: a KV-migration read with no explicit barrier after the last
+  KV write on its pool.
+
+``translation_validate`` — E008, the dynamic backstop: replays the
+scenario through BOTH paths and requires the compiled replay, a fresh
+interpreted run, and the compile-time checksum to agree bit-for-bit.
+
+``check_builtin_plans`` is the ``repro lint --plans`` sweep: every
+builtin compiled plan must pass all eight rules, and each
+deliberately-broken fixture in :data:`BROKEN_PLANS` must trip exactly
+its documented rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .findings import (
+    Finding,
+    Report,
+    Rule,
+    Severity,
+    reconcile_expected,
+    register_rules,
+)
+
+__all__ = [
+    "lint_execution_plan",
+    "translation_validate",
+    "BROKEN_PLANS",
+    "check_builtin_plans",
+]
+
+register_rules(
+    "E", "compiled execution plans", __name__, "--plans",
+    [
+        Rule("E001", "buffer-slot-lifetime-overlap", Severity.ERROR,
+             "two tenancies of one reusable KV buffer slot overlap in "
+             "step time — the replay would serve one sequence another's "
+             "cache"),
+        Rule("E002", "illegal-step-fusion", Severity.ERROR,
+             "a fused step contains dispatches that neither commute "
+             "(disjoint write-sets) nor are causally ordered — fusion "
+             "changed an order the interpreted loop guaranteed"),
+        Rule("E003", "stale-conversion-memo", Severity.ERROR,
+             "a kernel launch references a conversion cache entry that is "
+             "missing, has a different content checksum, or belongs to a "
+             "different GPU spec"),
+        Rule("E004", "plan-exceeds-pool-budget", Severity.ERROR,
+             "slot lifetimes exceed the pool's block budget: peak "
+             "worst-case occupancy overflows a reserve pool, or a single "
+             "tenancy cannot fit at all"),
+        Rule("E005", "dead-or-unreachable-step", Severity.WARNING,
+             "an events step that replays nothing, or a step the driver "
+             "can never reach (after the halt)"),
+        Rule("E006", "schedule-order-divergence", Severity.ERROR,
+             "step order violates the interpreted loop's (time, phase, "
+             "insertion) dispatch contract"),
+        Rule("E007", "missing-kv-migration-barrier", Severity.ERROR,
+             "a KV-migration read with no explicit barrier ordering it "
+             "after the last KV write on its pool"),
+        Rule("E008", "translation-divergence", Severity.ERROR,
+             "the compiled replay, a fresh interpreted run, and the "
+             "compile-time checksum do not agree bit-for-bit"),
+    ],
+)
+
+#: Event kinds that write KV state on their pool (mirrors the
+#: compiler's barrier-source set; duplicated here so the validator
+#: stays independent of the code it audits).
+_KV_WRITE_KINDS = frozenset(
+    {"admit", "prefill_chunk", "decode_step", "migrate_end"}
+)
+
+
+def _subject(plan) -> str:
+    return f"plan:{plan.name}"
+
+
+# ---------------------------------------------------------------------------
+# E001–E007: static plan lint
+# ---------------------------------------------------------------------------
+
+
+def lint_execution_plan(plan, subject: Optional[str] = None) -> List[Finding]:
+    """E001–E007 over one compiled plan.  Pure static analysis: no
+    scenario is re-run and no driver is invoked."""
+    subject = subject or _subject(plan)
+    findings: List[Finding] = []
+    findings.extend(_lint_slots(plan, subject))
+    findings.extend(_lint_fusion(plan, subject))
+    findings.extend(_lint_memo(plan, subject))
+    findings.extend(_lint_budgets(plan, subject))
+    findings.extend(_lint_liveness(plan, subject))
+    findings.extend(_lint_order(plan, subject))
+    findings.extend(_lint_barriers(plan, subject))
+    return findings
+
+
+def _lint_slots(plan, subject: str) -> List[Finding]:
+    """E001: per (pool, slot), tenancy intervals must not overlap."""
+    findings: List[Finding] = []
+    by_slot: Dict[Tuple[str, int], List] = {}
+    for a in plan.slots:
+        by_slot.setdefault((a.pool, a.slot), []).append(a)
+    for (pool, slot), assigns in sorted(by_slot.items()):
+        assigns.sort(key=lambda a: (a.start, a.end, a.seq_id))
+        for prev, cur in zip(assigns, assigns[1:]):
+            if cur.start <= prev.end:
+                findings.append(
+                    Finding(
+                        "E001",
+                        f"slot {pool}/{slot}: seq {cur.seq_id} acquires at "
+                        f"step {cur.start} while seq {prev.seq_id} holds it "
+                        f"through step {prev.end} — lifetimes "
+                        f"[{prev.start},{prev.end}] and "
+                        f"[{cur.start},{cur.end}] overlap",
+                        subject=subject,
+                        location=f"slot:{pool}/{slot}",
+                    )
+                )
+    return findings
+
+
+def _lint_fusion(plan, subject: str) -> List[Finding]:
+    """E002: every pair inside a fused step must commute or be
+    causally ordered (the H001 criterion, re-proved statically)."""
+    findings: List[Finding] = []
+    parent_of: Dict[int, Optional[int]] = {}
+    for step in plan.steps:
+        for o in step.origins:
+            parent_of[o.handle] = o.parent
+
+    def ancestors(handle: int) -> Set[int]:
+        seen: Set[int] = set()
+        cur = parent_of.get(handle)
+        while cur is not None and cur not in seen:
+            seen.add(cur)
+            cur = parent_of.get(cur)
+        return seen
+
+    for step in plan.steps:
+        if not step.fused:
+            continue
+        for i, a in enumerate(step.origins):
+            anc_a = ancestors(a.handle)
+            for b in step.origins[i + 1 :]:
+                if _writes_disjoint(a.writes, b.writes):
+                    continue
+                if a.handle in ancestors(b.handle) or b.handle in anc_a:
+                    continue
+                findings.append(
+                    Finding(
+                        "E002",
+                        f"step {step.index} fuses dispatches {a.handle} and "
+                        f"{b.handle} at t={step.t} phase={step.phase}: "
+                        "write-sets intersect and neither scheduled the "
+                        "other — the interpreted loop ordered them by "
+                        "insertion, the fused step does not",
+                        subject=subject,
+                        location=f"step:{step.index}",
+                    )
+                )
+    return findings
+
+
+def _writes_disjoint(a, b) -> bool:
+    for pool, key in a:
+        for pool_b, key_b in b:
+            if pool != pool_b:
+                continue
+            if key == key_b or key == "*" or key_b == "*":
+                return False
+    return True
+
+
+def _lint_memo(plan, subject: str) -> List[Finding]:
+    """E003: every kernel launch's memo reference must resolve to an
+    entry with the same content checksum on the plan's GPU."""
+    findings: List[Finding] = []
+    seen: Set[Tuple[int, str]] = set()
+    for step in plan.steps:
+        for desc in step.kernels:
+            for ln in desc.launches:
+                mark = (step.index, ln.memo_key)
+                if mark in seen:
+                    continue
+                seen.add(mark)
+                entry = plan.memo.entries.get(ln.memo_key)
+                if entry is None:
+                    findings.append(
+                        Finding(
+                            "E003",
+                            f"step {step.index} launch {ln.name!r} references "
+                            f"memo key {ln.memo_key!r} which is not in the "
+                            "plan's conversion memo",
+                            subject=subject,
+                            location=f"step:{step.index}",
+                        )
+                    )
+                    continue
+                if entry.checksum != ln.weight_checksum:
+                    findings.append(
+                        Finding(
+                            "E003",
+                            f"step {step.index} launch {ln.name!r} expects "
+                            f"weight checksum {ln.weight_checksum} but memo "
+                            f"entry {ln.memo_key!r} now carries "
+                            f"{entry.checksum} — cached conversion reused "
+                            "under different content",
+                            subject=subject,
+                            location=f"step:{step.index}",
+                        )
+                    )
+                if entry.gpu != plan.gpu:
+                    findings.append(
+                        Finding(
+                            "E003",
+                            f"memo entry {ln.memo_key!r} was encoded for GPU "
+                            f"{entry.gpu!r} but the plan targets "
+                            f"{plan.gpu!r} — conversion cache migrated "
+                            "across GPU specs",
+                            subject=subject,
+                            location=f"step:{step.index}",
+                        )
+                    )
+    return findings
+
+
+def _lint_budgets(plan, subject: str) -> List[Finding]:
+    """E004: slot lifetimes vs the pool block budgets."""
+    findings: List[Finding] = []
+    for pool in sorted(plan.budgets):
+        budget = plan.budgets[pool]
+        for a in plan.slots:
+            if a.pool == pool and a.size_blocks > budget.total_blocks:
+                findings.append(
+                    Finding(
+                        "E004",
+                        f"seq {a.seq_id} needs {a.size_blocks} blocks but "
+                        f"pool {pool!r} only has {budget.total_blocks} — "
+                        "the tenancy can never fit",
+                        subject=subject,
+                        location=f"slot:{pool}/{a.slot}",
+                    )
+                )
+        if budget.admission == "reserve":
+            peak = plan.peak_live_blocks(pool)
+            if peak > budget.total_blocks:
+                findings.append(
+                    Finding(
+                        "E004",
+                        f"pool {pool!r} admits by reservation but peak live "
+                        f"worst-case occupancy is {peak} blocks against a "
+                        f"budget of {budget.total_blocks}",
+                        subject=subject,
+                        location=f"pool:{pool}",
+                    )
+                )
+    return findings
+
+
+def _lint_liveness(plan, subject: str) -> List[Finding]:
+    """E005: dead events steps and steps after the halt."""
+    findings: List[Finding] = []
+    halted_at: Optional[int] = None
+    for step in plan.steps:
+        if halted_at is not None:
+            findings.append(
+                Finding(
+                    "E005",
+                    f"step {step.index} ({step.kind}) follows the halt at "
+                    f"step {halted_at} — the driver can never reach it",
+                    subject=subject,
+                    location=f"step:{step.index}",
+                )
+            )
+            continue
+        if step.kind == "halt":
+            halted_at = step.index
+        elif step.kind == "events" and not step.events:
+            findings.append(
+                Finding(
+                    "E005",
+                    f"step {step.index} is an events step that replays "
+                    "nothing — dead dispatch overhead the compiler should "
+                    "have elided",
+                    subject=subject,
+                    location=f"step:{step.index}",
+                )
+            )
+    return findings
+
+
+def _lint_order(plan, subject: str) -> List[Finding]:
+    """E006: (t, phase, order) must be non-decreasing across steps —
+    the interpreted loop's dispatch contract."""
+    findings: List[Finding] = []
+    prev = None
+    for step in plan.steps:
+        key = (step.t, step.phase, step.order)
+        if prev is not None and key < prev[0]:
+            findings.append(
+                Finding(
+                    "E006",
+                    f"step {step.index} replays at (t={step.t}, "
+                    f"phase={step.phase}, order={step.order}) but step "
+                    f"{prev[1]} already replayed (t={prev[0][0]}, "
+                    f"phase={prev[0][1]}, order={prev[0][2]}) — the "
+                    "interpreted loop would have dispatched these the "
+                    "other way round",
+                    subject=subject,
+                    location=f"step:{step.index}",
+                )
+            )
+        prev = (key, step.index)
+    return findings
+
+
+def _lint_barriers(plan, subject: str) -> List[Finding]:
+    """E007: every KV-migration read must be preceded by a barrier
+    ordering it after the last KV write on its pool."""
+    findings: List[Finding] = []
+    last_write: Dict[str, int] = {}
+    last_barrier: Dict[str, int] = {}
+    for step in plan.steps:
+        if step.kind == "kv_barrier":
+            last_barrier[step.pool] = step.index
+            continue
+        if step.kind != "events":
+            continue
+        for payload in step.events:
+            kind, pool = payload[1], payload[3]
+            if kind == "migrate_start":
+                write_at = last_write.get(pool)
+                barrier_at = last_barrier.get(pool)
+                if write_at is not None and (
+                    barrier_at is None or barrier_at < write_at
+                ):
+                    findings.append(
+                        Finding(
+                            "E007",
+                            f"step {step.index} reads pool {pool!r} KV for "
+                            f"migration but the last KV write (step "
+                            f"{write_at}) has no barrier after it — the "
+                            "replay could migrate a cache mid-write",
+                            subject=subject,
+                            location=f"step:{step.index}",
+                        )
+                    )
+        for payload in step.events:
+            if payload[1] in _KV_WRITE_KINDS:
+                last_write[payload[3]] = step.index
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# E008: translation validation
+# ---------------------------------------------------------------------------
+
+
+def translation_validate(
+    plan, scenario, subject: Optional[str] = None
+) -> List[Finding]:
+    """E008: the compiled replay, a fresh interpreted run, and the
+    compile-time checksum must agree bit-for-bit."""
+    from ..plan.ir import trace_checksum
+    from ..runtime.core import EventLoop
+    from ..runtime.plan_driver import PlanDriver
+
+    subject = subject or _subject(plan)
+    findings: List[Finding] = []
+
+    run = PlanDriver().execute(plan)
+    compiled = run.checksum
+    interpreted = trace_checksum(scenario(EventLoop(), None).trace)
+
+    if compiled != plan.expected_checksum:
+        findings.append(
+            Finding(
+                "E008",
+                f"compiled replay checksum {compiled} != compile-time "
+                f"checksum {plan.expected_checksum} — the driver does not "
+                "reproduce the plan's own run",
+                subject=subject,
+            )
+        )
+    if interpreted != plan.expected_checksum:
+        findings.append(
+            Finding(
+                "E008",
+                f"fresh interpreted run checksum {interpreted} != "
+                f"compile-time checksum {plan.expected_checksum} — the "
+                "scenario is non-deterministic, so no compiled plan can "
+                "stand in for it",
+                subject=subject,
+            )
+        )
+    if run.counters != plan.expected_counts:
+        diff = sorted(
+            set(run.counters.items()) ^ set(plan.expected_counts.items())
+        )
+        findings.append(
+            Finding(
+                "E008",
+                f"replayed event counts diverge from the compile-time "
+                f"counts: {diff}",
+                subject=subject,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# broken fixtures
+# ---------------------------------------------------------------------------
+
+
+def _toy_scenario(loop, recorder=None):
+    """A deliberately small serving+migration scenario used only as raw
+    material for the broken-plan fixtures: two sequences admitted, one
+    decode step, a migration, staggered finishes."""
+    from types import SimpleNamespace
+
+    from ..runtime.trace import RuntimeTrace
+
+    trace = RuntimeTrace()
+    if recorder is not None:
+        recorder.set_trace(trace)
+
+    def rec(t, kind, seq, pool, **info):
+        return lambda: trace.record(t, kind, seq, pool, **info)
+
+    loop.schedule_at(0.0, rec(0.0, "arrive", 0, "gpu0", prompt=32, output=16))
+    loop.schedule_at(0.0, rec(0.0, "arrive", 1, "gpu0", prompt=16, output=8))
+    loop.schedule_at(1.0, rec(1.0, "admit", 0, "gpu0"))
+    loop.schedule_at(2.0, rec(2.0, "admit", 1, "gpu0"))
+    loop.schedule_at(
+        3.0, rec(3.0, "decode_step", None, "gpu0", batch=2, avg_context=40.0)
+    )
+    loop.schedule_at(
+        4.0, rec(4.0, "migrate_start", 1, "gpu0", tokens=16)
+    )
+    loop.schedule_at(4.5, rec(4.5, "migrate_end", 1, "gpu0"))
+    loop.schedule_at(5.0, rec(5.0, "finish", 0, "gpu0"))
+    loop.schedule_at(6.0, rec(6.0, "finish", 1, "gpu0"))
+    loop.run()
+    return SimpleNamespace(trace=trace, makespan_s=loop.now, total_blocks=8)
+
+
+_TOY_CACHE: Dict[str, object] = {}
+
+
+def _toy_plan():
+    """Compile (once) the toy scenario with budgets derived."""
+    if "plan" not in _TOY_CACHE:
+        from ..plan.compiler import compile_scenario
+
+        _TOY_CACHE["plan"] = compile_scenario(
+            "toy", _toy_scenario, admission="reserve"
+        )
+    return _TOY_CACHE["plan"]
+
+
+def _steps(plan):
+    return list(plan.steps)
+
+
+def _broken_buffer_alias():
+    """E001: a second tenancy of slot 0 while seq 0 still holds it."""
+    plan = _toy_plan()
+    victim = plan.slots[0]
+    alias = replace(
+        victim, seq_id=victim.seq_id + 100, start=victim.start + 1
+    )
+    return replace(plan, name="broken-buffer-alias",
+                   slots=plan.slots + (alias,))
+
+
+def _broken_illegal_fusion():
+    """E002: fabricate a fused step whose origins both write seq 0 with
+    no causal link."""
+    from ..plan.ir import FusedOrigin
+
+    plan = _toy_plan()
+    steps = _steps(plan)
+    for i, step in enumerate(steps):
+        if step.kind == "events" and step.events:
+            steps[i] = replace(
+                step,
+                origins=(
+                    FusedOrigin(handle=900, parent=None, phase=0,
+                                dispatch_index=0,
+                                writes=(("gpu0", 0),)),
+                    FusedOrigin(handle=901, parent=None, phase=0,
+                                dispatch_index=1,
+                                writes=(("gpu0", 0),)),
+                ),
+            )
+            break
+    return replace(plan, name="broken-illegal-fusion", steps=tuple(steps))
+
+
+def _broken_stale_memo():
+    """E003: a kernel launch whose memo entry was tampered with."""
+    from ..gpu.fused_steps import FusedDecodeStep, KernelLaunch
+    from ..plan.memo import ConversionEntry, ConversionMemo
+
+    plan = _toy_plan()
+    key = f"deadbeefdeadbeef@{plan.gpu}"
+    memo = ConversionMemo(plan.gpu)
+    memo.entries[key] = ConversionEntry(
+        key=key, name="qkv_proj", m=64, k=64, sparsity=plan.sparsity,
+        gpu=plan.gpu, checksum="cafecafecafecafe", encoded_bytes=1024,
+    )
+    launch = KernelLaunch(
+        name="qkv_proj", m=64, k=64, n=1, sparsity=plan.sparsity,
+        count=1, time_s=1e-5, memo_key=key,
+        weight_checksum="deadbeefdeadbeef",
+    )
+    desc = FusedDecodeStep(batch=1, context_bucket=64, launches=(launch,))
+    steps = _steps(plan)
+    for i, step in enumerate(steps):
+        if step.kind == "events" and "decode_step" in step.event_kinds():
+            steps[i] = replace(step, kernels=(desc,))
+            break
+    return replace(plan, name="broken-stale-memo", steps=tuple(steps),
+                   memo=memo)
+
+
+def _broken_budget():
+    """E004: shrink the reserve pool under its peak occupancy."""
+    from ..plan.ir import PoolBudget
+
+    plan = _toy_plan()
+    budgets = {
+        pool: PoolBudget(pool=pool, total_blocks=1,
+                         block_size=b.block_size, admission="reserve")
+        for pool, b in plan.budgets.items()
+    }
+    return replace(plan, name="broken-budget", budgets=budgets)
+
+
+def _broken_dead_step():
+    """E005: an events step that replays nothing, plus a step parked
+    after the halt."""
+    plan = _toy_plan()
+    steps = _steps(plan)
+    dead = replace(steps[0], kind="events", events=(), origins=(),
+                   kernels=())
+    steps.insert(1, dead)
+    # The trailing step inherits the halt's (t, phase, order) so it is
+    # unreachable (E005) without also being misordered (E006).
+    halt = steps[-1]
+    steps.append(replace(halt, kind="events", events=(), origins=(),
+                         kernels=()))
+    steps = [replace(s, index=i) for i, s in enumerate(steps)]
+    return replace(plan, name="broken-dead-step", steps=tuple(steps))
+
+
+def _broken_order():
+    """E006: swap two events steps so replay order contradicts the
+    dispatch contract."""
+    plan = _toy_plan()
+    steps = _steps(plan)
+    ev = [i for i, s in enumerate(steps) if s.kind == "events"]
+    a, b = ev[0], ev[1]
+    steps[a], steps[b] = steps[b], steps[a]
+    steps = [replace(s, index=i) for i, s in enumerate(steps)]
+    return replace(plan, name="broken-order", steps=tuple(steps))
+
+
+def _broken_missing_barrier():
+    """E007: strip the migration barrier the compiler inserted."""
+    plan = _toy_plan()
+    steps = [s for s in plan.steps if s.kind != "kv_barrier"]
+    steps = [replace(s, index=i, barrier_for=None)
+             for i, s in enumerate(steps)]
+    return replace(plan, name="broken-missing-barrier", steps=tuple(steps))
+
+
+def _broken_trace():
+    """E008: tamper with one replayed event payload so the compiled
+    replay no longer matches the interpreted run."""
+    plan = _toy_plan()
+    steps = _steps(plan)
+    for i, step in enumerate(steps):
+        if step.kind == "events" and step.events:
+            payload = step.events[0]
+            tampered = (payload[0] + 0.25,) + payload[1:]
+            steps[i] = replace(
+                step, events=(tampered,) + step.events[1:]
+            )
+            break
+    return replace(plan, name="broken-trace", steps=tuple(steps))
+
+
+#: name -> (plan factory, scenario for E008 | None, expected rule ids).
+#: Factories (not plans) so importing the module never compiles anything.
+BROKEN_PLANS: Dict[
+    str, Tuple[Callable[[], object], Optional[object], Tuple[str, ...]]
+] = {
+    "broken-buffer-alias": (_broken_buffer_alias, None, ("E001",)),
+    "broken-illegal-fusion": (_broken_illegal_fusion, None, ("E002",)),
+    "broken-stale-memo": (_broken_stale_memo, None, ("E003",)),
+    "broken-budget": (_broken_budget, None, ("E004",)),
+    "broken-dead-step": (_broken_dead_step, None, ("E005",)),
+    "broken-order": (_broken_order, None, ("E006",)),
+    "broken-missing-barrier": (_broken_missing_barrier, None, ("E007",)),
+    "broken-trace": (_broken_trace, _toy_scenario, ("E008",)),
+}
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+def check_builtin_plans(run_validation: bool = True) -> Report:
+    """The ``repro lint --plans`` sweep.
+
+    Compiles every builtin scenario, statically lints each plan
+    (E001–E007) and — when ``run_validation`` is set — translation-
+    validates it against a fresh interpreted run (E008).  Each broken
+    fixture must trip exactly its documented rules.
+    """
+    from ..plan.builtin import builtin_compiled_plans
+
+    report = Report()
+    report.add_family("E")
+    for name, (plan, scenario) in sorted(builtin_compiled_plans().items()):
+        subject = _subject(plan)
+        report.extend(lint_execution_plan(plan, subject))
+        if run_validation:
+            report.extend(translation_validate(plan, scenario, subject))
+        report.checked += 1
+    for name in sorted(BROKEN_PLANS):
+        factory, scenario, expected = BROKEN_PLANS[name]
+        plan = factory()
+        subject = _subject(plan)
+        findings = lint_execution_plan(plan, subject)
+        if run_validation and scenario is not None:
+            findings.extend(translation_validate(plan, scenario, subject))
+        else:
+            # E008 only fires dynamically; a static-only sweep must not
+            # count its absence as a checker regression.
+            expected = tuple(r for r in expected if r != "E008")
+        report.extend(
+            reconcile_expected(
+                findings, expected, subject, context="builtin broken plan"
+            )
+        )
+        report.checked += 1
+    return report

@@ -48,7 +48,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..runtime.core import EventLoop
 from ..runtime.schedule_log import ScheduleLog, ScheduleRecord, ScheduleRecorder
 from ..runtime.trace import RuntimeTrace
-from .findings import Finding, Report, reconcile_expected
+from .findings import (
+    Finding,
+    Report,
+    Rule,
+    Severity,
+    reconcile_expected,
+    register_rules,
+)
 
 __all__ = [
     "CASCADE_THRESHOLD",
@@ -58,6 +65,28 @@ __all__ = [
     "BROKEN_SCHEDULES",
     "check_builtin_schedules",
 ]
+
+register_rules(
+    "H", "happens-before schedule races", __name__, "--schedule",
+    [
+        Rule("H001", "tie-break-ordered-write-race", Severity.WARNING,
+             "same-timestamp event pair with intersecting write-sets "
+             "ordered only by insertion tie-break — the outcome hangs on "
+             "scheduling accidents"),
+        Rule("H002", "dual-replay-divergence", Severity.ERROR,
+             "observable trace/stats diverge when same-time insertion "
+             "tie-breaking is reversed — a real schedule race"),
+        Rule("H003", "schedule-time-travel", Severity.ERROR,
+             "a recorded event fires at a non-finite time or before the "
+             "instant that scheduled it"),
+        Rule("H004", "cancelled-handle-reuse", Severity.WARNING,
+             "cancel() on a handle that already fired or was already "
+             "cancelled — stale handle bookkeeping in the caller"),
+        Rule("H005", "same-timestamp-cascade", Severity.ERROR,
+             "unbounded chain of events scheduling each other at one "
+             "instant — the clock cannot advance"),
+    ],
+)
 
 #: Same-timestamp causal chains at or past this depth are flagged H005.
 #: Legitimate same-instant chains in the runtime are 2–3 deep (arrival

@@ -43,7 +43,14 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .findings import Finding, Report, Severity, reconcile_expected
+from .findings import (
+    Finding,
+    Report,
+    Rule,
+    Severity,
+    reconcile_expected,
+    register_rules,
+)
 
 __all__ = [
     "lint_source_text",
@@ -52,6 +59,33 @@ __all__ = [
     "check_source_fixtures",
     "check_source",
 ]
+
+register_rules(
+    "S", "source determinism hazards", __name__, "--source",
+    [
+        Rule("S001", "ambient-rng", Severity.ERROR,
+             "unseeded/ambient RNG call (np.random.* module functions or "
+             "random.* without a pinned Generator) — results change run "
+             "to run"),
+        Rule("S002", "wall-clock-read", Severity.ERROR,
+             "wall-clock read (time.time, datetime.now, ...) in simulation "
+             "code — observable state must derive from the event clock"),
+        Rule("S003", "unordered-iteration-mutates", Severity.ERROR,
+             "loop over an unordered collection (set, dict.values()/.keys()"
+             ") whose body mutates state or accumulates floats — iteration "
+             "order leaks into results"),
+        Rule("S004", "identity-ordered-sort", Severity.ERROR,
+             "sorting/ordering keyed on id() or object identity — addresses "
+             "vary across runs and interpreters"),
+        Rule("S005", "mutable-default-arg", Severity.WARNING,
+             "mutable default argument in a public API — call-order state "
+             "leaks between invocations"),
+        Rule("S006", "unordered-float-accumulation", Severity.ERROR,
+             "float accumulation whose order depends on an unordered "
+             "source — IEEE addition does not commute, sums drift with "
+             "hash order"),
+    ],
+)
 
 PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\s+(S\d{3})\b[ \t]*(.*)")
 

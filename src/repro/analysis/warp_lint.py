@@ -18,9 +18,34 @@ import numpy as np
 from ..gpu.warp_sim import WarpProgram, WarpSimulator
 from .abstract import interpret
 from .dataflow import PRED, DefUse
-from .findings import Finding
+from .findings import Finding, Rule, Severity, register_rules
 
 __all__ = ["lint_warp_program", "cross_check_with_simulator"]
+
+register_rules(
+    "W", "warp-IR dataflow", __name__, "--all-builtin",
+    [
+        Rule("W001", "unguarded-lds", Severity.ERROR,
+             "LDS with no predicate, or a predicate never defined by SETP"),
+        Rule("W002", "read-of-unwritten-register", Severity.ERROR,
+             "instruction reads a register or predicate with no prior def"),
+        Rule("W003", "dead-write", Severity.WARNING,
+             "register written, then overwritten before any read"),
+        Rule("W004", "namespace-collision", Severity.ERROR,
+             "one name used as both data register and predicate"),
+        Rule("W005", "lds-out-of-bounds", Severity.ERROR,
+             "statically-evaluated LDS address escapes shared memory"),
+        Rule("W006", "bank-conflict", Severity.INFO,
+             "statically-predicted shared-memory bank replays on an LDS"),
+        Rule("W007", "redundant-masked-popcount", Severity.ERROR,
+             "two MaskedPopCounts of the same bitmap register (Algorithm 2 "
+             "requires phase II to reuse phase I's count)"),
+        Rule("W008", "cycle-bound-violated", Severity.ERROR,
+             "static scoreboard lower bound exceeds simulated cycles"),
+        Rule("W009", "bank-conflict-mispredicted", Severity.ERROR,
+             "static bank-replay prediction disagrees with the simulator"),
+    ],
+)
 
 
 def lint_warp_program(

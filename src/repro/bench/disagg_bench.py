@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..llm.disaggregation import compare_deployments
+from ..llm.disaggregation import DEPLOYMENT_COMPARISONS, compare_deployments
 from .harness import Experiment
 
 __all__ = ["ext_disaggregation"]
@@ -21,10 +21,8 @@ def ext_disaggregation(
         model=model, prompt_len=prompt_len, output_len=output_len
     )
     rows: List[List[object]] = []
-    # compare_deployments builds its dict in fixed construction order,
-    # which is this table's row order.
-    # repro: allow S003 audited: fixed construction order of the dict
-    for label, r in results.items():
+    for label in DEPLOYMENT_COMPARISONS:
+        r = results[label]
         rows.append(
             [
                 label,

@@ -14,6 +14,9 @@ Subcommands mirror the library's main entry points::
     repro lint --faults             # recovery-policy checks (R* rules)
     repro lint --source             # determinism lint of repo source (S*)
     repro lint --schedule           # schedule-race dual replay (H* rules)
+    repro lint --plans              # compiled-plan validation (E* rules)
+    repro lint --list-rules         # combined rule catalogue
+    repro plan --scenario disagg-plain --execute   # compile + replay
     repro models                    # list the model zoo
 
 Everything prints rendered text tables; ``bench`` additionally writes
@@ -23,6 +26,7 @@ Everything prints rendered text tables; ``bench`` additionally writes
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -520,9 +524,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         check_all_builtin_deployments,
         check_all_builtin_programs,
         check_builtin_fault_artifacts,
+        check_builtin_plans,
         check_builtin_schedules,
         check_source,
+        ensure_all_registered,
+        rule_table,
     )
+
+    if args.list_rules:
+        ensure_all_registered()
+        rows = rule_table()
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_table(
+                ["rule", "name", "severity", "family", "gate"],
+                [[r["rule_id"], r["name"], r["severity"], r["family_title"],
+                  r["gate"]] for r in rows],
+            ))
+        return 0
 
     # Target selection: --all-builtin sweeps the kernel-layer artifacts
     # (warp programs, pipeline traces, formats), --deployment sweeps the
@@ -530,16 +550,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # planner output), --faults sweeps recovery policies and chaos-run
     # outcomes, --source lints this repo's own Python for determinism
     # hazards, --schedule dual-replays every builtin scenario and audits
-    # its happens-before schedule log.  With no flag every sweep runs.
+    # its happens-before schedule log, --plans compiles every builtin
+    # scenario and statically validates + translation-validates the
+    # resulting execution plans.  With no flag every sweep runs.
     any_flag = (
         args.all_builtin or args.deployment or args.faults
-        or args.source or args.schedule
+        or args.source or args.schedule or args.plans
     )
     run_programs = args.all_builtin or not any_flag
     run_deployments = args.deployment or not any_flag
     run_faults = args.faults or not any_flag
     run_source = args.source or not any_flag
     run_schedule = args.schedule or not any_flag
+    run_plans = args.plans or not any_flag
     report = Report()
     for enabled, sweep in (
         (run_programs, check_all_builtin_programs),
@@ -547,6 +570,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         (run_faults, check_builtin_fault_artifacts),
         (run_source, check_source),
         (run_schedule, check_builtin_schedules),
+        (run_plans, check_builtin_plans),
     ):
         if enabled:
             report.merge(sweep())
@@ -558,6 +582,54 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not report.ok:
         print(f"lint FAILED: {len(report.errors)} error finding(s)",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .analysis import lint_execution_plan, translation_validate
+    from .analysis.schedule_lint import builtin_schedule_scenarios
+    from .plan import builtin_plan_configs, compile_scenario
+    from .runtime.plan_driver import PlanDriver
+
+    scenarios = builtin_schedule_scenarios()
+    if args.scenario not in scenarios:
+        print(f"unknown scenario {args.scenario!r}; choose from: "
+              f"{', '.join(sorted(scenarios))}", file=sys.stderr)
+        return 2
+    cfg = builtin_plan_configs().get(args.scenario, {})
+    scenario = scenarios[args.scenario]
+    plan = compile_scenario(args.scenario, scenario, **cfg)
+
+    doc = {"plan": plan.summary()}
+    if args.execute:
+        run = PlanDriver().execute(plan)
+        doc["replay"] = {
+            "steps_executed": run.steps_executed,
+            "events_replayed": run.events_replayed,
+            "checksum": run.checksum,
+            "matches_plan": run.checksum == plan.expected_checksum,
+        }
+    if args.validate:
+        findings = lint_execution_plan(plan)
+        findings.extend(translation_validate(plan, scenario))
+        doc["findings"] = [f.render() for f in findings]
+        doc["valid"] = not findings
+
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        for key, value in doc["plan"].items():
+            print(f"{key:>20}: {value}")
+        if "replay" in doc:
+            print("replay:")
+            for key, value in doc["replay"].items():
+                print(f"{key:>20}: {value}")
+        if "findings" in doc:
+            for line in doc["findings"]:
+                print(line)
+            print(f"plan valid: {doc['valid']}")
+    if args.validate and not doc.get("valid", True):
         return 1
     return 0
 
@@ -721,8 +793,9 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="statically check warp programs, pipeline schedules, sparse "
         "formats, deployment plans, recovery policies, the repo's own "
-        "source and the event-loop schedule (rules "
-        "W*/P*/F*/M*/T*/K*/O*/D*/R*/S*/H*, see docs/ANALYSIS.md)",
+        "source, the event-loop schedule and compiled execution plans "
+        "(rules W*/P*/F*/M*/T*/K*/O*/D*/R*/S*/H*/E*, see "
+        "docs/ANALYSIS.md)",
     )
     p_lint.add_argument(
         "--all-builtin", action="store_true",
@@ -753,11 +826,42 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario, audit its happens-before schedule log and dual-replay "
         "it under a reversed same-time tie-break (H rules)",
     )
+    p_lint.add_argument(
+        "--plans", action="store_true",
+        help="compile every builtin scenario into an execution plan, "
+        "statically validate it (buffer lifetimes, fusion legality, memo "
+        "soundness, budgets, ordering, barriers — E rules) and "
+        "translation-validate the compiled replay against a fresh "
+        "interpreted run (E008)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the combined rule catalogue across all lint "
+        "families and exit",
+    )
     p_lint.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     p_lint.add_argument("--verbose", action="store_true",
                         help="also print info-severity findings")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="compile a builtin scenario into a flat execution plan; "
+        "optionally replay it through the tight driver and run the "
+        "E-family validator on the result",
+    )
+    p_plan.add_argument("--scenario", required=True,
+                        help="builtin scenario name (see lint --schedule)")
+    p_plan.add_argument("--execute", action="store_true",
+                        help="replay the compiled plan and check its "
+                        "trace checksum against the compile-time run")
+    p_plan.add_argument("--validate", action="store_true",
+                        help="run E001-E008 on the compiled plan "
+                        "(exit 1 on findings)")
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit summary/replay/findings as JSON")
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_models = sub.add_parser("models", help="list the model zoo")
     p_models.set_defaults(func=_cmd_models)

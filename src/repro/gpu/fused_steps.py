@@ -1,0 +1,121 @@
+"""Fused per-layer SpMM + decode step descriptors for compiled plans.
+
+The interpreted serving loop prices every decode iteration by walking
+the model's weight matrices and profiling one SpMM per matrix through
+the mechanistic cost model (:meth:`repro.llm.inference.InferenceEngine.
+decode_step_seconds`).  A compiled :class:`~repro.plan.ir.ExecutionPlan`
+does that walk **once per distinct (batch, context-bucket) pair** at
+compile time and stores the result here: a :class:`FusedDecodeStep` is
+the flat launch sequence of one decode iteration — every per-layer SpMM
+collapsed to one :class:`KernelLaunch` per distinct weight shape with a
+repetition count, each launch carrying the memo key and content
+checksum of the weight-format conversion backing it (the E003 linting
+surface).
+
+Nothing in this module imports the plan package: the conversion memo is
+supplied as a ``convert(name, m, k, sparsity) -> (key, checksum)``
+callback, keeping the dependency direction ``plan -> gpu``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+__all__ = ["KernelLaunch", "FusedDecodeStep", "build_fused_decode_step"]
+
+#: Average decode contexts are bucketed to multiples of this many tokens
+#: so one descriptor serves every iteration in the bucket.
+CONTEXT_BUCKET_TOKENS = 64
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One SpMM launch of a fused decode step (repeated ``count`` x)."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    sparsity: float
+    #: Launch repetitions across layers (and fused weight counts).
+    count: int
+    #: Cost-model time of ONE launch on the plan's GPU.
+    time_s: float
+    #: Conversion-memo entry backing this launch's encoded weights.
+    memo_key: str
+    #: Content checksum the memo entry must still carry (E003).
+    weight_checksum: str
+
+
+@dataclass(frozen=True)
+class FusedDecodeStep:
+    """One decode iteration, lowered to a flat launch sequence."""
+
+    batch: int
+    #: ``avg_context`` rounded up to the bucket boundary.
+    context_bucket: int
+    launches: Tuple[KernelLaunch, ...]
+
+    @property
+    def spmm_s(self) -> float:
+        """Total modelled SpMM time of the fused launch sequence."""
+        return sum(ln.time_s * ln.count for ln in self.launches)
+
+    @property
+    def num_launches(self) -> int:
+        return sum(ln.count for ln in self.launches)
+
+
+def context_bucket(avg_context: float) -> int:
+    """Bucket boundary covering ``avg_context`` tokens."""
+    b = CONTEXT_BUCKET_TOKENS
+    return max(b, int(-(-avg_context // b) * b))
+
+
+def build_fused_decode_step(
+    model,
+    gpu,
+    sparsity: float,
+    batch: int,
+    avg_context: float,
+    convert: Callable[[str, int, int, float], Tuple[str, str]],
+    kernel_name: str = "spinfer",
+) -> FusedDecodeStep:
+    """Lower one decode iteration into a :class:`FusedDecodeStep`.
+
+    ``convert`` is the plan compiler's conversion-memo hook: called once
+    per layer per weight matrix (so the memo's hit statistics reflect
+    the real conversion reuse), it returns the ``(memo_key, checksum)``
+    pair stamped onto the matrix's launch.
+    """
+    from ..kernels import SpMMProblem, make_kernel
+
+    kern = make_kernel(kernel_name)
+    launches = []
+    for w in model.weight_matrices():
+        # Conversions happen per layer instance; identical shapes hit
+        # the memo after layer 0 (that is the memoization story).
+        key = checksum = ""
+        for _layer in range(model.num_layers):
+            key, checksum = convert(w.name, w.m, w.k, sparsity)
+        problem = SpMMProblem(m=w.m, k=w.k, n=max(1, batch), sparsity=sparsity)
+        profile = kern.profile(problem, gpu)
+        launches.append(
+            KernelLaunch(
+                name=w.name,
+                m=w.m,
+                k=w.k,
+                n=max(1, batch),
+                sparsity=sparsity,
+                count=model.num_layers * w.count,
+                time_s=profile.time_s,
+                memo_key=key,
+                weight_checksum=checksum,
+            )
+        )
+    return FusedDecodeStep(
+        batch=batch,
+        context_bucket=context_bucket(avg_context),
+        launches=tuple(launches),
+    )

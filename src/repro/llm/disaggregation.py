@@ -27,7 +27,7 @@ crash, matching how the closed form behaved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..gpu.specs import get_gpu
 from ..runtime import DisaggregatedRuntime, GPUPool, RuntimeStats
@@ -36,11 +36,13 @@ from .memory import kv_bytes_per_token
 from .models import get_model
 
 __all__ = [
+    "DEPLOYMENT_COMPARISONS",
     "DisaggregatedConfig",
     "DisaggregatedResult",
     "kv_migration_seconds",
     "build_disaggregated_runtime",
     "simulate_disaggregated",
+    "compare_deployments",
 ]
 
 
@@ -217,6 +219,22 @@ def simulate_disaggregated(
     )
 
 
+#: Canonical comparison order of the disaggregation experiment: both
+#: :func:`compare_deployments` and the bench table iterate this tuple,
+#: so row order is explicit rather than implied by dict insertion.
+DEPLOYMENT_COMPARISONS: Tuple[str, ...] = (
+    "dense/dense",
+    "spinfer/spinfer",
+    "dense-prefill + spinfer-decode",
+)
+
+_COMPARISON_FRAMEWORKS: Dict[str, Tuple[str, str]] = {
+    "dense/dense": ("fastertransformer", "fastertransformer"),
+    "spinfer/spinfer": ("spinfer", "spinfer"),
+    "dense-prefill + spinfer-decode": ("fastertransformer", "spinfer"),
+}
+
+
 def compare_deployments(
     model: str = "opt-13b",
     gpu: str = "RTX4090",
@@ -227,11 +245,8 @@ def compare_deployments(
 ) -> Dict[str, DisaggregatedResult]:
     """Homogeneous vs hybrid deployments on equal GPU counts (1 + 1)."""
     out = {}
-    for label, pf, df in (
-        ("dense/dense", "fastertransformer", "fastertransformer"),
-        ("spinfer/spinfer", "spinfer", "spinfer"),
-        ("dense-prefill + spinfer-decode", "fastertransformer", "spinfer"),
-    ):
+    for label in DEPLOYMENT_COMPARISONS:
+        pf, df = _COMPARISON_FRAMEWORKS[label]
         out[label] = simulate_disaggregated(
             DisaggregatedConfig(
                 model=model,

@@ -1,0 +1,38 @@
+"""Compiled execution plans: lower once, replay many.
+
+``repro.plan`` turns one instrumented interpreted run of a scheduler
+scenario into a flat :class:`~repro.plan.ir.ExecutionPlan` — fused
+same-instant steps, checksum-memoized weight-format conversions,
+explicit reusable KV buffer slots with computed lifetimes — executed by
+the tight :class:`~repro.runtime.plan_driver.PlanDriver` loop instead
+of per-event Python dispatch.  Plans are audited before execution by
+the E-family static validator in
+:mod:`repro.analysis.plan_validator` (``repro lint --plans``).
+"""
+
+from .builtin import builtin_compiled_plans, builtin_plan_configs
+from .compiler import CompileError, compile_scenario
+from .ir import (
+    ExecutionPlan,
+    FusedOrigin,
+    PlanStep,
+    PoolBudget,
+    SlotAssignment,
+    trace_checksum,
+)
+from .memo import ConversionEntry, ConversionMemo
+
+__all__ = [
+    "CompileError",
+    "ConversionEntry",
+    "ConversionMemo",
+    "ExecutionPlan",
+    "FusedOrigin",
+    "PlanStep",
+    "PoolBudget",
+    "SlotAssignment",
+    "builtin_compiled_plans",
+    "builtin_plan_configs",
+    "compile_scenario",
+    "trace_checksum",
+]

@@ -1,0 +1,62 @@
+"""Builtin compiled plans — one per builtin schedule scenario.
+
+The plan compiler's test fleet is the schedule lint's scenario registry
+(:func:`repro.analysis.schedule_lint.builtin_schedule_scenarios`): every
+scenario the H-family dual-replay harness exercises is also compiled,
+validated (``repro lint --plans``) and translation-validated (E008)
+here.  Serving and disaggregated scenarios compile with the full model
+so their plans carry fused decode-step kernels and a populated
+conversion memo; chaos scenarios compile shape-free — their plans are
+pure schedule replays whose memo is never hit, which is itself a lint
+surface (an E003 finding on such a plan would be a validator bug).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .compiler import compile_scenario
+from .ir import ExecutionPlan
+
+__all__ = ["builtin_plan_configs", "builtin_compiled_plans"]
+
+#: Default model/GPU pairing for plans that lower kernels.
+_MODEL = "opt-13b"
+_GPU = "RTX4090"
+_SPARSITY = 0.6
+
+
+def builtin_plan_configs() -> Dict[str, Dict]:
+    """Compile kwargs per builtin scenario name."""
+    return {
+        "serving-fcfs-chunked": dict(
+            model=_MODEL, gpu=_GPU, sparsity=_SPARSITY, admission="on-demand"
+        ),
+        "serving-sjf-blocking": dict(
+            model=_MODEL, gpu=_GPU, sparsity=_SPARSITY, admission="reserve"
+        ),
+        "disagg-plain": dict(model=_MODEL, gpu=_GPU, sparsity=_SPARSITY),
+        "chaos-gpu-crash/reroute": dict(gpu=_GPU, sparsity=_SPARSITY),
+        "chaos-stragglers/retry": dict(gpu=_GPU, sparsity=_SPARSITY),
+        "chaos-chaos-mix/reroute": dict(gpu=_GPU, sparsity=_SPARSITY),
+        "chaos-flaky-link/retry": dict(gpu=_GPU, sparsity=_SPARSITY),
+    }
+
+
+def builtin_compiled_plans() -> Dict[str, Tuple[ExecutionPlan, object]]:
+    """Compile every builtin scenario; returns name -> (plan, scenario).
+
+    The scenario callable rides along so E008 can re-run the
+    interpreted path against the compiled plan.
+    """
+    # Imported lazily: the scenario registry lives in the analysis
+    # package, which imports this package for the E rules.
+    from ..analysis.schedule_lint import builtin_schedule_scenarios
+
+    scenarios = builtin_schedule_scenarios()
+    configs = builtin_plan_configs()
+    out: Dict[str, Tuple[ExecutionPlan, object]] = {}
+    for name, scenario in scenarios.items():
+        plan = compile_scenario(name, scenario, **configs.get(name, {}))
+        out[name] = (plan, scenario)
+    return out

@@ -1,0 +1,396 @@
+"""Lowering: interpreted scenario -> flat :class:`ExecutionPlan`.
+
+The compiler runs a scenario ONCE on an instrumented
+:class:`~repro.runtime.core.EventLoop` (the same
+:class:`~repro.runtime.schedule_log.ScheduleRecorder` the H-family
+schedule lint uses) and lowers the recorded schedule:
+
+1. **Step formation** — every dispatched event whose callback emitted
+   trace events becomes a step; dispatches that emitted nothing (empty
+   kicks, bookkeeping callbacks) are elided, which is exactly the
+   per-event Python overhead the compiled path amortises away.
+2. **Fusion** — consecutive steps at one ``(time, phase)`` instant are
+   fused when every constituent pair either has disjoint write-sets or
+   is causally ordered through the scheduled-by parent chain: the
+   H-family commutativity criterion, applied at compile time.  The
+   per-origin provenance stays in the step so rule E002 can re-prove
+   legality without the original schedule log.
+3. **Buffer-slot assignment** — a linear scan over per-sequence KV
+   tenancies (ADMIT acquires, FINISH/PREEMPT/TIMEOUT/CANCEL/FAIL and
+   pool crashes release) maps each tenancy onto the lowest free slot
+   id, producing explicit reusable slots with step-index lifetimes
+   (rule E001's subject) checked against the pool budgets (E004).
+4. **Barriers** — an explicit ``kv_barrier`` step is inserted between
+   the last KV write on a pool and any following KV-migration read
+   from it (rule E007).
+5. **Kernel fusion** — each decode_step event gets a
+   :class:`~repro.gpu.fused_steps.FusedDecodeStep` descriptor, built
+   once per distinct (batch, context-bucket) pair, with per-layer
+   weight conversions memoized by content checksum (rule E003).
+
+The compile-time run's trace checksum and terminal counts are stamped
+into the plan; rule E008 replays the plan through the driver AND a
+fresh interpreted run and requires all three to agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..runtime.core import EventLoop
+from ..runtime.events import EventKind
+from ..runtime.schedule_log import ScheduleRecord, ScheduleRecorder
+from .ir import (
+    EventPayload,
+    ExecutionPlan,
+    FusedOrigin,
+    PlanStep,
+    PoolBudget,
+    SlotAssignment,
+    trace_checksum,
+)
+from .memo import ConversionMemo
+
+__all__ = ["compile_scenario", "CompileError"]
+
+#: Event kinds that release a sequence's KV tenancy.
+_RELEASE_KINDS = frozenset(
+    {
+        EventKind.FINISH,
+        EventKind.PREEMPT,
+        EventKind.TIMEOUT,
+        EventKind.CANCEL,
+        EventKind.FAIL,
+    }
+)
+
+#: Event kinds that write KV state on their pool (barrier sources).
+_KV_WRITE_KINDS = frozenset(
+    {
+        EventKind.ADMIT,
+        EventKind.PREFILL_CHUNK,
+        EventKind.DECODE_STEP,
+        EventKind.MIGRATE_END,
+    }
+)
+
+
+class CompileError(ValueError):
+    """The scenario cannot be lowered to a replayable plan."""
+
+
+def _payload(event) -> EventPayload:
+    return (
+        event.t,
+        event.kind,
+        event.seq_id,
+        event.pool,
+        tuple(sorted(event.info.items())),
+    )
+
+
+def _writes_commute(
+    a: Tuple[Tuple[str, object], ...], b: Tuple[Tuple[str, object], ...]
+) -> bool:
+    """True iff the two write-sets are disjoint (wildcard-aware)."""
+    for pool, key in a:
+        for pool_b, key_b in b:
+            if pool != pool_b:
+                continue
+            if key == key_b or key == "*" or key_b == "*":
+                return False
+    return True
+
+
+def _fusion_legal(
+    group: Sequence[ScheduleRecord],
+    candidate: ScheduleRecord,
+    ancestors,
+) -> bool:
+    """May ``candidate`` join the fused group?  Every pair must either
+    commute (disjoint writes) or be causally ordered."""
+    cand_anc = ancestors(candidate.handle)
+    for rec in group:
+        if _writes_commute(tuple(rec.writes), tuple(candidate.writes)):
+            continue
+        if rec.handle in cand_anc or candidate.handle in ancestors(rec.handle):
+            continue
+        return False
+    return True
+
+
+def compile_scenario(
+    name: str,
+    scenario,
+    *,
+    model: Optional[str] = None,
+    gpu: str = "RTX4090",
+    sparsity: float = 0.6,
+    block_size: int = 16,
+    admission: str = "on-demand",
+    kernel: str = "spinfer",
+) -> ExecutionPlan:
+    """Compile one scenario into an :class:`ExecutionPlan`.
+
+    ``scenario`` follows the schedule-lint contract: a callable taking
+    ``(loop, recorder=None)`` that attaches the runtime's trace to the
+    recorder and returns terminal stats carrying ``.trace``.  ``model``
+    enables fused decode-step kernel descriptors (omit for scenarios
+    whose kernel shapes are irrelevant — the plan stays valid, its
+    conversion memo just never populates).  ``admission`` labels the
+    pool budgets derived from the run: ``reserve`` pools get the E004
+    worst-case occupancy proof, ``on-demand`` pools deliberately
+    overcommit (preemption pays for it).
+    """
+    loop = EventLoop()
+    recorder = ScheduleRecorder(loop)
+    stats = scenario(loop, recorder)
+    trace = stats.trace
+    if trace.snapshots:
+        raise CompileError(
+            f"{name}: scenarios with KV snapshots are not loweable — "
+            "snapshots capture live allocator state the replay driver "
+            "does not model"
+        )
+    log = recorder.log
+    records = log.dispatched()
+
+    ancestry_cache: Dict[int, Set[int]] = {}
+
+    def ancestors(handle: int) -> Set[int]:
+        if handle not in ancestry_cache:
+            ancestry_cache[handle] = log.ancestors(handle)
+        return ancestry_cache[handle]
+
+    # ---- 1+2: step formation and fusion ----------------------------------
+    emitting = [r for r in records if r.trace_span[1] > r.trace_span[0]]
+    covered = sum(r.trace_span[1] - r.trace_span[0] for r in emitting)
+    if covered != len(trace.events):
+        raise CompileError(
+            f"{name}: {len(trace.events) - covered} trace event(s) were "
+            "emitted outside instrumented dispatches — attach the "
+            "recorder's trace before running"
+        )
+
+    groups: List[List[ScheduleRecord]] = []
+    for rec in emitting:
+        cur = groups[-1] if groups else None
+        if (
+            cur is not None
+            and cur[0].fire_t == rec.fire_t
+            and cur[0].phase == rec.phase
+            and _fusion_legal(cur, rec, ancestors)
+        ):
+            cur.append(rec)
+        else:
+            groups.append([rec])
+
+    # ---- kernel descriptors (5) ------------------------------------------
+    memo = ConversionMemo(gpu)
+    descriptors: Dict[Tuple[int, int], object] = {}
+    model_cfg = gpu_spec = None
+    if model is not None:
+        from ..gpu.specs import get_gpu
+        from ..llm.models import get_model
+
+        model_cfg = get_model(model)
+        gpu_spec = get_gpu(gpu)
+
+    def decode_descriptor(batch: int, avg_context: float):
+        from ..gpu.fused_steps import build_fused_decode_step, context_bucket
+
+        key = (batch, context_bucket(avg_context))
+        if key not in descriptors:
+            descriptors[key] = build_fused_decode_step(
+                model_cfg,
+                gpu_spec,
+                sparsity,
+                batch,
+                avg_context,
+                memo.convert,
+                kernel_name=kernel,
+            )
+        return descriptors[key]
+
+    steps: List[PlanStep] = []
+
+    def emit(step: PlanStep) -> int:
+        steps.append(step)
+        return len(steps) - 1
+
+    last_kv_write: Dict[str, int] = {}  # pool -> step index
+    for group in groups:
+        payloads: List[EventPayload] = []
+        origins: List[FusedOrigin] = []
+        kernels: List = []
+        for rec in group:
+            start, end = rec.trace_span
+            for event in trace.events[start:end]:
+                payloads.append(_payload(event))
+                if model_cfg is not None and event.kind == EventKind.DECODE_STEP:
+                    kernels.append(
+                        decode_descriptor(
+                            int(event.info["batch"]),
+                            float(event.info["avg_context"]),
+                        )
+                    )
+            origins.append(
+                FusedOrigin(
+                    handle=rec.handle,
+                    parent=rec.parent,
+                    phase=rec.phase,
+                    dispatch_index=rec.dispatch_index,
+                    writes=tuple(sorted(rec.writes, key=repr)),
+                )
+            )
+        pool = payloads[0][3]
+        # ---- 4: explicit barrier before a KV-migration read --------------
+        migrate_pools = [
+            p[3] for p in payloads if p[1] == EventKind.MIGRATE_START
+        ]
+        for mpool in migrate_pools:
+            src = last_kv_write.get(mpool)
+            if src is not None:
+                emit(
+                    PlanStep(
+                        index=len(steps),
+                        kind="kv_barrier",
+                        t=group[0].fire_t,
+                        phase=group[0].phase,
+                        order=group[0].dispatch_index,
+                        pool=mpool,
+                        barrier_for=src,
+                    )
+                )
+        idx = emit(
+            PlanStep(
+                index=len(steps),
+                kind="events",
+                t=group[0].fire_t,
+                phase=group[0].phase,
+                order=group[0].dispatch_index,
+                pool=pool,
+                events=tuple(payloads),
+                origins=tuple(origins),
+                kernels=tuple(kernels),
+            )
+        )
+        for p in payloads:
+            if p[1] in _KV_WRITE_KINDS:
+                last_kv_write[p[3]] = idx
+    final_order = (emitting[-1].dispatch_index + 1) if emitting else 0
+    emit(
+        PlanStep(
+            index=len(steps),
+            kind="halt",
+            t=float(getattr(stats, "makespan_s", 0.0)),
+            phase=2,
+            order=final_order,
+        )
+    )
+
+    # ---- 3: buffer-slot assignment ---------------------------------------
+    slots = _assign_slots(steps, block_size)
+
+    # ---- budgets ---------------------------------------------------------
+    budgets: Dict[str, PoolBudget] = {}
+    total_blocks = int(getattr(stats, "total_blocks", 0) or 0)
+    pools = {a.pool for a in slots}
+    if total_blocks > 0 and len(pools) == 1:
+        (only_pool,) = pools
+        budgets[only_pool] = PoolBudget(
+            pool=only_pool,
+            total_blocks=total_blocks,
+            block_size=block_size,
+            admission=admission,
+        )
+
+    counts: Dict[str, int] = {}
+    for e in trace.events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+
+    return ExecutionPlan(
+        name=name,
+        gpu=gpu,
+        model=model,
+        sparsity=sparsity,
+        steps=tuple(steps),
+        slots=tuple(slots),
+        budgets=budgets,
+        memo=memo,
+        makespan_s=float(getattr(stats, "makespan_s", 0.0)),
+        expected_checksum=trace_checksum(trace),
+        expected_counts=counts,
+        source_dispatches=len(records),
+    )
+
+
+def _assign_slots(
+    steps: Sequence[PlanStep], block_size: int
+) -> List[SlotAssignment]:
+    """Linear-scan mapping of KV tenancies onto reusable slot ids."""
+    sizes: Dict[Tuple[str, int], int] = {}  # (pool, seq) -> worst tokens
+    free: Dict[str, List[int]] = {}  # pool -> min-heap of free slot ids
+    #: Slots released at step i become free at i+1 (the E001 lifetime
+    #: model is inclusive: a same-step reacquire would be a WAR hazard
+    #: the tight driver has no intra-step ordering to resolve).
+    cooling: Dict[str, List[Tuple[int, int]]] = {}  # pool -> [(freed, slot)]
+    next_slot: Dict[str, int] = {}
+    live: Dict[Tuple[str, int], Tuple[int, int, int]] = {}
+    # (pool, seq) -> (slot, size_tokens, start_step)
+    out: List[SlotAssignment] = []
+
+    def acquire(pool: str, seq: int, tokens: int, step: int) -> None:
+        heap = free.setdefault(pool, [])
+        cool = cooling.setdefault(pool, [])
+        ready = [c for c in cool if c[0] < step]
+        for c in ready:
+            cool.remove(c)
+            heapq.heappush(heap, c[1])
+        if heap:
+            slot = heapq.heappop(heap)
+        else:
+            slot = next_slot.get(pool, 0)
+            next_slot[pool] = slot + 1
+        live[(pool, seq)] = (slot, tokens, step)
+
+    def release(pool: str, seq: int, step: int) -> None:
+        slot, tokens, start = live.pop((pool, seq))
+        out.append(
+            SlotAssignment(
+                pool=pool,
+                slot=slot,
+                seq_id=seq,
+                size_tokens=tokens,
+                size_blocks=-(-tokens // block_size) if tokens else 0,
+                start=start,
+                end=step,
+            )
+        )
+        cooling.setdefault(pool, []).append((step, slot))
+
+    last_step = 0
+    for step in steps:
+        if step.kind != "events":
+            continue
+        last_step = step.index
+        for t, kind, seq, pool, info in step.events:
+            info_d = dict(info)
+            if kind == EventKind.ARRIVE and seq is not None:
+                sizes[(pool, seq)] = int(
+                    info_d.get("prompt", 0)
+                ) + int(info_d.get("output", 0))
+            elif kind == EventKind.ADMIT and seq is not None:
+                if (pool, seq) not in live:
+                    acquire(pool, seq, sizes.get((pool, seq), 0), step.index)
+            elif kind in _RELEASE_KINDS and seq is not None:
+                if (pool, seq) in live:
+                    release(pool, seq, step.index)
+            elif kind == EventKind.FAULT and info_d.get("fault") == "gpu_crash":
+                for pool_b, seq_b in sorted(k for k in live if k[0] == pool):
+                    release(pool_b, seq_b, step.index)
+    for pool, seq in sorted(live):
+        release(pool, seq, last_step)
+    out.sort(key=lambda a: (a.pool, a.start, a.slot, a.seq_id))
+    return out

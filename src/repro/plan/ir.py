@@ -1,0 +1,295 @@
+"""The compiled execution-plan IR.
+
+An :class:`ExecutionPlan` is the flat, preallocated form of one
+scheduler run: a tuple of :class:`PlanStep` records in replay order,
+each carrying the trace events its interpreted dispatch(es) emitted,
+plus the static structures the E-family validator audits before any
+execution — reusable KV buffer slots with computed lifetimes
+(:class:`SlotAssignment`), per-pool block budgets (:class:`PoolBudget`),
+the checksum-keyed conversion memo, and fused decode-step kernel
+descriptors.
+
+Step kinds:
+
+``events``
+    One or more interpreted dispatches fused at a single ``(time,
+    phase)`` instant.  Fusion is legal only when the constituent
+    dispatches provably commute (disjoint write-sets) or are causally
+    ordered — exactly the H-family oracle's criterion, re-checked
+    statically by rule E002 from the per-origin provenance kept in
+    :class:`FusedOrigin`.
+``kv_barrier``
+    An explicit ordering point between the last KV write on a pool and
+    a following KV-migration read (rule E007's subject).  Executes as a
+    no-op; exists so the ordering obligation is visible in the plan
+    rather than implicit in event order.
+``halt``
+    The terminal step.  Steps after a halt are unreachable (rule E005).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..gpu.fused_steps import FusedDecodeStep
+from .memo import ConversionMemo
+
+__all__ = [
+    "EventPayload",
+    "FusedOrigin",
+    "PlanStep",
+    "SlotAssignment",
+    "PoolBudget",
+    "ExecutionPlan",
+    "trace_checksum",
+]
+
+#: One trace event in compact replayable form:
+#: ``(t, kind, seq_id, pool, sorted info items)``.
+EventPayload = Tuple[float, str, Optional[int], str, Tuple[Tuple[str, object], ...]]
+
+#: A state location, as in the schedule log: ``(pool, seq_id | "*")``.
+WriteKey = Tuple[str, object]
+
+
+def trace_checksum(trace) -> str:
+    """Bit-stable digest of a trace's observable content (16 hex).
+
+    Covers every event's full canonical key plus the snapshot count;
+    two runs are equivalent iff their checksums match.  This is the
+    E008 translation-validation currency.
+    """
+    h = hashlib.sha256()
+    for e in trace.events:
+        h.update(repr(e.key()).encode())
+    h.update(f"snapshots:{len(trace.snapshots)}".encode())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class FusedOrigin:
+    """Provenance of one interpreted dispatch inside a fused step."""
+
+    handle: int
+    parent: Optional[int]
+    phase: int
+    dispatch_index: int
+    writes: Tuple[WriteKey, ...]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of the compiled schedule."""
+
+    index: int
+    kind: str  # "events" | "kv_barrier" | "halt"
+    t: float
+    phase: int
+    #: First constituent dispatch index — the interpreted loop's
+    #: insertion-order provenance (E006 checks (t, phase, order)).
+    order: int
+    pool: str = ""
+    events: Tuple[EventPayload, ...] = ()
+    origins: Tuple[FusedOrigin, ...] = ()
+    #: Fused per-layer SpMM descriptors, one per decode_step event.
+    kernels: Tuple[FusedDecodeStep, ...] = ()
+    #: For kv_barrier steps: index of the KV-writing step this barrier
+    #: orders after.
+    barrier_for: Optional[int] = None
+
+    @property
+    def fused(self) -> bool:
+        return len(self.origins) > 1
+
+    def event_kinds(self) -> Tuple[str, ...]:
+        return tuple(p[1] for p in self.events)
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "t": self.t,
+            "phase": self.phase,
+            "order": self.order,
+            "pool": self.pool,
+            "events": [list(p[:4]) + [list(map(list, p[4]))] for p in self.events],
+            "origins": [
+                {
+                    "handle": o.handle,
+                    "parent": o.parent,
+                    "phase": o.phase,
+                    "dispatch_index": o.dispatch_index,
+                    "writes": sorted(map(str, o.writes)),
+                }
+                for o in self.origins
+            ],
+            "kernels": [
+                {
+                    "batch": k.batch,
+                    "context_bucket": k.context_bucket,
+                    "launches": len(k.launches),
+                    "spmm_s": k.spmm_s,
+                }
+                for k in self.kernels
+            ],
+            "barrier_for": self.barrier_for,
+        }
+
+
+@dataclass(frozen=True)
+class SlotAssignment:
+    """One sequence's tenancy of a reusable KV buffer slot.
+
+    Lifetimes are step-index intervals ``[start, end]`` (inclusive):
+    the slot is considered live from its acquiring step through its
+    releasing step, and may be reassigned from ``end + 1`` on.  Rule
+    E001 proves no two assignments of one ``(pool, slot)`` overlap.
+    """
+
+    pool: str
+    slot: int
+    seq_id: int
+    size_tokens: int
+    size_blocks: int
+    start: int
+    end: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "pool": self.pool,
+            "slot": self.slot,
+            "seq_id": self.seq_id,
+            "size_tokens": self.size_tokens,
+            "size_blocks": self.size_blocks,
+            "start": self.start,
+            "end": self.end,
+        }
+
+
+@dataclass(frozen=True)
+class PoolBudget:
+    """Static resource bound one pool's slot assignments must respect."""
+
+    pool: str
+    total_blocks: int
+    block_size: int
+    #: ``reserve`` pools admit against worst-case block reservations,
+    #: so peak live worst-case blocks must fit the pool (E004);
+    #: ``on-demand`` pools overcommit deliberately (preemption pays),
+    #: so only single-assignment feasibility is checked.
+    admission: str = "reserve"
+
+    def to_dict(self) -> Dict:
+        return {
+            "pool": self.pool,
+            "total_blocks": self.total_blocks,
+            "block_size": self.block_size,
+            "admission": self.admission,
+        }
+
+
+@dataclass
+class ExecutionPlan:
+    """A statically-verifiable compiled schedule."""
+
+    name: str
+    gpu: str
+    model: Optional[str]
+    sparsity: float
+    steps: Tuple[PlanStep, ...] = ()
+    slots: Tuple[SlotAssignment, ...] = ()
+    budgets: Dict[str, PoolBudget] = field(default_factory=dict)
+    memo: ConversionMemo = field(default_factory=lambda: ConversionMemo(""))
+    #: Makespan of the compile-time instrumented run.
+    makespan_s: float = 0.0
+    #: Trace checksum of the compile-time run — the value both the
+    #: driver's replay and a fresh interpreted run must reproduce.
+    expected_checksum: str = ""
+    #: Terminal event counts of the compile-time run, by kind.
+    expected_counts: Dict[str, int] = field(default_factory=dict)
+    #: Interpreted dispatches the plan replaced (the speedup story).
+    source_dispatches: int = 0
+
+    # ---- summary views ---------------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return sum(len(s.events) for s in self.steps)
+
+    @property
+    def num_fused_steps(self) -> int:
+        return sum(1 for s in self.steps if s.fused)
+
+    @property
+    def num_slots(self) -> int:
+        return len({(a.pool, a.slot) for a in self.slots})
+
+    def peak_live_blocks(self, pool: str) -> int:
+        """Worst-case simultaneously-live blocks on one pool."""
+        peak = 0
+        assigns = [a for a in self.slots if a.pool == pool]
+        for a in assigns:
+            live = sum(
+                b.size_blocks
+                for b in assigns
+                if b.start <= a.start <= b.end
+            )
+            peak = max(peak, live)
+        return peak
+
+    def checksum(self) -> str:
+        """Digest of the whole plan (steps + slots + budgets + memo)."""
+        h = hashlib.sha256()
+        for s in self.steps:
+            h.update(repr((s.index, s.kind, s.t, s.phase, s.order, s.pool,
+                           s.events, s.barrier_for)).encode())
+        for a in self.slots:
+            h.update(repr(a.to_dict()).encode())
+        for pool in sorted(self.budgets):
+            h.update(repr(self.budgets[pool].to_dict()).encode())
+        h.update(self.expected_checksum.encode())
+        return h.hexdigest()[:16]
+
+    def summary(self) -> Dict:
+        return {
+            "name": self.name,
+            "gpu": self.gpu,
+            "model": self.model,
+            "sparsity": self.sparsity,
+            "steps": len(self.steps),
+            "fused_steps": self.num_fused_steps,
+            "events": self.num_events,
+            "slots": self.num_slots,
+            "slot_assignments": len(self.slots),
+            "barriers": sum(1 for s in self.steps if s.kind == "kv_barrier"),
+            "decode_descriptors": sum(len(s.kernels) for s in self.steps),
+            "memo_hits": self.memo.hits,
+            "memo_misses": self.memo.misses,
+            "source_dispatches": self.source_dispatches,
+            "makespan_s": self.makespan_s,
+            "expected_checksum": self.expected_checksum,
+            "plan_checksum": self.checksum(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        doc = dict(self.summary())
+        doc["budgets"] = {
+            pool: self.budgets[pool].to_dict()
+            for pool in sorted(self.budgets)
+        }
+        doc["slot_table"] = [a.to_dict() for a in self.slots]
+        doc["step_table"] = [s.to_dict() for s in self.steps]
+        doc["memo"] = self.memo.to_dict()
+        return json.dumps(doc, indent=indent)
+
+
+def replace_steps(
+    plan: ExecutionPlan, steps: List[PlanStep]
+) -> ExecutionPlan:
+    """A copy of ``plan`` with a different step tuple (fixture helper)."""
+    from dataclasses import replace
+
+    return replace(plan, steps=tuple(steps))

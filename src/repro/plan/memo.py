@@ -1,0 +1,140 @@
+"""Checksum-keyed memoization of weight-format conversions.
+
+SpInfer's plan-once story starts with the format conversion: the
+TCA-BME encoding of a weight matrix is computed once and reused for
+every subsequent launch.  The compiled-plan equivalent is a
+:class:`ConversionMemo`: each distinct weight content (identified by a
+checksum over a deterministic representative tile) is encoded exactly
+once per GPU spec, and every :class:`~repro.gpu.fused_steps.
+KernelLaunch` in the plan references its entry by key.  The E003 rule
+(:mod:`repro.analysis.plan_validator`) then proves the references are
+sound — no launch reuses a cached conversion under a different
+checksum or GPU.
+
+The memo key deliberately includes the GPU name: the encoded container
+layout is GPU-independent here, but real deployments specialise tile
+metadata per architecture, and the rule family must catch a plan that
+migrates a cache across GPU specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["ConversionEntry", "ConversionMemo"]
+
+#: Representative tile side used to fingerprint a weight matrix.  The
+#: full matrices never materialise at plan-compile time; a seeded tile
+#: stands in for the content, exactly as deterministic as the fixture
+#: RNG that would generate the full weights.
+_TILE = 64
+
+
+def _tile_checksum(name: str, m: int, k: int, sparsity: float) -> str:
+    """Content fingerprint of one weight matrix (16 hex digits)."""
+    seed_material = f"{name}:{m}x{k}:{sparsity:.6f}".encode()
+    seed = int.from_bytes(hashlib.sha256(seed_material).digest()[:8], "big")
+    rng = np.random.default_rng(seed)
+    tile = rng.standard_normal((_TILE, _TILE)).astype(np.float16)
+    tile[rng.random((_TILE, _TILE)) < sparsity] = 0
+    h = hashlib.sha256()
+    h.update(seed_material)
+    h.update(tile.tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ConversionEntry:
+    """One cached format conversion."""
+
+    key: str
+    name: str
+    m: int
+    k: int
+    sparsity: float
+    gpu: str
+    #: Content checksum of the converted weights; every launch that
+    #: references this entry must carry the same value (E003).
+    checksum: str
+    #: Encoded TCA-BME bytes of the representative tile.
+    encoded_bytes: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "m": self.m,
+            "k": self.k,
+            "sparsity": self.sparsity,
+            "gpu": self.gpu,
+            "checksum": self.checksum,
+            "encoded_bytes": self.encoded_bytes,
+        }
+
+
+@dataclass
+class ConversionMemo:
+    """Checksum-keyed cache of weight-format conversions for one GPU."""
+
+    gpu: str
+    entries: Dict[str, ConversionEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def convert(
+        self, name: str, m: int, k: int, sparsity: float
+    ) -> Tuple[str, str]:
+        """Convert (or reuse) one weight matrix; returns (key, checksum).
+
+        A miss actually encodes the representative tile through the real
+        TCA-BME path; a hit touches nothing but the counter.
+        """
+        checksum = _tile_checksum(name, m, k, sparsity)
+        key = f"{checksum}@{self.gpu}"
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return key, entry.checksum
+        from ..core.tca_bme import encode, tca_bme_storage_bytes
+
+        seed_material = f"{name}:{m}x{k}:{sparsity:.6f}".encode()
+        seed = int.from_bytes(
+            hashlib.sha256(seed_material).digest()[:8], "big"
+        )
+        rng = np.random.default_rng(seed)
+        tile = rng.standard_normal((_TILE, _TILE)).astype(np.float16)
+        tile[rng.random((_TILE, _TILE)) < sparsity] = 0
+        enc = encode(tile)
+        self.entries[key] = ConversionEntry(
+            key=key,
+            name=name,
+            m=m,
+            k=k,
+            sparsity=sparsity,
+            gpu=self.gpu,
+            checksum=checksum,
+            encoded_bytes=int(
+                tca_bme_storage_bytes(_TILE, _TILE, enc.values.size)
+            ),
+        )
+        self.misses += 1
+        return key, checksum
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "gpu": self.gpu,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": {
+                k: self.entries[k].to_dict() for k in sorted(self.entries)
+            },
+        }

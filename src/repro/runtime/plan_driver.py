@@ -1,0 +1,89 @@
+"""Tight replay driver for compiled execution plans.
+
+The interpreted path pays, per event: a heap push/pop with the
+``(time, phase, insertion)`` ordering key, observer hook calls, a
+Python callback dispatch, cost-model arithmetic, and allocator
+bookkeeping.  :class:`PlanDriver` replays a compiled
+:class:`~repro.plan.ir.ExecutionPlan` with none of that — a single
+linear pass over the preallocated step array, reconstructing the
+observable :class:`~repro.runtime.trace.RuntimeTrace` from each step's
+stored event payloads.  Per-layer SpMM costs were folded into the
+plan's :class:`~repro.gpu.fused_steps.FusedDecodeStep` descriptors at
+compile time, so the driver touches no kernel or cost-model code.
+
+Correctness is not assumed: the E-family validator
+(:mod:`repro.analysis.plan_validator`) statically audits the plan
+before execution, and its E008 rule replays every builtin scenario
+through BOTH paths and requires bit-identical trace checksums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .events import TraceEvent
+from .trace import RuntimeTrace
+
+__all__ = ["PlanRun", "PlanDriver"]
+
+
+@dataclass
+class PlanRun:
+    """Observable outcome of one plan replay."""
+
+    name: str
+    trace: RuntimeTrace
+    makespan_s: float = 0.0
+    steps_executed: int = 0
+    events_replayed: int = 0
+    #: Replayed event counts by kind (compared to the plan's
+    #: ``expected_counts``).
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def checksum(self) -> str:
+        """Trace checksum — must equal the plan's ``expected_checksum``."""
+        from ..plan.ir import trace_checksum
+
+        return trace_checksum(self.trace)
+
+
+class PlanDriver:
+    """Executes :class:`~repro.plan.ir.ExecutionPlan` step arrays."""
+
+    def execute(self, plan) -> PlanRun:
+        trace = RuntimeTrace()
+        counters: Dict[str, int] = {}
+        steps_executed = 0
+        events = trace.events
+        for step in plan.steps:
+            if step.kind != "events":
+                # kv_barrier is an ordering no-op at replay time (the
+                # step array is already totally ordered); halt ends the
+                # plan.
+                if step.kind == "halt":
+                    steps_executed += 1
+                    break
+                steps_executed += 1
+                continue
+            steps_executed += 1
+            for t, kind, seq_id, pool, info_items in step.events:
+                events.append(
+                    TraceEvent(
+                        t=t,
+                        kind=kind,
+                        seq_id=seq_id,
+                        pool=pool,
+                        info=dict(info_items),
+                    )
+                )
+                counters[kind] = counters.get(kind, 0) + 1
+        return PlanRun(
+            name=plan.name,
+            trace=trace,
+            makespan_s=plan.makespan_s,
+            steps_executed=steps_executed,
+            events_replayed=len(events),
+            counters=counters,
+        )

@@ -49,6 +49,9 @@ class ScheduleRecord:
     writes: FrozenSet[WriteKey] = frozenset()
     #: Trace-event kinds emitted during dispatch (diagnostic labels).
     kinds: Tuple[str, ...] = ()
+    #: ``[start, end)`` slice of the attached trace's event list emitted
+    #: during this dispatch — the plan compiler's lowering input.
+    trace_span: Tuple[int, int] = (0, 0)
 
     @property
     def dispatched(self) -> bool:
@@ -65,6 +68,7 @@ class ScheduleRecord:
             "cancelled": self.cancelled,
             "writes": sorted(str(w) for w in self.writes),
             "kinds": list(self.kinds),
+            "trace_span": list(self.trace_span),
         }
 
 
@@ -175,11 +179,13 @@ class ScheduleRecorder:
         if rec is None or rec.handle != handle:
             rec = self._by_handle[handle]
         if self._trace is not None:
-            emitted = self._trace.events[self._mark :]
+            end = len(self._trace.events)
+            emitted = self._trace.events[self._mark : end]
             writes: Set[WriteKey] = set()
             for ev in emitted:
                 writes.update(ev.write_keys())
             rec.writes = frozenset(writes)
             rec.kinds = tuple(ev.kind for ev in emitted)
-            self._mark = len(self._trace.events)
+            rec.trace_span = (self._mark, end)
+            self._mark = end
         self._current = None

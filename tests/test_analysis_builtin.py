@@ -27,7 +27,12 @@ class TestFindings:
             "R001", "R002", "R003", "R004", "R005",
             "S001", "S002", "S003", "S004", "S005", "S006",
             "H001", "H002", "H003", "H004", "H005",
+            "E001", "E002", "E003", "E004", "E005", "E006", "E007",
+            "E008",
         }
+        from repro.analysis import ensure_all_registered
+
+        ensure_all_registered()
         assert expected == set(RULES)
 
     def test_unregistered_rule_rejected(self):

@@ -1,0 +1,111 @@
+"""Tests for the E-rule compiled-plan validator and the rule registry."""
+
+import pytest
+
+from repro.analysis import (
+    FAMILIES,
+    RULES,
+    check_builtin_plans,
+    ensure_all_registered,
+    lint_execution_plan,
+    rule_table,
+    translation_validate,
+)
+from repro.analysis.plan_validator import BROKEN_PLANS, _toy_plan, _toy_scenario
+from repro.cli import main
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestRegistry:
+    def test_e_family_registered(self):
+        ensure_all_registered()
+        fam = FAMILIES["E"]
+        assert fam.gate == "--plans"
+        assert fam.rule_ids == tuple(f"E00{i}" for i in range(1, 9))
+        for rid in fam.rule_ids:
+            assert RULES[rid].rule_id == rid
+
+    def test_every_family_has_a_gate_and_rules(self):
+        ensure_all_registered()
+        assert set(FAMILIES) == {
+            "W", "P", "F", "M", "T", "K", "O", "D", "R", "S", "H", "E",
+        }
+        for fam in FAMILIES.values():
+            assert fam.gate.startswith("--")
+            assert fam.rule_ids
+            for rid in fam.rule_ids:
+                assert rid in RULES
+
+    def test_rule_table_covers_all_rules(self):
+        ensure_all_registered()
+        rows = rule_table()
+        assert [r["rule_id"] for r in rows] == sorted(RULES)
+        for row in rows:
+            assert row["family"] == row["rule_id"][0]
+            assert row["gate"]
+
+
+class TestCleanPlans:
+    def test_toy_plan_is_clean(self):
+        plan = _toy_plan()
+        assert lint_execution_plan(plan) == []
+        assert translation_validate(plan, _toy_scenario) == []
+
+
+class TestBrokenPlans:
+    """Every deliberately broken plan trips exactly its rule."""
+
+    @pytest.mark.parametrize("name", sorted(BROKEN_PLANS))
+    def test_fixture_trips_documented_rule(self, name):
+        factory, scenario, expected = BROKEN_PLANS[name]
+        plan = factory()
+        findings = lint_execution_plan(plan)
+        if scenario is not None:
+            findings.extend(translation_validate(plan, scenario))
+        assert rule_ids(findings) == sorted(expected)
+
+    def test_manifest_covers_every_rule(self):
+        covered = {r for _, _, exp in BROKEN_PLANS.values() for r in exp}
+        assert covered == set(FAMILIES["E"].rule_ids)
+
+
+class TestSweep:
+    def test_builtin_sweep_is_green(self):
+        report = check_builtin_plans()
+        assert report.ok
+        assert "E" in report.families
+        # 7 builtin plans + 8 broken fixtures
+        assert report.checked == 15
+        # every expected finding was reconciled to a note, none missing
+        assert not report.errors
+
+    def test_static_only_sweep(self):
+        report = check_builtin_plans(run_validation=False)
+        assert report.ok
+
+
+class TestCli:
+    def test_lint_plans_gate(self, capsys):
+        assert main(["lint", "--plans"]) == 0
+        out = capsys.readouterr().out
+        assert "checked 15 object(s)" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("E001", "E008", "W001", "H005", "S006"):
+            assert rid in out
+
+    def test_plan_subcommand(self, capsys):
+        assert main(
+            ["plan", "--scenario", "disagg-plain", "--execute", "--validate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches_plan" in out and "True" in out
+        assert "plan valid: True" in out
+
+    def test_plan_subcommand_unknown_scenario(self):
+        assert main(["plan", "--scenario", "nope"]) == 2

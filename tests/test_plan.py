@@ -1,0 +1,281 @@
+"""Tests for the plan compiler, the conversion memo and the driver."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.schedule_lint import builtin_schedule_scenarios
+from repro.gpu.fused_steps import context_bucket
+from repro.plan import (
+    CompileError,
+    ConversionMemo,
+    builtin_plan_configs,
+    compile_scenario,
+    trace_checksum,
+)
+from repro.runtime import EventLoop, RuntimeTrace
+from repro.runtime.plan_driver import PlanDriver
+
+
+def toy_stats(trace, loop, **extra):
+    return SimpleNamespace(trace=trace, makespan_s=loop.now, **extra)
+
+
+def make_scenario(emit):
+    """Wrap an ``emit(loop, trace)`` body in the scenario contract."""
+
+    def scenario(loop, recorder=None):
+        trace = RuntimeTrace()
+        if recorder is not None:
+            recorder.set_trace(trace)
+        emit(loop, trace)
+        loop.run()
+        return toy_stats(trace, loop)
+
+    return scenario
+
+
+class TestCompilerEdgeCases:
+    def test_empty_plan(self):
+        """A scenario that schedules nothing lowers to just the halt."""
+        scenario = make_scenario(lambda loop, trace: None)
+        plan = compile_scenario("empty", scenario)
+        assert [s.kind for s in plan.steps] == ["halt"]
+        assert plan.num_events == 0
+        assert plan.slots == ()
+        run = PlanDriver().execute(plan)
+        assert run.events_replayed == 0
+        assert run.checksum == plan.expected_checksum
+
+    def test_single_event_plan(self):
+        def emit(loop, trace):
+            loop.schedule_at(
+                1.0, lambda: trace.record(1.0, "finish", 0, "gpu0")
+            )
+
+        plan = compile_scenario("single", make_scenario(emit))
+        assert [s.kind for s in plan.steps] == ["events", "halt"]
+        assert plan.num_events == 1
+        run = PlanDriver().execute(plan)
+        assert run.checksum == plan.expected_checksum
+        assert run.counters == {"finish": 1}
+
+    def test_zero_fusible_pairs(self):
+        """Strictly increasing timestamps leave nothing to fuse."""
+
+        def emit(loop, trace):
+            for i in range(4):
+                t = float(i)
+                loop.schedule_at(
+                    t, (lambda t=t, i=i:
+                        trace.record(t, "admit", i, "gpu0"))
+                )
+
+        plan = compile_scenario("no-fusion", make_scenario(emit))
+        assert plan.num_fused_steps == 0
+        assert sum(1 for s in plan.steps if s.kind == "events") == 4
+
+    def test_zero_size_buffer_slot(self):
+        """An admit with no recorded arrival sizes gets a zero-block
+        slot; the lifetime model must still hold."""
+
+        def emit(loop, trace):
+            loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 7, "gpu0"))
+            loop.schedule_at(2.0, lambda: trace.record(2.0, "finish", 7, "gpu0"))
+
+        plan = compile_scenario("zero-size", make_scenario(emit))
+        assert len(plan.slots) == 1
+        slot = plan.slots[0]
+        assert slot.size_tokens == 0
+        assert slot.size_blocks == 0
+        assert slot.start <= slot.end
+
+    def test_memo_never_hit(self):
+        """A model-free compile keeps the memo empty — hits, misses and
+        entries all zero."""
+
+        def emit(loop, trace):
+            loop.schedule_at(
+                1.0,
+                lambda: trace.record(
+                    1.0, "decode_step", None, "gpu0", batch=1, avg_context=8.0
+                ),
+            )
+
+        plan = compile_scenario("no-memo", make_scenario(emit))
+        assert plan.memo.hits == 0
+        assert plan.memo.misses == 0
+        assert plan.memo.entries == {}
+        assert all(s.kernels == () for s in plan.steps)
+
+    def test_snapshot_trace_rejected(self):
+        def scenario(loop, recorder=None):
+            trace = RuntimeTrace()
+            if recorder is not None:
+                recorder.set_trace(trace)
+            loop.run()
+            trace.snapshots.append(object())
+            return toy_stats(trace, loop)
+
+        with pytest.raises(CompileError):
+            compile_scenario("snapshots", scenario)
+
+
+class TestCompilerLowering:
+    def test_unreleased_slot_closed_at_last_step(self):
+        """A sequence admitted but never finished still gets a bounded
+        lifetime (closed at the final events step)."""
+
+        def emit(loop, trace):
+            loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 0, "gpu0"))
+            loop.schedule_at(2.0, lambda: trace.record(2.0, "admit", 1, "gpu0"))
+            loop.schedule_at(3.0, lambda: trace.record(3.0, "finish", 1, "gpu0"))
+
+        plan = compile_scenario("leak", make_scenario(emit))
+        by_seq = {a.seq_id: a for a in plan.slots}
+        last_events = max(
+            s.index for s in plan.steps if s.kind == "events"
+        )
+        assert by_seq[0].end == last_events
+
+    def test_slot_reuse_waits_one_step(self):
+        """A slot freed at step i is reusable from i+1, never at i —
+        the E001 lifetime model is inclusive."""
+
+        def emit(loop, trace):
+            loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 0, "gpu0"))
+            # finish and the next admit land at the same instant
+            loop.schedule_at(2.0, lambda: trace.record(2.0, "finish", 0, "gpu0"))
+            loop.schedule_at(2.0, lambda: trace.record(2.0, "admit", 1, "gpu0"))
+            loop.schedule_at(3.0, lambda: trace.record(3.0, "finish", 1, "gpu0"))
+
+        plan = compile_scenario("reuse", make_scenario(emit))
+        by_slot = {}
+        for a in plan.slots:
+            by_slot.setdefault((a.pool, a.slot), []).append(a)
+        for assigns in by_slot.values():
+            assigns.sort(key=lambda a: a.start)
+            for prev, cur in zip(assigns, assigns[1:]):
+                assert cur.start > prev.end
+
+    def test_gpu_crash_releases_pool(self):
+        def emit(loop, trace):
+            loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 0, "gpu0"))
+            loop.schedule_at(1.5, lambda: trace.record(1.5, "admit", 1, "gpu0"))
+            loop.schedule_at(
+                2.0,
+                lambda: trace.record(
+                    2.0, "fault", None, "gpu0", fault="gpu_crash"
+                ),
+            )
+
+        plan = compile_scenario("crash", make_scenario(emit))
+        crash_step = max(s.index for s in plan.steps if s.kind == "events")
+        assert {a.end for a in plan.slots} == {crash_step}
+
+    def test_barrier_inserted_before_migration(self):
+        def emit(loop, trace):
+            loop.schedule_at(1.0, lambda: trace.record(1.0, "admit", 0, "gpu0"))
+            loop.schedule_at(
+                2.0, lambda: trace.record(2.0, "migrate_start", 0, "gpu0")
+            )
+
+        plan = compile_scenario("migrate", make_scenario(emit))
+        kinds = [s.kind for s in plan.steps]
+        barrier = kinds.index("kv_barrier")
+        migrate = next(
+            s.index for s in plan.steps
+            if s.kind == "events" and "migrate_start" in s.event_kinds()
+        )
+        assert barrier < migrate
+        assert plan.steps[barrier].barrier_for is not None
+        assert plan.steps[barrier].barrier_for < barrier
+
+    def test_order_is_monotone(self):
+        scen = builtin_schedule_scenarios()["serving-fcfs-chunked"]
+        plan = compile_scenario("serving", scen)
+        keys = [(s.t, s.phase, s.order) for s in plan.steps]
+        assert keys == sorted(keys)
+
+
+class TestConversionMemo:
+    def test_hit_after_miss(self):
+        memo = ConversionMemo("RTX4090")
+        key1, ck1 = memo.convert("fc1", 256, 64, 0.6)
+        key2, ck2 = memo.convert("fc1", 256, 64, 0.6)
+        assert (key1, ck1) == (key2, ck2)
+        assert memo.misses == 1 and memo.hits == 1
+        assert memo.hit_rate == 0.5
+        assert key1.endswith("@RTX4090")
+
+    def test_distinct_contents_distinct_keys(self):
+        memo = ConversionMemo("RTX4090")
+        key1, _ = memo.convert("fc1", 256, 64, 0.6)
+        key2, _ = memo.convert("fc2", 256, 64, 0.6)
+        key3, _ = memo.convert("fc1", 256, 64, 0.7)
+        assert len({key1, key2, key3}) == 3
+        assert memo.misses == 3
+
+    def test_gpu_in_key(self):
+        a = ConversionMemo("RTX4090").convert("w", 64, 64, 0.6)[0]
+        b = ConversionMemo("A6000").convert("w", 64, 64, 0.6)[0]
+        assert a.split("@")[0] == b.split("@")[0]
+        assert a != b
+
+
+class TestContextBucket:
+    def test_rounds_up(self):
+        assert context_bucket(1.0) == 64
+        assert context_bucket(64.0) == 64
+        assert context_bucket(64.5) == 128
+        assert context_bucket(200.0) == 256
+
+
+class TestDriverEquivalence:
+    """Every builtin scenario replays bit-identically (the E008 core)."""
+
+    @pytest.mark.parametrize("name", sorted(builtin_schedule_scenarios()))
+    def test_replay_matches_interpreted(self, name):
+        scenario = builtin_schedule_scenarios()[name]
+        plan = compile_scenario(name, scenario)
+        run = PlanDriver().execute(plan)
+        assert run.checksum == plan.expected_checksum
+        assert run.counters == plan.expected_counts
+        fresh = scenario(EventLoop(), None)
+        assert trace_checksum(fresh.trace) == plan.expected_checksum
+
+    def test_kernel_configs_compile(self):
+        """The full configs (with model) attach fused decode kernels
+        whose memo references resolve."""
+        name = "serving-fcfs-chunked"
+        scenario = builtin_schedule_scenarios()[name]
+        cfg = builtin_plan_configs()[name]
+        plan = compile_scenario(name, scenario, **cfg)
+        descriptors = [k for s in plan.steps for k in s.kernels]
+        assert descriptors
+        assert plan.memo.misses > 0
+        assert plan.memo.hits > plan.memo.misses  # layers reuse shapes
+        for desc in descriptors:
+            assert desc.spmm_s > 0
+            for ln in desc.launches:
+                entry = plan.memo.entries[ln.memo_key]
+                assert entry.checksum == ln.weight_checksum
+
+
+class TestSpeedup:
+    def test_compiled_replay_at_least_5x(self):
+        """The tentpole claim: tight-driver replay beats the
+        interpreted event loop by >=5x on the serving scenario."""
+        from repro.perf.timer import measure
+
+        scenario = builtin_schedule_scenarios()["serving-fcfs-chunked"]
+        plan = compile_scenario("serving-fcfs-chunked", scenario)
+        driver = PlanDriver()
+
+        _, interp = measure(
+            lambda: scenario(EventLoop(), None), repeats=3, warmup=1
+        )
+        _, compiled = measure(
+            lambda: driver.execute(plan), repeats=3, warmup=1
+        )
+        assert interp.median_s / compiled.median_s >= 5.0
