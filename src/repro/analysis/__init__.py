@@ -17,6 +17,9 @@ machine-checked properties that run without executing anything:
   disaggregated configurations (``D001``–``D004``);
 * :mod:`~repro.analysis.fault_lint` — recovery-policy sanity and
   fault-run conservation audits (``R001``–``R005``);
+* :mod:`~repro.analysis.server_lint` — streaming-server admission
+  policies, session-prefix ownership and token-stream ordering
+  (``Q001``–``Q004``);
 * :mod:`~repro.analysis.source_lint` — determinism hazards in this
   repo's own Python source: ambient RNG, wall-clock reads, iteration
   order over unordered collections (``S001``–``S006``);
@@ -93,6 +96,12 @@ from .plan_lint import (
     lint_offload_plan,
     lint_runtime_trace,
 )
+from .server_lint import (
+    check_builtin_server_artifacts,
+    lint_prefix_ownership,
+    lint_server_policy,
+    lint_token_stream,
+)
 from .schedule_lint import (
     builtin_schedule_scenarios,
     check_builtin_schedules,
@@ -131,6 +140,7 @@ __all__ = [
     "check_builtin_fault_artifacts",
     "check_builtin_plans",
     "check_builtin_schedules",
+    "check_builtin_server_artifacts",
     "check_source",
     "check_source_fixtures",
     "check_source_tree",
@@ -151,13 +161,16 @@ __all__ = [
     "lint_kv_plan",
     "lint_offload_plan",
     "lint_pipeline_trace",
+    "lint_prefix_ownership",
     "lint_recovery_policy",
     "lint_runtime_trace",
+    "lint_server_policy",
     "lint_schedule_log",
     "lint_source_file",
     "lint_source_text",
     "lint_tca_bme",
     "lint_tiled_csl",
+    "lint_token_stream",
     "lint_warp_program",
     "reconcile_expected",
     "rule_table",

@@ -35,6 +35,7 @@ from .memory_bench import ext_memory_walls
 from .offload_bench import ext_offloading
 from .pipeline_bench import block_pipeline_config, fig09_pipeline_schedule
 from .report import generate_report, write_report
+from .server_bench import ext_server
 from .serving_bench import ext_serving, ext_serving_runtime
 from .sweeps import export_csv, kernel_sweep
 
@@ -49,6 +50,7 @@ __all__ = [
     "ext_disaggregation",
     "ext_memory_walls",
     "ext_offloading",
+    "ext_server",
     "ext_serving",
     "ext_serving_runtime",
     "fig01_motivation",

@@ -8,10 +8,12 @@ Subcommands mirror the library's main entry points::
     repro encode --m 4096 --k 4096 --sparsity 0.6
     repro simulate --model opt-13b --framework spinfer --gpus 1
     repro serve --model opt-13b --chunked-prefill --preemption
+    repro server --sessions 8 --turns 3   # multi-turn streaming server
     repro chaos --plan gpu-crash    # recovery policies under faults
     repro lint --all-builtin        # static checks (W*/P*/F* rules)
     repro lint --deployment         # deployment checks (M*/T*/K*/O*/D*)
     repro lint --faults             # recovery-policy checks (R* rules)
+    repro lint --server             # server admission/session checks (Q*)
     repro lint --source             # determinism lint of repo source (S*)
     repro lint --schedule           # schedule-race dual replay (H* rules)
     repro lint --plans              # compiled-plan validation (E* rules)
@@ -58,6 +60,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl_mma_shape": bench_mod.abl_mma_shape,
     "abl_quant": bench_mod.abl_quantization,
     "ext_chaos": bench_mod.ext_chaos,
+    "ext_server": bench_mod.ext_server,
     "ext_serving": bench_mod.ext_serving,
     "ext_serving_runtime": bench_mod.ext_serving_runtime,
     "ext_disagg": bench_mod.ext_disaggregation,
@@ -346,6 +349,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stats = sim.run(requests)
 
     payload = {
+        "schema": "repro-serve/v1",
         "completed": len(stats.completed),
         "rejected": [r.request_id for r in stats.rejected],
         "makespan_s": stats.makespan_s,
@@ -380,7 +384,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         }
 
     if args.json:
-        print(json_mod.dumps(payload, indent=2))
+        # Versioned + key-sorted so replays are byte-comparable (the
+        # same contract repro chaos/server --json honour).
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
     else:
         print(
             f"{cfg.model} / {cfg.framework} on {cfg.num_gpus}x{cfg.gpu} "
@@ -410,6 +416,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .server import ServerConfig, server_report
+
+    cfg = ServerConfig(
+        model=args.model,
+        framework=args.framework,
+        gpu=args.gpu,
+        replicas=args.replicas,
+        sessions=args.sessions,
+        turns=args.turns,
+        arrival_rate=args.arrival_rate,
+        seed=args.seed,
+        server_policy=args.server_policy,
+        recovery=args.recovery,
+        fault_plan=args.plan,
+        reuse_prefix=not args.no_reuse,
+    )
+    if args.quick:
+        cfg = cfg.quick()
+    report = server_report(cfg)
+    if args.json:
+        payload = {"schema": "repro-server/v1", "report": report}
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    sess, cache, lat = (
+        report["sessions"], report["prefix_cache"], report["latency"]
+    )
+    print(
+        f"server: {cfg.model} / {cfg.framework}, {cfg.replicas} replica(s), "
+        f"{sess['submitted']} session(s) / {sess['turns_submitted']} turn(s), "
+        f"policy {cfg.server_policy!r}, prefix reuse "
+        f"{'on' if cfg.reuse_prefix else 'off'}"
+    )
+    print(f"  sessions   : {sess['completed']} completed, "
+          f"{sess['aborted']} aborted")
+    print(f"  turns      : {sess['turns_completed']}/"
+          f"{sess['turns_submitted']} completed")
+    print(f"  admission  : {report['admission']['parked']} parked, "
+          f"{report['admission']['refused']} refused")
+    print(f"  prefix     : {cache['hits']} hit(s), {cache['misses']} "
+          f"miss(es), {cache['cached_prefill_tokens']} cached vs "
+          f"{cache['prefill_tokens']} prefilled token(s), "
+          f"{cache['leaked_blocks']} leaked block(s)")
+    print(f"  stream     : {report['stream']['events']} token event(s) in "
+          f"{report['stream']['flushes']} flush(es)")
+    print(f"  ttft       : mean {lat['mean_ttft_s']:.3f} s, "
+          f"p99 {lat['p99_ttft_s']:.3f} s")
+    print(f"  makespan   : {report['runtime']['makespan_s']:.3f} s "
+          f"({report['runtime']['preemptions']} preemption(s), "
+          f"{report['runtime']['faults']} fault(s))")
+    return 1 if cache["leaked_blocks"] else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -526,6 +587,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         check_builtin_fault_artifacts,
         check_builtin_plans,
         check_builtin_schedules,
+        check_builtin_server_artifacts,
         check_source,
         ensure_all_registered,
         rule_table,
@@ -548,18 +610,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # (warp programs, pipeline traces, formats), --deployment sweeps the
     # deployment artifacts (specs, KV plans, offload, disaggregation,
     # planner output), --faults sweeps recovery policies and chaos-run
-    # outcomes, --source lints this repo's own Python for determinism
+    # outcomes, --server sweeps admission policies / session teardown /
+    # token-stream ordering, --source lints this repo's own Python for determinism
     # hazards, --schedule dual-replays every builtin scenario and audits
     # its happens-before schedule log, --plans compiles every builtin
     # scenario and statically validates + translation-validates the
     # resulting execution plans.  With no flag every sweep runs.
     any_flag = (
         args.all_builtin or args.deployment or args.faults
-        or args.source or args.schedule or args.plans
+        or args.server or args.source or args.schedule or args.plans
     )
     run_programs = args.all_builtin or not any_flag
     run_deployments = args.deployment or not any_flag
     run_faults = args.faults or not any_flag
+    run_server = args.server or not any_flag
     run_source = args.source or not any_flag
     run_schedule = args.schedule or not any_flag
     run_plans = args.plans or not any_flag
@@ -568,6 +632,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         (run_programs, check_all_builtin_programs),
         (run_deployments, check_all_builtin_deployments),
         (run_faults, check_builtin_fault_artifacts),
+        (run_server, check_builtin_server_artifacts),
         (run_source, check_source),
         (run_schedule, check_builtin_schedules),
         (run_plans, check_builtin_plans),
@@ -758,6 +823,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit stats as JSON instead of text")
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_server = sub.add_parser(
+        "server",
+        help="run the session-aware streaming server: multi-turn "
+        "sessions over replicated pools with admission control "
+        "(buckets/tiers/quotas), shared-prefix KV reuse and "
+        "deterministic per-token streaming",
+    )
+    p_server.add_argument("--model", choices=sorted(MODELS), default="opt-13b")
+    p_server.add_argument("--framework", default="spinfer")
+    p_server.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
+    p_server.add_argument("--replicas", type=int, default=2,
+                          help="GPU replicas behind the router")
+    p_server.add_argument("--sessions", type=int, default=8)
+    p_server.add_argument("--turns", type=int, default=3,
+                          help="mean turns per session")
+    p_server.add_argument("--arrival-rate", type=float, default=2.0,
+                          help="session arrival rate, sessions/s")
+    p_server.add_argument("--seed", type=int, default=5,
+                          help="workload seed (think times, lengths, "
+                          "tenants are all pre-drawn from it)")
+    p_server.add_argument("--server-policy", default="standard",
+                          choices=("standard", "open-door"),
+                          help="admission policy: buckets, priority "
+                          "tiers, per-tenant quotas")
+    p_server.add_argument("--recovery", default="reroute",
+                          choices=("fail-fast", "retry", "reroute"))
+    p_server.add_argument("--plan", default=None,
+                          choices=("gpu-crash", "stragglers", "chaos-mix"),
+                          help="inject a builtin fault plan mid-run")
+    p_server.add_argument("--no-reuse", action="store_true",
+                          help="disable the session prefix cache (the "
+                          "bench's control arm)")
+    p_server.add_argument("--quick", action="store_true",
+                          help="smaller workload (CI replay gate)")
+    p_server.add_argument("--json", action="store_true",
+                          help="emit the deterministic report as JSON "
+                          "(schema repro-server/v1; byte-identical "
+                          "across runs of the same seeds)")
+    p_server.set_defaults(func=_cmd_server)
+
     p_chaos = sub.add_parser(
         "chaos",
         help="replay one workload under a pinned fault plan once per "
@@ -794,7 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="statically check warp programs, pipeline schedules, sparse "
         "formats, deployment plans, recovery policies, the repo's own "
         "source, the event-loop schedule and compiled execution plans "
-        "(rules W*/P*/F*/M*/T*/K*/O*/D*/R*/S*/H*/E*, see "
+        "(rules W*/P*/F*/M*/T*/K*/O*/D*/R*/Q*/S*/H*/E*, see "
         "docs/ANALYSIS.md)",
     )
     p_lint.add_argument(
@@ -813,6 +918,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep the builtin recovery policies (good ones must be "
         "clean, deliberately broken ones must trip their documented "
         "R rules) and audit quick chaos runs for conservation",
+    )
+    p_lint.add_argument(
+        "--server", action="store_true",
+        help="sweep the builtin server policies (good ones clean, "
+        "deliberately broken ones tripping their documented Q rules), "
+        "audit a quick multi-turn run for prefix-block leaks and "
+        "stream-ordering violations, and regression-test the stream "
+        "checker against corrupted streams",
     )
     p_lint.add_argument(
         "--source", action="store_true",

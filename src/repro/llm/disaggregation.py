@@ -197,7 +197,7 @@ def simulate_disaggregated(
     cfg: DisaggregatedConfig, snapshot_every: int = 0
 ) -> DisaggregatedResult:
     """Prefill on pool A, migrate KV, decode on pool B."""
-    from .serving import Request
+    from ..runtime.request import SessionRequest as Request
 
     runtime = build_disaggregated_runtime(cfg, snapshot_every=snapshot_every)
     requests: List[Request] = [

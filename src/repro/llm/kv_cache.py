@@ -27,6 +27,11 @@ class SequenceAllocation:
     seq_id: int
     block_ids: List[int] = field(default_factory=list)
     tokens: int = 0
+    #: Accounting principal, e.g. ``"session:7"`` for a shared session
+    #: prefix or ``""`` (request-owned).  Owners let a serving layer ask
+    #: :meth:`KVBlockAllocator.owned_blocks` "what do I still hold?" and
+    #: make double-free reports name who held the block.
+    owner: str = ""
 
 
 class KVBlockAllocator:
@@ -82,7 +87,9 @@ class KVBlockAllocator:
 
     # ---- allocation -----------------------------------------------------------------
 
-    def allocate(self, seq_id: int, tokens: int) -> SequenceAllocation:
+    def allocate(
+        self, seq_id: int, tokens: int, owner: str = ""
+    ) -> SequenceAllocation:
         """Allocate blocks for a new sequence of ``tokens`` tokens."""
         if seq_id in self._sequences:
             raise KeyError(f"sequence {seq_id} already allocated")
@@ -92,7 +99,7 @@ class KVBlockAllocator:
                 f"need {needed} blocks for sequence {seq_id}, "
                 f"only {self.free_blocks} free"
             )
-        alloc = SequenceAllocation(seq_id=seq_id, tokens=tokens)
+        alloc = SequenceAllocation(seq_id=seq_id, tokens=tokens, owner=owner)
         for _ in range(needed):
             block = self._free.pop()
             self._refcount[block] = 1
@@ -133,7 +140,9 @@ class KVBlockAllocator:
         alloc.tokens += 1
         return False
 
-    def fork(self, parent_id: int, child_id: int) -> SequenceAllocation:
+    def fork(
+        self, parent_id: int, child_id: int, owner: str = ""
+    ) -> SequenceAllocation:
         """Share a parent's blocks copy-on-write (beam search / prefix
         caching): the child references the same blocks; refcounts rise."""
         parent = self._get(parent_id)
@@ -143,6 +152,7 @@ class KVBlockAllocator:
             seq_id=child_id,
             block_ids=list(parent.block_ids),
             tokens=parent.tokens,
+            owner=owner,
         )
         for block in child.block_ids:
             self._refcount[block] += 1
@@ -170,10 +180,14 @@ class KVBlockAllocator:
         for block, times in seen.items():
             owned = self._refcount.get(block, 0)
             if owned < times:
+                who = (
+                    f"owner {alloc.owner!r}" if alloc.owner
+                    else "request-owned"
+                )
                 raise RuntimeError(
-                    f"double free: sequence {seq_id} releases block "
-                    f"{block} x{times} but the allocator counts only "
-                    f"{owned} live reference(s)"
+                    f"double free: sequence {seq_id} ({who}) releases "
+                    f"block {block} x{times} but the allocator counts "
+                    f"only {owned} live reference(s)"
                 )
         del self._sequences[seq_id]
         released = 0
@@ -197,6 +211,25 @@ class KVBlockAllocator:
 
     def sequence(self, seq_id: int) -> SequenceAllocation:
         return self._get(seq_id)
+
+    def has_sequence(self, seq_id: int) -> bool:
+        return seq_id in self._sequences
+
+    def sequences_owned_by(self, owner: str) -> List[int]:
+        """Sequence ids registered under ``owner``, sorted."""
+        return sorted(
+            sid for sid, a in self._sequences.items() if a.owner == owner
+        )
+
+    def owned_blocks(self, owner: str) -> List[int]:
+        """Every block id still referenced by a sequence of ``owner``,
+        sorted.  Session teardown asserts this is empty afterwards —
+        the "provably freed everything" check — and the Q002
+        prefix-leak lint audits it across a whole server run."""
+        held = set()
+        for sid in self.sequences_owned_by(owner):
+            held.update(self._sequences[sid].block_ids)
+        return sorted(held)
 
     def refcounts(self) -> Dict[int, int]:
         """Snapshot of per-block reference counts (allocated blocks only)."""

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..gpu.specs import get_gpu
 from ..runtime import ContinuousBatchingScheduler, GPUPool, RuntimeTrace
+from ..runtime.request import SessionRequest
 from .inference import InferenceConfig, InferenceEngine
 from .memory import kv_budget_bytes, kv_bytes_per_token
 
@@ -49,40 +50,10 @@ __all__ = [
     "poisson_workload",
 ]
 
-
-@dataclass
-class Request:
-    """One generation request."""
-
-    request_id: int
-    arrival_s: float
-    prompt_len: int
-    output_len: int
-    # Filled by the simulator:
-    start_s: Optional[float] = None
-    finish_s: Optional[float] = None
-    first_token_s: Optional[float] = None
-    generated: int = 0
-
-    @property
-    def latency_s(self) -> Optional[float]:
-        if self.finish_s is None:
-            return None
-        return self.finish_s - self.arrival_s
-
-    @property
-    def queue_s(self) -> Optional[float]:
-        if self.start_s is None:
-            return None
-        return self.start_s - self.arrival_s
-
-    @property
-    def ttft_s(self) -> Optional[float]:
-        """Time to first token — the interactive-latency metric chunked
-        prefill exists to improve."""
-        if self.first_token_s is None:
-            return None
-        return self.first_token_s - self.arrival_s
+#: The request model moved to :class:`repro.runtime.request.
+#: SessionRequest` (one home for the whole lifecycle, session-aware);
+#: ``Request`` stays as the serving-layer name for it.
+Request = SessionRequest
 
 
 def poisson_workload(

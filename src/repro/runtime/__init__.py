@@ -39,6 +39,7 @@ from .faults import (
     get_recovery_policy,
 )
 from .policies import POLICIES, AdmissionPolicy, FCFSPolicy, SJFPolicy, get_policy
+from .request import SessionRequest, TokenEvent, TokenStream
 from .schedule_log import ScheduleLog, ScheduleRecord, ScheduleRecorder
 from .scheduler import (
     PREFILL_MODES,
@@ -54,6 +55,9 @@ __all__ = [
     "GPUPool",
     "EventKind",
     "TraceEvent",
+    "SessionRequest",
+    "TokenEvent",
+    "TokenStream",
     "POLICIES",
     "AdmissionPolicy",
     "FCFSPolicy",

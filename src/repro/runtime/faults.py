@@ -601,6 +601,10 @@ class FaultTolerantRuntime:
             sched.router = self
             self.schedulers.append(sched)
         self._by_pool = {s.pool.name: s for s in self.schedulers}
+        #: Optional callback fired after a request reaches ANY terminal
+        #: bucket — the streaming server's session manager releases
+        #: tenant quota and schedules the next session turn here.
+        self.terminal_listener = None
         self._location: Dict[int, ContinuousBatchingScheduler] = {}
         self._attempts: Dict[int, int] = {}
         self._deadlines: Dict[int, int] = {}
@@ -624,15 +628,28 @@ class FaultTolerantRuntime:
             key=lambda s: (len(s._running) + len(s._policy), s.pool.name),
         )
 
-    def submit(self, req) -> None:
+    def submit(self, req, prefer: Optional[str] = None) -> None:
+        """Route and submit.  ``prefer`` names a pool to favour while it
+        is alive — session affinity, so a multi-turn session lands on
+        the pool holding its KV prefix.  A dead preferred pool falls
+        back to normal least-loaded routing (the reroute-recompute
+        path re-prefills the lost prefix)."""
         now = self.loop.now
-        sched = self.route()
+        sched = None
+        if prefer is not None:
+            candidate = self._by_pool.get(prefer)
+            if candidate is not None and candidate.pool.alive:
+                sched = candidate
+        if sched is None:
+            sched = self.route()
         if sched is None:
             self.trace.record(
                 now, EventKind.SHED, req.request_id, "router",
                 reason="no alive pools",
             )
             self.stats.shed.append(req)
+            if self.terminal_listener is not None:
+                self.terminal_listener(req)
             return
         self._location[req.request_id] = sched
         self._attempts.setdefault(req.request_id, 1)
@@ -658,6 +675,8 @@ class FaultTolerantRuntime:
         if pending is not None:
             self.loop.cancel(pending[0])
         self._location.pop(rid, None)
+        if self.terminal_listener is not None:
+            self.terminal_listener(req)
 
     def on_pool_failure(self, req, sched: ContinuousBatchingScheduler) -> None:
         """A crash took ``req`` down on ``sched``; apply the policy."""
@@ -729,6 +748,8 @@ class FaultTolerantRuntime:
             self.loop.now, EventKind.TIMEOUT, rid, "router", reason=reason
         )
         self.stats.timed_out.append(req)
+        if self.terminal_listener is not None:
+            self.terminal_listener(req)
 
     def cancel_request(self, request_id: int) -> bool:
         sched = self._location.get(request_id)
@@ -748,6 +769,8 @@ class FaultTolerantRuntime:
             reason="client cancelled",
         )
         self.stats.cancelled.append(req)
+        if self.terminal_listener is not None:
+            self.terminal_listener(req)
         return True
 
     # ---- entry point -----------------------------------------------------------------

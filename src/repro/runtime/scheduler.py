@@ -36,6 +36,7 @@ from ..llm.inference import PhaseBreakdown
 from .core import EventLoop, GPUPool
 from .events import EventKind
 from .policies import AdmissionPolicy, get_policy
+from .request import TokenEvent
 from .trace import RuntimeTrace
 
 __all__ = [
@@ -64,6 +65,9 @@ class SeqState:
     prefill_done: int = 0
     reserved_blocks: int = 0
     admit_order: int = 0
+    #: Prefix tokens materialised by a session-cache fork at admission
+    #: (never re-prefilled; 0 for one-shot requests).
+    cached: int = 0
 
     @property
     def decoding(self) -> bool:
@@ -96,6 +100,10 @@ class RuntimeStats:
     retries: int = 0
     faults: int = 0
     wasted_recompute_tokens: int = 0
+    #: Prompt tokens actually prefilled vs. skipped via a shared
+    #: session prefix — the pair the multi-turn bench compares.
+    prefill_tokens: int = 0
+    cached_prefill_tokens: int = 0
     prefill_s: float = 0.0
     decode_breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     kv_budget_bytes: float = 0.0
@@ -172,6 +180,22 @@ class ContinuousBatchingScheduler:
         #: when this scheduler is one replica behind a router; the
         #: router then owns deadlines and crash rerouting.
         self.router = None
+        #: Optional :class:`~repro.runtime.request.TokenStream`: every
+        #: decode token is pushed as a :class:`TokenEvent` and flushed
+        #: end-of-instant via ``loop.defer``.  None = no streaming and
+        #: a bit-identical event schedule.
+        self.stream = None
+        #: Optional session prefix hook: ``prefix_source(req)`` returns
+        #: ``(parent_seq_id, cached_tokens)`` when a shared prefix for
+        #: the request lives in this pool's allocator, else None.  At
+        #: admission the scheduler forks it copy-on-write instead of
+        #: re-prefilling those tokens.
+        self.prefix_source = None
+        #: Optional retention hook called as ``retain_kv(seq_id, req)``
+        #: just before a finished request's blocks are freed — the
+        #: session manager forks the sequence into a session-owned
+        #: prefix there, so the blocks survive under refcount.
+        self.retain_kv = None
         self.failed = False
         self._policy: AdmissionPolicy = get_policy(policy)
         self._running: List[SeqState] = []
@@ -265,7 +289,7 @@ class ContinuousBatchingScheduler:
                 self.stats.failed.append(req)
                 self._resolve(req)
             return
-        total_tokens = req.prompt_len + req.output_len
+        total_tokens = req.total_tokens
         self.trace.record(
             now, EventKind.ARRIVE, req.request_id, self.pool.name,
             prompt=req.prompt_len, output=req.output_len,
@@ -329,26 +353,44 @@ class ContinuousBatchingScheduler:
         if self._running or self._policy.peek_ready(now) is not None:
             self._start_iteration()
 
+    def _prefix_hit(self, req):
+        """``(parent_seq_id, cached_tokens)`` when the session manager
+        has a live prefix for ``req`` in this pool, else None."""
+        if self.prefix_source is None:
+            return None
+        hit = self.prefix_source(req)
+        if hit is None:
+            return None
+        parent, cached = hit
+        return parent, min(cached, req.prefill_target)
+
     def _admissible(self, req) -> bool:
-        worst_case = self.pool.blocks_for(req.prompt_len + req.output_len)
+        worst_case = self.pool.blocks_for(req.total_tokens)
         if not self.preemption:
             return (
                 self._committed_blocks + worst_case
                 <= self.pool.allocator.total_blocks
             )
-        target = req.prompt_len + req.generated
+        target = req.prefill_target
         initial = (
             min(self.chunk_tokens, target)
             if self.prefill_mode == "chunked"
             else target
         )
+        hit = self._prefix_hit(req)
+        if hit is not None:
+            # A prefix fork materialises `cached` tokens for free; only
+            # the remainder needs fresh blocks at admission.
+            initial = max(0, initial - hit[1])
         return self.pool.allocator.can_allocate(initial)
 
     def _admit(self, req, t: float) -> Tuple[SeqState, float]:
         """Allocate and (in blocking mode) charge the prefill; returns
         the new sequence and the seconds of prefill charged."""
         alloc = self.pool.allocator
-        target = req.prompt_len + req.generated
+        target = req.prefill_target
+        hit = self._prefix_hit(req)
+        cached = 0
         seq = SeqState(
             req=req,
             seq_id=req.request_id,
@@ -357,7 +399,25 @@ class ContinuousBatchingScheduler:
         )
         self._admit_counter += 1
         cost = 0.0
-        if self.prefill_mode == "chunked":
+        if hit is not None:
+            # Session prefix reuse: share the prefix blocks copy-on-
+            # write instead of re-prefilling them.  The fork starts with
+            # the prefix's tokens resident; writes past (or into) a
+            # shared tail block pay the COW copy inside append_token.
+            parent, cached = hit
+            alloc.fork(parent, seq.seq_id)
+            seq.cached = cached
+            seq.prefill_done = cached
+            self.stats.cached_prefill_tokens += cached
+            if self.prefill_mode != "chunked":
+                for _ in range(target - cached):
+                    alloc.append_token(seq.seq_id)
+                seq.prefill_done = target
+                if self.prefill_mode == "blocking":
+                    cost = self.pool.prefill_tokens_seconds(target - cached)
+                    self.stats.prefill_s += cost
+                self.stats.prefill_tokens += target - cached
+        elif self.prefill_mode == "chunked":
             alloc.allocate(seq.seq_id, 0)
         else:
             alloc.allocate(seq.seq_id, target)
@@ -365,18 +425,22 @@ class ContinuousBatchingScheduler:
             if self.prefill_mode == "blocking":
                 cost = self.pool.prefill_tokens_seconds(target)
                 self.stats.prefill_s += cost
+            if self.prefill_mode != "preloaded":
+                self.stats.prefill_tokens += target
         if not self.preemption:
-            seq.reserved_blocks = self.pool.blocks_for(
-                req.prompt_len + req.output_len
-            )
+            seq.reserved_blocks = self.pool.blocks_for(req.total_tokens)
             self._committed_blocks += seq.reserved_blocks
         if req.start_s is None:
             req.start_s = t
         self._running.append(seq)
-        self.trace.record(
-            t, EventKind.ADMIT, seq.seq_id, self.pool.name,
+        info = dict(
             prefill_target=target, prefill_s=cost,
             queue_s=t - req.arrival_s,
+        )
+        if cached:
+            info["cached"] = cached
+        self.trace.record(
+            t, EventKind.ADMIT, seq.seq_id, self.pool.name, **info
         )
         return seq, cost
 
@@ -501,6 +565,7 @@ class ContinuousBatchingScheduler:
         )
         if chunk_done:
             self.stats.prefill_s += chunk_time
+            self.stats.prefill_tokens += chunk_done
 
         # Decode step for every sequence past its prefill target.
         decoders = [s for s in self._running if s.decoding]
@@ -577,7 +642,18 @@ class ContinuousBatchingScheduler:
                     now, EventKind.FIRST_TOKEN, seq.seq_id, self.pool.name,
                     ttft_s=now - req.arrival_s,
                 )
+            if self.stream is not None:
+                self.stream.push(loop, TokenEvent(
+                    t=now,
+                    request_id=req.request_id,
+                    index=req.generated - 1,
+                    pool=self.pool.name,
+                    session_id=getattr(req, "session_id", None),
+                    final=req.generated >= req.output_len,
+                ))
             if req.generated >= req.output_len:
+                if self.retain_kv is not None:
+                    self.retain_kv(seq.seq_id, req)
                 alloc.free(seq.seq_id)
                 self._committed_blocks -= seq.reserved_blocks
                 self._running.remove(seq)

@@ -1,0 +1,62 @@
+"""Session-aware streaming server over the fault-tolerant runtime.
+
+The layers, bottom-up:
+
+* :mod:`~repro.server.sessions` — multi-turn session specs, the pinned
+  workload generator, and the :class:`SessionManager` that turns
+  finished turns into refcounted, copy-on-write KV prefixes (so later
+  turns skip re-prefilling shared history) with crash-safe lazy
+  invalidation and provable teardown;
+* :mod:`~repro.server.admission` — the SLO front door: prompt-length
+  buckets, priority tiers, per-tenant token quotas, plus the
+  deliberately broken policies the Q-rule lint sweep must flag;
+* :mod:`~repro.server.streaming` — :class:`StreamingServer` composing
+  gate + router + sessions + one deterministic
+  :class:`~repro.runtime.request.TokenStream`, and the byte-stable
+  ``repro server --json`` report.
+
+See docs/RUNTIME.md (session lifecycle) and docs/TUTORIAL.md (the
+two-turn walkthrough).
+"""
+
+from .admission import (
+    BROKEN_SERVER_POLICIES,
+    SERVER_POLICIES,
+    AdmissionGate,
+    ServerPolicy,
+    get_server_policy,
+)
+from .sessions import (
+    SessionManager,
+    SessionPrefix,
+    SessionSpec,
+    TurnSpec,
+    session_workload,
+)
+from .streaming import (
+    ServerConfig,
+    StreamingServer,
+    build_server,
+    run_server,
+    server_report,
+    server_report_json,
+)
+
+__all__ = [
+    "ServerPolicy",
+    "SERVER_POLICIES",
+    "BROKEN_SERVER_POLICIES",
+    "AdmissionGate",
+    "get_server_policy",
+    "TurnSpec",
+    "SessionSpec",
+    "SessionPrefix",
+    "SessionManager",
+    "session_workload",
+    "ServerConfig",
+    "StreamingServer",
+    "build_server",
+    "run_server",
+    "server_report",
+    "server_report_json",
+]

@@ -17,6 +17,7 @@ class TestParser:
             "abl_grouptile", "abl_splitk", "abl_mma_shape", "abl_quant",
             "ext_serving", "ext_serving_runtime", "ext_disagg",
             "ext_accuracy", "ext_offload", "ext_memory", "ext_chaos",
+            "ext_server",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -271,6 +272,53 @@ class TestChaosCommand:
 
     def test_faults_lint_gate(self, capsys):
         rc = main(["lint", "--faults"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+
+class TestServerCommand:
+    def test_text_output(self, capsys):
+        rc = main(["server", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sessions" in out
+        assert "prefix" in out
+        assert "p99" in out and "ttft" in out
+
+    def test_json_replay_identical(self, capsys):
+        rc = main(["server", "--quick", "--json"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(["server", "--quick", "--json"])
+        assert rc == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_schema_and_reuse_wins(self, capsys):
+        import json
+
+        rc = main(["server", "--quick", "--json"])
+        assert rc == 0
+        reuse = json.loads(capsys.readouterr().out)
+        assert reuse["schema"] == "repro-server/v1"
+        rc = main(["server", "--quick", "--json", "--no-reuse"])
+        assert rc == 0
+        control = json.loads(capsys.readouterr().out)
+        assert (reuse["report"]["prefix_cache"]["prefill_tokens"]
+                < control["report"]["prefix_cache"]["prefill_tokens"])
+        assert control["report"]["prefix_cache"]["hits"] == 0
+
+    def test_crash_plan_completes_leak_free(self, capsys):
+        import json
+
+        rc = main(["server", "--quick", "--json", "--plan", "gpu-crash"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)["report"]
+        assert report["runtime"]["faults"] >= 1
+        assert report["prefix_cache"]["leaked_blocks"] == 0
+
+    def test_server_lint_gate(self, capsys):
+        rc = main(["lint", "--server"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "0 error(s)" in out

@@ -253,3 +253,46 @@ class TestFreeGuards:
         assert a.free_all() == 6
         assert a.free_blocks == a.total_blocks
         assert a.block_tables() == {}
+
+    def test_double_free_report_names_owner(self):
+        a = allocator()
+        a.allocate(1, 4, owner="session:7")
+        block = a.sequence(1).block_ids[0]
+        a._sequences[1].block_ids.append(block)
+        with pytest.raises(RuntimeError, match="session:7"):
+            a.free(1)
+
+
+class TestOwnership:
+    """Owner tags: who holds which sequences and blocks."""
+
+    def test_sequences_owned_by_sorted(self):
+        a = allocator()
+        a.allocate(9, 4, owner="session:1")
+        a.allocate(2, 4, owner="session:1")
+        a.allocate(5, 4, owner="session:2")
+        a.allocate(7, 4)  # untagged
+        assert a.sequences_owned_by("session:1") == [2, 9]
+        assert a.sequences_owned_by("session:2") == [5]
+        assert a.sequences_owned_by("session:3") == []
+
+    def test_owned_blocks_follow_frees(self):
+        a = allocator()
+        a.allocate(1, 20, owner="session:4")
+        held = a.owned_blocks("session:4")
+        assert sorted(held) == sorted(a.sequence(1).block_ids)
+        a.free(1)
+        assert a.owned_blocks("session:4") == []
+
+    def test_fork_carries_its_own_owner(self):
+        a = allocator()
+        a.allocate(1, 20, owner="request")
+        a.fork(1, -1, owner="session:0")
+        # Shared blocks are visible to both owners until freed.
+        assert a.owned_blocks("session:0") == a.owned_blocks("request")
+        a.free(1)
+        assert a.owned_blocks("request") == []
+        assert len(a.owned_blocks("session:0")) > 0
+        a.free(-1)
+        assert a.owned_blocks("session:0") == []
+        assert a.free_blocks == a.total_blocks

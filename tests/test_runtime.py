@@ -477,6 +477,73 @@ class TestEventLoopTieBreak:
         loop.run()
         assert fired == ["second", "deferred"]
 
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    def test_defer_then_cancel_same_instant(self, tie_break):
+        """A deferred callback cancelled before the instant's phase-1
+        sweep never fires — under either tie-break."""
+        loop = EventLoop(tie_break=tie_break)
+        fired = []
+
+        def arm_and_disarm():
+            handle = loop.defer(lambda: fired.append("deferred"))
+            assert loop.cancel(handle) is True
+
+        loop.schedule_at(1.0, arm_and_disarm)
+        loop.schedule_at(1.0, lambda: fired.append("peer"))
+        loop.run()
+        assert fired == ["peer"]
+        assert loop.cancelled == 1
+        assert loop.now == 1.0
+
+    @pytest.mark.parametrize("tie_break", ["fifo", "lifo"])
+    def test_cancel_then_defer_same_instant(self, tie_break):
+        """Cancelling a future event and deferring replacement work in
+        the same instant: the deferred work still lands behind every
+        phase-0 event of the instant, and the cancelled event leaves no
+        trace — the deadline-rearm idiom of the fault router."""
+        loop = EventLoop(tie_break=tie_break)
+        fired = []
+        deadline = loop.schedule_at(5.0, lambda: fired.append("deadline"))
+
+        def rearm():
+            assert loop.cancel(deadline) is True
+            loop.defer(lambda: fired.append("deferred"))
+
+        loop.schedule_at(1.0, rearm)
+        loop.schedule_at(1.0, lambda: fired.append("peer"))
+        loop.run()
+        assert fired[-1] == "deferred"
+        assert "deadline" not in fired
+        assert loop.now == 1.0  # the cancelled 5.0 event left no mark
+
+    def test_defer_cancel_same_instant_replays_identically(self):
+        """The satellite contract: defer-then-cancel and cancel-then-
+        defer at one instant produce the same observable run under both
+        insertion tie-breaks (the H002 dual-replay property)."""
+
+        def drive(tie_break):
+            loop = EventLoop(tie_break=tie_break)
+            phase0 = set()  # phase-0 peers may commute freely
+            phase1 = []     # deferred order is the observable contract
+            deadline = loop.schedule_at(9.0, lambda: phase1.append("late"))
+
+            def cancel_then_defer():
+                loop.cancel(deadline)
+                loop.defer(lambda: phase1.append("rearmed"))
+
+            def defer_then_cancel():
+                handle = loop.defer(lambda: phase1.append("never"))
+                loop.cancel(handle)
+
+            loop.schedule_at(1.0, cancel_then_defer)
+            loop.schedule_at(1.0, defer_then_cancel)
+            loop.schedule_at(1.0, lambda: phase0.add("peer"))
+            loop.run()
+            return phase0, phase1, loop.now, loop.cancelled, loop.dispatched
+
+        assert drive("fifo") == drive("lifo")
+        assert drive("fifo") == ({"peer"}, ["rearmed"], 1.0, 2, 4)
+
     def test_observer_sees_schedule_dispatch_and_stale_cancel(self):
         from repro.runtime import ScheduleRecorder
 
