@@ -17,6 +17,9 @@ machine-checked properties that run without executing anything:
   disaggregated configurations (``D001``–``D004``);
 * :mod:`~repro.analysis.fault_lint` — recovery-policy sanity and
   fault-run conservation audits (``R001``–``R005``);
+* :mod:`~repro.analysis.fleet_lint` — autoscaling-policy sanity
+  (flapping, kill-on-scale-down, unbounded ceilings, dropped KV) and
+  fleet-run conservation audits (``A001``–``A005``);
 * :mod:`~repro.analysis.server_lint` — streaming-server admission
   policies, session-prefix ownership and token-stream ordering
   (``Q001``–``Q004``);
@@ -64,6 +67,12 @@ from .fault_lint import (
     check_builtin_fault_artifacts,
     lint_fault_outcome,
     lint_recovery_policy,
+)
+from .fleet_lint import (
+    check_builtin_fleet_artifacts,
+    lint_autoscaler_policy,
+    lint_fleet_outcome,
+    lint_fleet_spec,
 )
 from .findings import (
     FAMILIES,
@@ -138,6 +147,7 @@ __all__ = [
     "check_all_builtin_deployments",
     "check_all_builtin_programs",
     "check_builtin_fault_artifacts",
+    "check_builtin_fleet_artifacts",
     "check_builtin_plans",
     "check_builtin_schedules",
     "check_builtin_server_artifacts",
@@ -150,12 +160,15 @@ __all__ = [
     "ensure_all_registered",
     "interpret",
     "kv_plan_for_spec",
+    "lint_autoscaler_policy",
     "lint_csr",
     "lint_deployment",
     "lint_deployment_plan",
     "lint_disaggregated",
     "lint_execution_plan",
     "lint_fault_outcome",
+    "lint_fleet_outcome",
+    "lint_fleet_spec",
     "lint_format",
     "lint_kv_allocator",
     "lint_kv_plan",

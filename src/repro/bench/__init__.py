@@ -21,6 +21,7 @@ from .e2e_bench import (
     fig14_e2e_a6000,
     fig15_time_breakdown,
 )
+from .fleet_bench import ext_fleet
 from .format_bench import fig03_compression, fig04_roofline
 from .harness import Experiment, format_table, geomean, results_dir
 from .kernel_bench import (
@@ -48,6 +49,7 @@ __all__ = [
     "ext_accuracy",
     "ext_chaos",
     "ext_disaggregation",
+    "ext_fleet",
     "ext_memory_walls",
     "ext_offloading",
     "ext_server",

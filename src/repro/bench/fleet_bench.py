@@ -1,0 +1,92 @@
+"""Capacity-planning experiment: autoscaling vs static provisioning.
+
+Extension experiment (no paper counterpart, but the endpoint of its
+cost story): SpInfer's pitch is serving LLMs on cheaper GPUs — a fleet
+operator's version of that question is *how many* of those GPUs a real
+traffic curve needs, and whether elasticity buys anything once faults
+and scale-down KV migration are priced in.  This experiment sweeps the
+builtin policy set (static-2/3/4 baselines and both dynamic
+autoscalers) over the pinned diurnal workload, fault-free and under the
+``chaos-mix`` fault plan, and tabulates the cost-vs-goodput plane the
+``repro fleet`` planner reports.
+
+The headline metric is the dominance claim the CI fleet job gates on:
+under chaos-mix, the target-utilization autoscaler must beat at least
+one static baseline outright — strictly lower cost at equal-or-better
+TTFT-SLO attainment and availability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..fleet import FleetConfig, fleet_report
+from .harness import Experiment
+
+__all__ = ["ext_fleet"]
+
+
+def ext_fleet(quick: bool = False) -> Experiment:
+    """Policy × fault-arm sweep on the pinned diurnal traffic curve."""
+    arms = [
+        ("none", FleetConfig(quick=quick)),
+        ("chaos-mix", FleetConfig(quick=quick, fault_plan="chaos-mix")),
+    ]
+    rows: List[List[object]] = []
+    metrics = {}
+    for arm_name, cfg in arms:
+        report = fleet_report(cfg)
+        for policy in sorted(report["policies"]):
+            p = report["policies"][policy]
+            rows.append([
+                arm_name,
+                policy,
+                p["cost"]["usd"],
+                p["service"]["goodput_tokens_per_s"],
+                p["service"]["slo_attainment"],
+                p["service"]["availability"],
+                p["scaling"]["peak_replicas"],
+                p["scaling"]["scale_ups"],
+                p["scaling"]["scale_downs"],
+                p["kv_migration"]["migrations"],
+            ])
+        suffix = "chaos" if arm_name == "chaos-mix" else "clean"
+        dominated = report["dominates"].get("target-util", [])
+        metrics[f"target_util_dominated_statics_{suffix}"] = float(
+            len(dominated)
+        )
+        metrics[f"target_util_cost_usd_{suffix}"] = (
+            report["policies"]["target-util"]["cost"]["usd"]
+        )
+        metrics[f"static_4_cost_usd_{suffix}"] = (
+            report["policies"]["static-4"]["cost"]["usd"]
+        )
+        metrics[f"target_util_slo_{suffix}"] = (
+            report["policies"]["target-util"]["service"]["slo_attainment"]
+        )
+        if arm_name == "chaos-mix":
+            metrics["fleet_scale_peak_replicas_target_util"] = (
+                report["fleet_scale"]["target-util"]["peak_replicas"]
+            )
+    return Experiment(
+        exp_id="ext_fleet",
+        title="Fleet autoscaling vs static provisioning (pinned diurnal "
+              "traffic, fault-free and chaos-mix arms)",
+        headers=["faults", "policy", "cost_usd", "goodput_tok_s", "slo",
+                 "avail", "peak", "ups", "downs", "kv_migr"],
+        rows=rows,
+        metrics=metrics,
+        notes=(
+            "Extension experiment (no paper counterpart): every row replays "
+            "the identical pinned session workload, so columns differ only "
+            "by provisioning policy and fault arm.  Static baselines pay "
+            "for the peak around the clock or miss the TTFT SLO at the "
+            "crest; the target-utilization autoscaler tracks the diurnal "
+            "swing (and heals crashed replicas under chaos-mix), which is "
+            "why target_util_dominated_statics_* >= 1: strictly cheaper "
+            "than a static baseline at equal-or-better SLO attainment and "
+            "availability.  Costs are simulated dollars over a compressed "
+            "16 s 'day'; fleet_scale extrapolates to the modeled "
+            "2M-user population."
+        ),
+    )

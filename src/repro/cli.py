@@ -10,9 +10,11 @@ Subcommands mirror the library's main entry points::
     repro serve --model opt-13b --chunked-prefill --preemption
     repro server --sessions 8 --turns 3   # multi-turn streaming server
     repro chaos --plan gpu-crash    # recovery policies under faults
+    repro fleet --json              # capacity planner: policy sweep -> Pareto
     repro lint --all-builtin        # static checks (W*/P*/F* rules)
     repro lint --deployment         # deployment checks (M*/T*/K*/O*/D*)
     repro lint --faults             # recovery-policy checks (R* rules)
+    repro lint --fleet              # autoscaler/fleet checks (A* rules)
     repro lint --server             # server admission/session checks (Q*)
     repro lint --source             # determinism lint of repo source (S*)
     repro lint --schedule           # schedule-race dual replay (H* rules)
@@ -64,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext_serving": bench_mod.ext_serving,
     "ext_serving_runtime": bench_mod.ext_serving_runtime,
     "ext_disagg": bench_mod.ext_disaggregation,
+    "ext_fleet": bench_mod.ext_fleet,
     "ext_accuracy": bench_mod.ext_accuracy,
     "ext_offload": bench_mod.ext_offloading,
     "ext_memory": bench_mod.ext_memory_walls,
@@ -516,6 +519,71 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .fleet import FleetConfig, fleet_report
+
+    try:
+        cfg = FleetConfig(
+            fleet=args.fleet,
+            profile=args.profile,
+            policies=tuple(args.policies)
+            if args.policies
+            else FleetConfig().policies,
+            recovery=args.recovery,
+            fault_plan=args.plan,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        report = fleet_report(cfg)
+    except (KeyError, ValueError) as exc:
+        print(f"bad fleet scenario: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {"schema": "repro-fleet/v1", "report": report}
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    traffic = report["traffic"]
+    print(
+        f"fleet: {cfg.fleet!r} under {cfg.profile!r} traffic "
+        f"({traffic['sessions']} session(s), mean {traffic['mean_rate']:.2f} "
+        f"-> peak {traffic['peak_rate']:.2f} sessions/s), "
+        f"fault plan {cfg.fault_plan!r}"
+    )
+    rows = []
+    for name, p in sorted(report["policies"].items()):
+        rows.append([
+            name,
+            f"{p['cost']['usd']:.6f}",
+            f"{p['service']['goodput_tokens_per_s']:.1f}",
+            f"{p['service']['slo_attainment']:.3f}",
+            f"{p['service']['availability']:.3f}",
+            p["scaling"]["peak_replicas"],
+            p["scaling"]["scale_ups"],
+            p["scaling"]["scale_downs"],
+            p["kv_migration"]["migrations"],
+        ])
+    print(format_table(
+        ["policy", "cost_usd", "goodput", "slo", "avail", "peak",
+         "ups", "downs", "kv_migr"],
+        rows,
+    ))
+    print(f"pareto frontier: {', '.join(report['pareto_frontier'])}")
+    for name, beaten in sorted(report["dominates"].items()):
+        verdict = ", ".join(beaten) if beaten else "(none)"
+        print(f"  {name} dominates: {verdict}")
+    scale = report["fleet_scale"]
+    for name in sorted(scale):
+        s = scale[name]
+        print(
+            f"  at {traffic['modeled_users']:,} users: {name} peaks at "
+            f"~{s['peak_replicas']:,.0f} replicas "
+            f"(${s['usd_per_hour_at_peak']:,.2f}/h)"
+        )
+    return 0
+
+
 def _cmd_dispatch(args: argparse.Namespace) -> int:
     from .kernels.dispatch import KernelDispatcher
 
@@ -585,6 +653,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         check_all_builtin_deployments,
         check_all_builtin_programs,
         check_builtin_fault_artifacts,
+        check_builtin_fleet_artifacts,
         check_builtin_plans,
         check_builtin_schedules,
         check_builtin_server_artifacts,
@@ -610,7 +679,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # (warp programs, pipeline traces, formats), --deployment sweeps the
     # deployment artifacts (specs, KV plans, offload, disaggregation,
     # planner output), --faults sweeps recovery policies and chaos-run
-    # outcomes, --server sweeps admission policies / session teardown /
+    # outcomes, --fleet sweeps autoscaler policies and quick fleet runs
+    # (flapping, kill-on-scale-down, unbounded ceilings, dropped KV,
+    # conservation), --server sweeps admission policies / session teardown /
     # token-stream ordering, --source lints this repo's own Python for determinism
     # hazards, --schedule dual-replays every builtin scenario and audits
     # its happens-before schedule log, --plans compiles every builtin
@@ -618,11 +689,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # resulting execution plans.  With no flag every sweep runs.
     any_flag = (
         args.all_builtin or args.deployment or args.faults
-        or args.server or args.source or args.schedule or args.plans
+        or args.fleet or args.server or args.source or args.schedule
+        or args.plans
     )
     run_programs = args.all_builtin or not any_flag
     run_deployments = args.deployment or not any_flag
     run_faults = args.faults or not any_flag
+    run_fleet = args.fleet or not any_flag
     run_server = args.server or not any_flag
     run_source = args.source or not any_flag
     run_schedule = args.schedule or not any_flag
@@ -632,6 +705,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         (run_programs, check_all_builtin_programs),
         (run_deployments, check_all_builtin_deployments),
         (run_faults, check_builtin_fault_artifacts),
+        (run_fleet, check_builtin_fleet_artifacts),
         (run_server, check_builtin_server_artifacts),
         (run_source, check_source),
         (run_schedule, check_builtin_schedules),
@@ -894,12 +968,42 @@ def build_parser() -> argparse.ArgumentParser:
                          "seeds)")
     p_chaos.set_defaults(func=_cmd_chaos)
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run the capacity planner: replay one pinned traffic curve "
+        "through static and autoscaling policies, price each run and "
+        "report the cost-vs-goodput Pareto frontier",
+    )
+    p_fleet.add_argument("--fleet", default="consumer-mix",
+                         help="builtin fleet spec (replica-class mix)")
+    p_fleet.add_argument("--profile", default="diurnal",
+                         choices=("diurnal", "bursty", "steady"),
+                         help="builtin traffic profile")
+    p_fleet.add_argument("--policies", nargs="+", default=None,
+                         help="autoscaler policies to sweep (default: "
+                         "static-2/3/4, target-util, queue-depth)")
+    p_fleet.add_argument("--plan", default=None,
+                         choices=("gpu-crash", "stragglers", "chaos-mix"),
+                         help="inject a builtin fault plan into every arm")
+    p_fleet.add_argument("--recovery", default="reroute",
+                         choices=("fail-fast", "retry", "reroute"))
+    p_fleet.add_argument("--seed", type=int, default=None,
+                         help="traffic seed override (default: the "
+                         "profile's pinned seed)")
+    p_fleet.add_argument("--quick", action="store_true",
+                         help="halved horizon (CI replay gate)")
+    p_fleet.add_argument("--json", action="store_true",
+                         help="emit the deterministic report as JSON "
+                         "(schema repro-fleet/v1; byte-identical across "
+                         "runs of the same scenario)")
+    p_fleet.set_defaults(func=_cmd_fleet)
+
     p_lint = sub.add_parser(
         "lint",
         help="statically check warp programs, pipeline schedules, sparse "
         "formats, deployment plans, recovery policies, the repo's own "
         "source, the event-loop schedule and compiled execution plans "
-        "(rules W*/P*/F*/M*/T*/K*/O*/D*/R*/Q*/S*/H*/E*, see "
+        "(rules W*/P*/F*/M*/T*/K*/O*/D*/R*/A*/Q*/S*/H*/E*, see "
         "docs/ANALYSIS.md)",
     )
     p_lint.add_argument(
@@ -918,6 +1022,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep the builtin recovery policies (good ones must be "
         "clean, deliberately broken ones must trip their documented "
         "R rules) and audit quick chaos runs for conservation",
+    )
+    p_lint.add_argument(
+        "--fleet", action="store_true",
+        help="sweep the builtin fleet specs and autoscaler policies "
+        "(good ones must be clean, deliberately broken ones must trip "
+        "their documented A rules) and audit quick fleet runs — "
+        "including a fault arm — for scale-event conservation",
     )
     p_lint.add_argument(
         "--server", action="store_true",

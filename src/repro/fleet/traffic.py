@@ -1,0 +1,202 @@
+"""Deterministic fleet-scale traffic curves.
+
+A fleet simulation is only as trustworthy as its arrivals: the diurnal
+swing (overnight trough → daytime crest) is exactly what an autoscaler
+exists to track, and a burst is what it must absorb without flapping.
+This module draws those curves the same way :class:`FaultPlan` draws
+faults — every random number comes from one pinned
+``np.random.default_rng(seed)`` at build time, in a fixed draw order,
+so two simulations fed the same profile see byte-identical workloads
+(the property the ``repro fleet --json`` replay gate rests on).
+
+Arrivals follow a non-homogeneous Poisson process sampled by thinning:
+candidate arrivals are drawn at the peak rate and accepted with
+probability ``rate_at(t) / peak_rate``.  Each accepted arrival becomes
+a multi-turn :class:`~repro.server.sessions.SessionSpec` whose turn
+lengths and think times are drawn from the same generator.
+
+The profile models a *population*, not just a curve: ``modeled_users``
+and ``requests_per_user_per_day`` define the real-world aggregate rate,
+and :meth:`TrafficProfile.scale_factor` is the ratio between that and
+the simulated rate — the capacity planner multiplies replica counts and
+dollar costs by it to report fleet-scale numbers from a tractable
+1-in-N sample of the traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..server.sessions import SessionSpec, TurnSpec
+
+__all__ = [
+    "TRAFFIC_SHAPES",
+    "TrafficProfile",
+    "generate_sessions",
+    "builtin_traffic_profiles",
+]
+
+TRAFFIC_SHAPES: Tuple[str, ...] = ("steady", "diurnal", "bursty")
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """One pinned arrival curve plus the session shape riding on it."""
+
+    name: str
+    shape: str = "diurnal"
+    #: Simulated horizon — one compressed "day" for the diurnal shape.
+    horizon_s: float = 16.0
+    #: Sessions/s at the trough and the crest of the curve.
+    base_rate: float = 0.6
+    peak_rate: float = 6.0
+    #: Diurnal cycles within the horizon (1.0 = one day).
+    periods: float = 1.0
+    #: Bursty shape: a peak-rate square wave of ``burst_len_s`` every
+    #: ``burst_every_s`` on top of the base rate.
+    burst_every_s: float = 5.0
+    burst_len_s: float = 1.2
+    #: Session shape (drawn per session from the same generator).
+    turns: int = 3
+    mean_new_tokens: int = 64
+    mean_output: int = 48
+    mean_think_s: float = 0.5
+    #: The population this curve is a sample of.
+    modeled_users: int = 2_000_000
+    requests_per_user_per_day: float = 24.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shape not in TRAFFIC_SHAPES:
+            raise ValueError(
+                f"unknown traffic shape {self.shape!r}; "
+                f"pick one of {TRAFFIC_SHAPES}"
+            )
+        if self.horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if not 0 < self.base_rate <= self.peak_rate:
+            raise ValueError("need 0 < base_rate <= peak_rate")
+        if self.turns <= 0:
+            raise ValueError("sessions need at least one turn")
+        if self.burst_every_s <= 0 or self.burst_len_s <= 0:
+            raise ValueError("burst cadence must be positive")
+        if self.modeled_users <= 0 or self.requests_per_user_per_day <= 0:
+            raise ValueError("the modeled population must be positive")
+
+    def quick(self) -> "TrafficProfile":
+        """A shorter variant for CI gates and the lint sweep."""
+        return replace(
+            self,
+            horizon_s=round(self.horizon_s / 2, 6),
+            burst_every_s=round(self.burst_every_s / 2, 6),
+        )
+
+    # ---- the curve -------------------------------------------------------------------
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (sessions/s) at time ``t``."""
+        if t < 0 or t >= self.horizon_s:
+            return 0.0
+        if self.shape == "steady":
+            return self.base_rate
+        if self.shape == "diurnal":
+            swing = (self.peak_rate - self.base_rate) * 0.5
+            phase = 2.0 * math.pi * self.periods * t / self.horizon_s
+            return self.base_rate + swing * (1.0 - math.cos(phase))
+        # bursty: square-wave bursts at peak rate over a base floor.
+        if (t % self.burst_every_s) < self.burst_len_s:
+            return self.peak_rate
+        return self.base_rate
+
+    def mean_rate(self, samples: int = 512) -> float:
+        """Time-averaged rate over the horizon (fixed-grid midpoint
+        rule — deterministic, no RNG)."""
+        dt = self.horizon_s / samples
+        total = sum(
+            self.rate_at((k + 0.5) * dt) for k in range(samples)
+        )
+        return total / samples
+
+    def scale_factor(self) -> float:
+        """How many real-world sessions each simulated session stands
+        for: modeled aggregate rate / simulated mean rate."""
+        modeled = (
+            self.modeled_users * self.requests_per_user_per_day / 86400.0
+        )
+        return modeled / self.mean_rate()
+
+
+def generate_sessions(profile: TrafficProfile) -> List[SessionSpec]:
+    """Draw the pinned session workload for one profile.
+
+    All randomness happens here, in a fixed draw order; the returned
+    specs are plain data.  Thinning keeps the draw count itself a
+    deterministic function of the seed, so replays are byte-identical.
+    """
+    rng = np.random.default_rng(profile.seed)
+    out: List[SessionSpec] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / profile.peak_rate))
+        if t >= profile.horizon_s:
+            break
+        accept = float(rng.uniform()) * profile.peak_rate
+        if accept > profile.rate_at(t):
+            continue  # thinned: the curve is below peak here
+        n_turns = int(rng.integers(1, profile.turns + 2))
+        turns = []
+        for k in range(n_turns):
+            new_tokens = max(8, int(rng.poisson(profile.mean_new_tokens)))
+            output_len = max(8, int(rng.poisson(profile.mean_output)))
+            think = (
+                0.0
+                if k == 0
+                else round(float(rng.exponential(profile.mean_think_s)), 6)
+            )
+            turns.append(
+                TurnSpec(
+                    new_tokens=new_tokens,
+                    output_len=output_len,
+                    think_s=think,
+                )
+            )
+        out.append(
+            SessionSpec(
+                session_id=len(out),
+                start_s=round(t, 6),
+                turns=tuple(turns),
+            )
+        )
+    if not out:
+        raise ValueError(
+            f"profile {profile.name!r} generated no sessions; raise the "
+            f"rates or the horizon"
+        )
+    return out
+
+
+def builtin_traffic_profiles() -> Dict[str, TrafficProfile]:
+    """Pinned profiles used by ``repro fleet``, the bench and the lint
+    sweep.  Rates are calibrated to the builtin replica classes: one
+    replica saturates near the crest, so the autoscaler has real work."""
+    return {
+        "diurnal": TrafficProfile(name="diurnal", shape="diurnal", seed=0),
+        "bursty": TrafficProfile(
+            name="bursty",
+            shape="bursty",
+            base_rate=0.5,
+            peak_rate=6.0,
+            seed=3,
+        ),
+        "steady": TrafficProfile(
+            name="steady",
+            shape="steady",
+            base_rate=2.0,
+            peak_rate=2.0,
+            seed=7,
+        ),
+    }

@@ -587,20 +587,21 @@ class FaultTolerantRuntime:
             total_blocks=sum(p.allocator.total_blocks for p in pools),
             trace=self.trace,
         )
+        # Scheduler construction knobs, kept so elastically added pools
+        # (fleet scale-up) are configured identically to the originals.
+        self._sched_policy = policy
+        self._prefill_mode = prefill_mode
+        self._chunk_tokens = chunk_tokens
+        self._preemption = preemption
+        self._snapshot_every = snapshot_every
+        #: Pools excluded from routing: drains take no NEW work but keep
+        #: finishing resident work; retired pools are decommissioned.
+        self._draining: set = set()
+        self._retired: set = set()
         self.schedulers: List[ContinuousBatchingScheduler] = []
+        self._by_pool: Dict[str, ContinuousBatchingScheduler] = {}
         for pool in pools:
-            sched = ContinuousBatchingScheduler(
-                pool,
-                policy=policy,
-                prefill_mode=prefill_mode,
-                chunk_tokens=chunk_tokens,
-                preemption=preemption,
-                snapshot_every=snapshot_every,
-                recovery=recovery,
-            ).attach(self.loop, self.trace, self.stats)
-            sched.router = self
-            self.schedulers.append(sched)
-        self._by_pool = {s.pool.name: s for s in self.schedulers}
+            self.add_pool(pool, _initial=True)
         #: Optional callback fired after a request reaches ANY terminal
         #: bucket — the streaming server's session manager releases
         #: tenant quota and schedules the next session turn here.
@@ -612,14 +613,79 @@ class FaultTolerantRuntime:
         if fault_plan is not None:
             FaultInjector(fault_plan).arm(self)
 
+    # ---- elastic fleet membership ----------------------------------------------------
+
+    def add_pool(
+        self, pool: GPUPool, _initial: bool = False
+    ) -> ContinuousBatchingScheduler:
+        """Register a replica pool, mid-run or at construction.
+
+        The fleet autoscaler provisions capacity through here: the new
+        scheduler shares the router's loop/trace/stats and is built with
+        the same knobs as the originals, so a scaled-up replica is
+        indistinguishable from one present since t=0.
+        """
+        if pool.name in self._by_pool:
+            raise ValueError(f"pool {pool.name!r} already registered")
+        sched = ContinuousBatchingScheduler(
+            pool,
+            policy=self._sched_policy,
+            prefill_mode=self._prefill_mode,
+            chunk_tokens=self._chunk_tokens,
+            preemption=self._preemption,
+            snapshot_every=self._snapshot_every,
+            recovery=self.recovery,
+        ).attach(self.loop, self.trace, self.stats)
+        sched.router = self
+        self.schedulers.append(sched)
+        self._by_pool[pool.name] = sched
+        if not _initial:
+            self.stats.kv_budget_bytes += pool.kv_budget_bytes
+            self.stats.total_blocks += pool.allocator.total_blocks
+        return sched
+
+    def set_draining(self, name: str, draining: bool = True) -> None:
+        """Mark/unmark a pool as draining: it takes no new work via
+        ``route()``/``prefer`` but keeps finishing what it holds."""
+        if name not in self._by_pool:
+            raise KeyError(f"unknown pool {name!r}")
+        if draining:
+            self._draining.add(name)
+        else:
+            self._draining.discard(name)
+
+    def retire_pool(self, name: str) -> None:
+        """Decommission a drained pool.  Refuses while work is resident
+        — retirement must never lose requests (that would be a crash,
+        not a scale-down)."""
+        sched = self._by_pool.get(name)
+        if sched is None:
+            raise KeyError(f"unknown pool {name!r}")
+        if sched._running or sched._policy:
+            raise RuntimeError(
+                f"pool {name!r} still holds work; drain before retiring"
+            )
+        self._draining.discard(name)
+        self._retired.add(name)
+
+    def is_routable(self, sched: ContinuousBatchingScheduler) -> bool:
+        name = sched.pool.name
+        return (
+            sched.pool.alive
+            and name not in self._draining
+            and name not in self._retired
+        )
+
     # ---- routing ---------------------------------------------------------------------
 
     def route(self, exclude=None) -> Optional[ContinuousBatchingScheduler]:
-        """Least-loaded alive pool; name breaks ties deterministically."""
+        """Least-loaded routable pool; name breaks ties
+        deterministically.  Draining and retired pools are skipped —
+        scale-down must starve a replica of new work to drain it."""
         alive = [
             s
             for s in self.schedulers
-            if s.pool.alive and s is not exclude
+            if self.is_routable(s) and s is not exclude
         ]
         if not alive:
             return None
@@ -638,7 +704,7 @@ class FaultTolerantRuntime:
         sched = None
         if prefer is not None:
             candidate = self._by_pool.get(prefer)
-            if candidate is not None and candidate.pool.alive:
+            if candidate is not None and self.is_routable(candidate):
                 sched = candidate
         if sched is None:
             sched = self.route()

@@ -178,10 +178,22 @@ class SessionManager:
         self._miss_requests: set = set()
         self.invalidations = 0
         self.retained = 0
+        self.migrations = 0
+        self.migrated_tokens = 0
+        self.migration_drops = 0
         if enabled:
             for sched in runtime.schedulers:
-                sched.prefix_source = self._make_prefix_source(sched)
-                sched.retain_kv = self._make_retain(sched)
+                self.attach_scheduler(sched)
+
+    def attach_scheduler(self, sched) -> None:
+        """Wire the prefix hooks into one scheduler.  Called for every
+        scheduler at construction, and again by the fleet simulator for
+        replicas provisioned mid-run (``FaultTolerantRuntime.add_pool``)
+        — a scaled-up pool must cache prefixes like any other."""
+        if not self.enabled:
+            return
+        sched.prefix_source = self._make_prefix_source(sched)
+        sched.retain_kv = self._make_retain(sched)
 
     @staticmethod
     def owner(session_id: int) -> str:
@@ -193,6 +205,15 @@ class SessionManager:
         """Pool holding the session's prefix (the affinity target)."""
         entry = self._prefixes.get(session_id)
         return entry.pool if entry is not None else None
+
+    def sessions_on(self, pool_name: str) -> List[int]:
+        """Sessions whose prefix lives on ``pool_name``, sorted — the
+        drain path migrates exactly these before retiring the pool."""
+        return sorted(
+            sid
+            for sid, entry in self._prefixes.items()
+            if entry.pool == pool_name
+        )
 
     @property
     def hits(self) -> int:
@@ -249,6 +270,64 @@ class SessionManager:
             self.retained += 1
 
         return retain
+
+    # ---- migration (scale-down drain) ------------------------------------------------
+
+    def migrate_prefix(self, session_id, target_sched) -> int:
+        """Ship a session's prefix KV to ``target_sched``'s pool instead
+        of recomputing it after the source is retired.
+
+        Blocks move between allocators, so this is a fresh allocation on
+        the target plus a free on the source (``fork`` only shares
+        within one allocator).  Returns the tokens moved; 0 means there
+        was nothing live to move (stale entry — dropped), and a target
+        without room drops the prefix too (``migration_drops``): the
+        session survives, its next turn re-prefills, exactly the lazy
+        crash-invalidation discipline.
+        """
+        entry = self._prefixes.get(session_id)
+        if entry is None:
+            return 0
+        source = self.runtime._by_pool.get(entry.pool)
+        if (
+            source is None
+            or not source.pool.allocator.has_sequence(entry.seq_id)
+        ):
+            # Crash wiped it since retention; nothing to ship.
+            self._prefixes.pop(session_id, None)
+            self.invalidations += 1
+            return 0
+        if target_sched.pool.name == entry.pool:
+            return entry.tokens  # already there
+        tokens = entry.tokens
+        alloc = target_sched.pool.allocator
+        if alloc.blocks_needed(tokens) > alloc.free_blocks:
+            # No room on the survivor: drop rather than deadlock the
+            # drain.  The next turn recomputes from the prompt.
+            self._drop_prefix(session_id)
+            self.migration_drops += 1
+            return 0
+        new_id = self._next_prefix_id
+        self._next_prefix_id -= 1
+        alloc.allocate(new_id, tokens, owner=self.owner(session_id))
+        source.pool.allocator.free(entry.seq_id)
+        self._prefixes[session_id] = SessionPrefix(
+            pool=target_sched.pool.name, seq_id=new_id, tokens=tokens
+        )
+        self.migrations += 1
+        self.migrated_tokens += tokens
+        return tokens
+
+    def drop_prefixes_on(self, pool_name: str) -> int:
+        """Drop every prefix resident on ``pool_name`` (the
+        drain-without-migration path — lint rule A004 flags policies
+        that choose this).  Returns how many sessions lost their cache."""
+        dropped = 0
+        for session_id in self.sessions_on(pool_name):
+            self._drop_prefix(session_id)
+            self.migration_drops += 1
+            dropped += 1
+        return dropped
 
     # ---- teardown --------------------------------------------------------------------
 

@@ -26,6 +26,7 @@ class TestFindings:
             "D001", "D002", "D003", "D004",
             "R001", "R002", "R003", "R004", "R005",
             "Q001", "Q002", "Q003", "Q004",
+            "A001", "A002", "A003", "A004", "A005",
             "S001", "S002", "S003", "S004", "S005", "S006",
             "H001", "H002", "H003", "H004", "H005",
             "E001", "E002", "E003", "E004", "E005", "E006", "E007",

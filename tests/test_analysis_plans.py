@@ -32,7 +32,7 @@ class TestRegistry:
         ensure_all_registered()
         assert set(FAMILIES) == {
             "W", "P", "F", "M", "T", "K", "O", "D", "R", "Q", "S", "H",
-            "E",
+            "E", "A",
         }
         for fam in FAMILIES.values():
             assert fam.gate.startswith("--")

@@ -17,7 +17,7 @@ class TestParser:
             "abl_grouptile", "abl_splitk", "abl_mma_shape", "abl_quant",
             "ext_serving", "ext_serving_runtime", "ext_disagg",
             "ext_accuracy", "ext_offload", "ext_memory", "ext_chaos",
-            "ext_server",
+            "ext_server", "ext_fleet",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -322,3 +322,74 @@ class TestServerCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "0 error(s)" in out
+
+
+class TestFleetCommand:
+    def test_text_output(self, capsys):
+        rc = main(["fleet", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pareto frontier" in out
+        assert "target-util" in out and "static-2" in out
+        assert "dominates" in out
+
+    def test_json_replay_identical(self, capsys):
+        rc = main(["fleet", "--quick", "--json"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(["fleet", "--quick", "--json"])
+        assert rc == 0
+        assert capsys.readouterr().out == first
+
+    def test_fault_arm_replay_identical(self, capsys):
+        rc = main(["fleet", "--quick", "--json", "--plan", "chaos-mix"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(["fleet", "--quick", "--json", "--plan", "chaos-mix"])
+        assert rc == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_schema_and_dominance(self, capsys):
+        import json
+
+        rc = main(["fleet", "--quick", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-fleet/v1"
+        report = doc["report"]
+        assert report["pareto_frontier"]
+        assert report["dominates"]["target-util"]
+
+    def test_policy_subset(self, capsys):
+        import json
+
+        rc = main(["fleet", "--quick", "--json",
+                   "--policies", "static-2", "target-util"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)["report"]
+        assert set(report["policies"]) == {"static-2", "target-util"}
+
+    def test_unknown_policy_exits_2(self, capsys):
+        rc = main(["fleet", "--quick", "--policies", "nope"])
+        assert rc == 2
+        assert "bad fleet scenario" in capsys.readouterr().err
+
+    def test_unknown_profile_exits_2(self):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["fleet", "--profile", "lunar"])
+        assert exc.value.code == 2
+
+    def test_fleet_lint_gate(self, capsys):
+        rc = main(["lint", "--fleet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_list_rules_includes_a_family(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rule in ("A001", "A002", "A003", "A004", "A005"):
+            assert rule in out
