@@ -17,6 +17,9 @@ machine-checked properties that run without executing anything:
   disaggregated configurations (``D001``–``D004``);
 * :mod:`~repro.analysis.fault_lint` — recovery-policy sanity and
   fault-run conservation audits (``R001``–``R005``);
+* :mod:`~repro.analysis.integrity_lint` — integrity-policy sanity
+  (unverified tags, unreachable or hair-trigger quarantine, free
+  verification) and SDC-run ledger audits (``C001``–``C005``);
 * :mod:`~repro.analysis.fleet_lint` — autoscaling-policy sanity
   (flapping, kill-on-scale-down, unbounded ceilings, dropped KV) and
   fleet-run conservation audits (``A001``–``A005``);
@@ -87,6 +90,11 @@ from .findings import (
     rule_table,
 )
 from .format_lint import lint_csr, lint_format, lint_tca_bme, lint_tiled_csl
+from .integrity_lint import (
+    check_builtin_integrity_artifacts,
+    lint_integrity_outcome,
+    lint_integrity_policy,
+)
 from .pipeline_lint import lint_pipeline_trace
 from .plan_validator import (
     check_builtin_plans,
@@ -148,6 +156,7 @@ __all__ = [
     "check_all_builtin_programs",
     "check_builtin_fault_artifacts",
     "check_builtin_fleet_artifacts",
+    "check_builtin_integrity_artifacts",
     "check_builtin_plans",
     "check_builtin_schedules",
     "check_builtin_server_artifacts",
@@ -170,6 +179,8 @@ __all__ = [
     "lint_fleet_outcome",
     "lint_fleet_spec",
     "lint_format",
+    "lint_integrity_outcome",
+    "lint_integrity_policy",
     "lint_kv_allocator",
     "lint_kv_plan",
     "lint_offload_plan",

@@ -95,6 +95,7 @@ _LINT_MODULES: Tuple[str, ...] = (
     "repro.analysis.format_lint",
     "repro.analysis.plan_lint",
     "repro.analysis.fault_lint",
+    "repro.analysis.integrity_lint",
     "repro.analysis.fleet_lint",
     "repro.analysis.server_lint",
     "repro.analysis.source_lint",

@@ -24,6 +24,7 @@ from .e2e_bench import (
 from .fleet_bench import ext_fleet
 from .format_bench import fig03_compression, fig04_roofline
 from .harness import Experiment, format_table, geomean, results_dir
+from .integrity_bench import ext_integrity
 from .kernel_bench import (
     fig01_motivation,
     fig10_kernel_sweep,
@@ -50,6 +51,7 @@ __all__ = [
     "ext_chaos",
     "ext_disaggregation",
     "ext_fleet",
+    "ext_integrity",
     "ext_memory_walls",
     "ext_offloading",
     "ext_server",

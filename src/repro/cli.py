@@ -10,10 +10,12 @@ Subcommands mirror the library's main entry points::
     repro serve --model opt-13b --chunked-prefill --preemption
     repro server --sessions 8 --turns 3   # multi-turn streaming server
     repro chaos --plan gpu-crash    # recovery policies under faults
+    repro integrity --quick --json  # SDC detection vs verification cost
     repro fleet --json              # capacity planner: policy sweep -> Pareto
     repro lint --all-builtin        # static checks (W*/P*/F* rules)
     repro lint --deployment         # deployment checks (M*/T*/K*/O*/D*)
     repro lint --faults             # recovery-policy checks (R* rules)
+    repro lint --integrity          # integrity-policy/SDC checks (C*)
     repro lint --fleet              # autoscaler/fleet checks (A* rules)
     repro lint --server             # server admission/session checks (Q*)
     repro lint --source             # determinism lint of repo source (S*)
@@ -62,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl_mma_shape": bench_mod.abl_mma_shape,
     "abl_quant": bench_mod.abl_quantization,
     "ext_chaos": bench_mod.ext_chaos,
+    "ext_integrity": bench_mod.ext_integrity,
     "ext_server": bench_mod.ext_server,
     "ext_serving": bench_mod.ext_serving,
     "ext_serving_runtime": bench_mod.ext_serving_runtime,
@@ -481,19 +484,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from .llm.chaos import ChaosConfig, chaos_report
 
-    cfg = ChaosConfig(
-        model=args.model,
-        framework=args.framework,
-        gpu=args.gpu,
-        replicas=args.replicas,
-        num_requests=args.requests,
-        arrival_rate=args.arrival_rate,
-        seed=args.seed,
-        plan=args.plan,
-    )
+    try:
+        cfg = ChaosConfig(
+            model=args.model,
+            framework=args.framework,
+            gpu=args.gpu,
+            replicas=args.replicas,
+            num_requests=args.requests,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+            plan=args.plan,
+            plan_file=getattr(args, "plan_file", None),
+        )
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
     if args.quick:
         cfg = cfg.quick()
-    report = chaos_report(cfg, policies=args.policies)
+    try:
+        report = chaos_report(cfg, policies=args.policies)
+    except (ValueError, OSError) as exc:
+        # A bad --plan-file surfaces here: unreadable path, invalid
+        # JSON, or FaultPlan.from_dict naming the offending key.
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json_mod.dumps(report, indent=2, sort_keys=True))
         return 0
@@ -516,6 +530,61 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         rows,
     ))
     print(f"best goodput: {report['winner_goodput']}")
+    return 0
+
+
+def _cmd_integrity(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .integrity import IntegrityConfig, integrity_report
+
+    try:
+        cfg = IntegrityConfig(
+            model=args.model,
+            framework=args.framework,
+            gpu=args.gpu,
+            replicas=args.replicas,
+            num_requests=args.requests,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+            recovery=args.recovery,
+            plans=tuple(args.plans) if args.plans else IntegrityConfig().plans,
+        )
+    except ValueError as exc:
+        print(f"integrity: {exc}", file=sys.stderr)
+        return 2
+    if args.quick:
+        cfg = cfg.quick()
+    report = integrity_report(cfg)
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"integrity: plans {', '.join(cfg.plans)} on {cfg.model} / "
+        f"{cfg.framework}, {cfg.replicas} replica(s), "
+        f"{cfg.num_requests} request(s), recovery {cfg.recovery!r}"
+    )
+    rows = []
+    for arm, data in sorted(report["arms"].items()):
+        s = data["summary"]
+        rows.append([
+            arm, s["sdc_injected"], s["sdc_detected"],
+            f"{s['detection_rate']:.3f}", s["false_negatives"],
+            s["quarantines"], f"{s['verification_s']:.4f}",
+            f"{s['goodput_tokens_per_s']:.1f}",
+        ])
+    print(format_table(
+        ["arm", "injected", "detected", "det_rate", "served_bad",
+         "quarantined", "verify_s", "goodput"],
+        rows,
+    ))
+    h = report["headline"]
+    print(
+        f"verify-on: detection {h['detection_rate_verify_on']:.3f}, "
+        f"{h['false_negatives_verify_on']} corrupted served "
+        f"(verify-off served {h['served_corrupted_verify_off']}), "
+        f"goodput cost {100 * h['goodput_cost_frac']:.2f}%"
+    )
     return 0
 
 
@@ -654,6 +723,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         check_all_builtin_programs,
         check_builtin_fault_artifacts,
         check_builtin_fleet_artifacts,
+        check_builtin_integrity_artifacts,
         check_builtin_plans,
         check_builtin_schedules,
         check_builtin_server_artifacts,
@@ -686,11 +756,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # hazards, --schedule dual-replays every builtin scenario and audits
     # its happens-before schedule log, --plans compiles every builtin
     # scenario and statically validates + translation-validates the
-    # resulting execution plans.  With no flag every sweep runs.
+    # resulting execution plans, --integrity sweeps integrity policies
+    # and SDC-run ledger audits.  With no flag every sweep runs.
     any_flag = (
         args.all_builtin or args.deployment or args.faults
         or args.fleet or args.server or args.source or args.schedule
-        or args.plans
+        or args.plans or args.integrity
     )
     run_programs = args.all_builtin or not any_flag
     run_deployments = args.deployment or not any_flag
@@ -700,6 +771,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     run_source = args.source or not any_flag
     run_schedule = args.schedule or not any_flag
     run_plans = args.plans or not any_flag
+    run_integrity = args.integrity or not any_flag
     report = Report()
     for enabled, sweep in (
         (run_programs, check_all_builtin_programs),
@@ -710,6 +782,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         (run_source, check_source),
         (run_schedule, check_builtin_schedules),
         (run_plans, check_builtin_plans),
+        (run_integrity, check_builtin_integrity_artifacts),
     ):
         if enabled:
             report.merge(sweep())
@@ -945,8 +1018,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--plan", default="gpu-crash",
                          choices=("gpu-crash", "stragglers", "chaos-mix",
-                                  "flaky-link"),
+                                  "flaky-link", "sdc-replica", "weight-flip",
+                                  "kv-poison"),
                          help="builtin fault plan to inject")
+    p_chaos.add_argument("--plan-file", default=None, metavar="PATH",
+                         help="load the fault plan from a JSON file "
+                         "(FaultPlan.to_dict() shape) instead of a builtin; "
+                         "a plan targeting only prefill/decode drives the "
+                         "disaggregated runtime")
     p_chaos.add_argument("--model", choices=sorted(MODELS), default="opt-13b")
     p_chaos.add_argument("--framework", default="spinfer")
     p_chaos.add_argument("--gpu", choices=sorted(GPUS), default="RTX4090")
@@ -967,6 +1046,40 @@ def build_parser() -> argparse.ArgumentParser:
                          "JSON (byte-identical across runs of the same "
                          "seeds)")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_integrity = sub.add_parser(
+        "integrity",
+        help="replay the silent-data-corruption fault plans under "
+        "verify-off / verify-on / quarantine integrity arms with "
+        "identical seeds and compare detection rate, false negatives "
+        "and goodput (schema repro-integrity/v1)",
+    )
+    p_integrity.add_argument("--model", choices=sorted(MODELS),
+                             default="opt-13b")
+    p_integrity.add_argument("--framework", default="spinfer")
+    p_integrity.add_argument("--gpu", choices=sorted(GPUS),
+                             default="RTX4090")
+    p_integrity.add_argument("--replicas", type=int, default=2,
+                             help="GPU replicas behind the router")
+    p_integrity.add_argument("--requests", type=int, default=24)
+    p_integrity.add_argument("--arrival-rate", type=float, default=4.0)
+    p_integrity.add_argument("--seed", type=int, default=3,
+                             help="workload seed (fault plans carry their "
+                             "own pinned seeds)")
+    p_integrity.add_argument("--recovery", default="reroute",
+                             choices=("fail-fast", "retry", "reroute"),
+                             help="recovery policy shared by every arm")
+    p_integrity.add_argument("--plans", nargs="+", default=None,
+                             choices=("sdc-replica", "weight-flip",
+                                      "kv-poison"),
+                             help="SDC fault plans to replay (default: all)")
+    p_integrity.add_argument("--quick", action="store_true",
+                             help="smaller workload (CI replay gate)")
+    p_integrity.add_argument("--json", action="store_true",
+                             help="emit the deterministic report as JSON "
+                             "(byte-identical across runs of the same "
+                             "scenario)")
+    p_integrity.set_defaults(func=_cmd_integrity)
 
     p_fleet = sub.add_parser(
         "fleet",
@@ -1002,8 +1115,9 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="statically check warp programs, pipeline schedules, sparse "
         "formats, deployment plans, recovery policies, the repo's own "
-        "source, the event-loop schedule and compiled execution plans "
-        "(rules W*/P*/F*/M*/T*/K*/O*/D*/R*/A*/Q*/S*/H*/E*, see "
+        "source, the event-loop schedule, compiled execution plans and "
+        "integrity policies "
+        "(rules W*/P*/F*/M*/T*/K*/O*/D*/R*/A*/Q*/S*/H*/E*/C*, see "
         "docs/ANALYSIS.md)",
     )
     p_lint.add_argument(
@@ -1057,6 +1171,13 @@ def build_parser() -> argparse.ArgumentParser:
         "soundness, budgets, ordering, barriers — E rules) and "
         "translation-validate the compiled replay against a fresh "
         "interpreted run (E008)",
+    )
+    p_lint.add_argument(
+        "--integrity", action="store_true",
+        help="sweep the builtin integrity policies (shipped ones clean, "
+        "deliberately broken ones tripping their documented C rules), "
+        "regression-test the outcome audit against synthetic probes, "
+        "and ledger-audit quick SDC runs per plan and arm",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true",

@@ -26,8 +26,9 @@ The real kernel additionally pads each GroupTile's value slice to an
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -95,6 +96,17 @@ class TCABMEMatrix:
     values: np.ndarray  # float16, (NNZ,)
     bitmaps: np.ndarray  # uint64, (NBT,)
     config: TileConfig = field(default_factory=lambda: DEFAULT_TILE_CONFIG)
+    # ---- integrity seal (None until seal(); unsealed == pre-seal) -----
+    #: Per-GroupTile content digest (uint32, NGT entries): CRC over the
+    #: GroupTile's bitmap and value slices.  A corrupted tile is caught
+    #: at decode time by :meth:`corrupted_groups` before any FLOP is
+    #: spent on it.
+    tile_digests: Optional[np.ndarray] = None
+    #: ABFT checksum row ``e^T W`` (float64, K entries).  For any input
+    #: ``X``, a correct SpMM output satisfies
+    #: ``Y.sum(axis=0) == checksum_row @ X`` up to FP16 rounding — the
+    #: O(KN + MN) post-multiply check the kernels run under verify mode.
+    checksum_row: Optional[np.ndarray] = None
 
     # ---- constructors ----------------------------------------------------------
 
@@ -172,6 +184,60 @@ class TCABMEMatrix:
     def group_nnz(self) -> np.ndarray:
         """Non-zeros per GroupTile (int64 array of length NGT)."""
         return np.diff(self.gtile_offsets.astype(np.int64))
+
+    # ---- integrity seal (ABFT checksums + per-tile digests) ----------------------
+
+    @property
+    def sealed(self) -> bool:
+        return self.tile_digests is not None
+
+    def _group_digest(self, g: int) -> int:
+        crc = zlib.crc32(self.group_bitmaps(g).tobytes())
+        return zlib.crc32(self.group_values(g).tobytes(), crc) & 0xFFFFFFFF
+
+    def seal(self) -> "TCABMEMatrix":
+        """Attach integrity metadata: one CRC digest per GroupTile plus
+        the ABFT checksum row ``e^T W``.  Sealing is opt-in and changes
+        nothing else — an unsealed matrix is byte-identical to one built
+        before the integrity layer existed.
+        """
+        self.tile_digests = np.array(
+            [self._group_digest(g) for g in range(self.num_group_tiles)],
+            dtype=np.uint32,
+        )
+        self.checksum_row = self.to_dense().astype(np.float64).sum(axis=0)
+        return self
+
+    def corrupted_groups(self) -> List[int]:
+        """GroupTiles whose content no longer matches the seal, sorted."""
+        if not self.sealed:
+            raise ValueError("matrix is not sealed; call seal() first")
+        return [
+            g
+            for g in range(self.num_group_tiles)
+            if self._group_digest(g) != int(self.tile_digests[g])
+        ]
+
+    def verify_digests(self) -> None:
+        """Raise ``ValueError`` naming the corrupted GroupTiles, if any."""
+        bad = self.corrupted_groups()
+        if bad:
+            raise ValueError(
+                f"TCA-BME digest mismatch in GroupTile(s) {bad}: "
+                "stored content does not match the seal"
+            )
+
+    def corrupt_group(self, g: int) -> None:
+        """Flip one payload bit inside GroupTile ``g`` (fault injection).
+
+        Models a silent bit flip in device memory: the structure stays
+        valid, the numbers are wrong.  Requires a non-empty GroupTile.
+        """
+        lo = int(self.gtile_offsets[g])
+        hi = int(self.gtile_offsets[g + 1])
+        if hi <= lo:
+            raise ValueError(f"GroupTile {g} holds no values to corrupt")
+        self.values[lo : lo + 1].view(np.uint16)[0] ^= 1 << 9
 
     # ---- reconstruction ------------------------------------------------------------
 

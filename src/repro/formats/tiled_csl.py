@@ -16,7 +16,8 @@ sparse, compute as dense"), a data path the kernel model charges for.
 
 from __future__ import annotations
 
-from typing import Tuple
+import zlib
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +65,9 @@ class TiledCSLMatrix(SparseFormat):
             raise ValueError("locations and values must have equal length")
         if int(self.tile_offsets[-1]) != self.values.size:
             raise ValueError("last tile offset must equal NNZ")
+        # Integrity seal (None until seal(); unsealed == pre-seal).
+        self.tile_digests: Optional[np.ndarray] = None
+        self.checksum_row: Optional[np.ndarray] = None
 
     # ---- geometry -----------------------------------------------------------------
 
@@ -139,3 +143,55 @@ class TiledCSLMatrix(SparseFormat):
         lo = int(self.tile_offsets[tile])
         hi = int(self.tile_offsets[tile + 1])
         return self.locations[lo:hi], self.values[lo:hi]
+
+    # ---- integrity seal (ABFT checksums + per-tile digests) -------------------------
+
+    @property
+    def sealed(self) -> bool:
+        return self.tile_digests is not None
+
+    def _tile_digest(self, tile: int) -> int:
+        locs, vals = self.tile_slice(tile)
+        crc = zlib.crc32(locs.tobytes())
+        return zlib.crc32(vals.tobytes(), crc) & 0xFFFFFFFF
+
+    def seal(self) -> "TiledCSLMatrix":
+        """Attach integrity metadata: one CRC digest per tile plus the
+        ABFT checksum row ``e^T W``.  Opt-in; an unsealed matrix is
+        byte-identical to one built before the integrity layer existed.
+        """
+        self.tile_digests = np.array(
+            [self._tile_digest(t) for t in range(self.num_tiles)],
+            dtype=np.uint32,
+        )
+        self.checksum_row = self.to_dense().astype(np.float64).sum(axis=0)
+        return self
+
+    def corrupted_tiles(self) -> List[int]:
+        """Tiles whose content no longer matches the seal, sorted."""
+        if not self.sealed:
+            raise ValueError("matrix is not sealed; call seal() first")
+        return [
+            t
+            for t in range(self.num_tiles)
+            if self._tile_digest(t) != int(self.tile_digests[t])
+        ]
+
+    def verify_digests(self) -> None:
+        """Raise ``ValueError`` naming the corrupted tiles, if any."""
+        bad = self.corrupted_tiles()
+        if bad:
+            raise ValueError(
+                f"Tiled-CSL digest mismatch in tile(s) {bad}: "
+                "stored content does not match the seal"
+            )
+
+    def corrupt_tile(self, tile: int) -> None:
+        """Flip one payload bit inside ``tile`` (fault injection): the
+        structure stays valid, the numbers are wrong.  Requires a
+        non-empty tile."""
+        lo = int(self.tile_offsets[tile])
+        hi = int(self.tile_offsets[tile + 1])
+        if hi <= lo:
+            raise ValueError(f"tile {tile} holds no values to corrupt")
+        self.values[lo : lo + 1].view(np.uint16)[0] ^= 1 << 9

@@ -1,0 +1,63 @@
+"""End-to-end integrity under silent data corruption.
+
+GPUs flip bits.  At fleet scale, silently: no ECC trap, no error code —
+a weight tile, a KV block, or an accumulator is simply wrong, and the
+server streams confident tokens computed from garbage.  This package
+makes the SpInfer stack *detect* that instead of serving it:
+
+* :mod:`~repro.integrity.abft` — algorithm-based fault tolerance for
+  the SpMM kernels: a checksum row sealed into TCA-BME / Tiled-CSL at
+  encode time verifies every product in ``O((K+M)N)``; per-tile CRC
+  digests catch corrupted weights before a FLOP is spent on them.
+* :mod:`~repro.integrity.policy` — what to verify and what it costs;
+  ``None`` (no policy) is bit-identical to the pre-integrity runtime.
+* :mod:`~repro.integrity.harness` — the detection-rate/goodput
+  experiment over the builtin SDC fault plans, byte-stable JSON.
+
+The C-family lint rules (:mod:`repro.analysis.integrity_lint`) audit
+policies and run outcomes: tags nobody verifies, corruption detected
+but served anyway, quarantine that can never trigger, verification
+modelled as free, and trace/counter conservation.
+"""
+
+from .abft import (
+    IntegrityError,
+    output_colsum_gap,
+    verification_cost_frac,
+    verification_flops,
+    verify_output,
+    weight_checksum,
+)
+from .harness import (
+    SDC_DISAGG_PLANS,
+    SDC_ROUTER_PLANS,
+    IntegrityConfig,
+    integrity_report,
+    integrity_report_json,
+    run_integrity,
+)
+from .policy import (
+    BROKEN_INTEGRITY_POLICIES,
+    INTEGRITY_POLICIES,
+    IntegrityPolicy,
+    get_integrity_policy,
+)
+
+__all__ = [
+    "IntegrityError",
+    "weight_checksum",
+    "output_colsum_gap",
+    "verify_output",
+    "verification_flops",
+    "verification_cost_frac",
+    "IntegrityPolicy",
+    "INTEGRITY_POLICIES",
+    "BROKEN_INTEGRITY_POLICIES",
+    "get_integrity_policy",
+    "IntegrityConfig",
+    "SDC_ROUTER_PLANS",
+    "SDC_DISAGG_PLANS",
+    "run_integrity",
+    "integrity_report",
+    "integrity_report_json",
+]

@@ -11,7 +11,7 @@ cuBLAS path needs one, and keeping it doubles weight memory).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..gpu.simulator import KernelProfile
@@ -50,10 +50,17 @@ class KernelDispatcher:
         gpu: GPUSpec = RTX4090,
         candidates: Sequence[str] = _SPARSE_CANDIDATES,
         dense_weights_available: bool = False,
+        verify: bool = False,
     ):
         if not candidates:
             raise ValueError("need at least one candidate kernel")
         self.gpu = gpu
+        #: When True every candidate is costed *with* its ABFT
+        #: verification pass (checksum-row product + output column
+        #: reduction), so the selection reflects what verify mode
+        #: actually pays — the overhead is shape-dependent and can flip
+        #: a near-tie.
+        self.verify = verify
         names = list(candidates)
         if dense_weights_available and "cublas_tc" not in names:
             names.append("cublas_tc")
@@ -76,7 +83,7 @@ class KernelDispatcher:
 
         timed = sorted(
             (
-                (kernel.profile(problem, self.gpu), name)
+                (self._costed(kernel, problem), name)
                 for name, kernel in self._kernels.items()
             ),
             key=lambda pair: pair[0].time_s,
@@ -91,6 +98,16 @@ class KernelDispatcher:
         )
         self._cache[key] = decision
         return decision
+
+    def _costed(self, kernel: SpMMKernel, problem: SpMMProblem) -> KernelProfile:
+        """The candidate's profile, plus modelled verify time if on."""
+        profile = kernel.profile(problem, self.gpu)
+        if not self.verify:
+            return profile
+        from ..integrity.abft import verification_cost_frac  # no cycle
+
+        frac = verification_cost_frac(problem.m, problem.k, problem.n)
+        return replace(profile, time_s=profile.time_s * (1.0 + frac))
 
     def kernel_for(self, problem: SpMMProblem) -> SpMMKernel:
         """The functional kernel instance backing the selection."""

@@ -30,7 +30,9 @@ class FlashLLMKernel(SpMMKernel):
         w = TiledCSLMatrix.from_dense(w_dense)
         return self.run_encoded(w, x)
 
-    def run_encoded(self, w: TiledCSLMatrix, x: np.ndarray) -> np.ndarray:
+    def run_encoded(
+        self, w: TiledCSLMatrix, x: np.ndarray, verify: bool = False
+    ) -> np.ndarray:
         """SpMM against a pre-encoded Tiled-CSL matrix (batched unpack).
 
         Scatters every tile's (location, value) run into a stacked tile
@@ -38,7 +40,16 @@ class FlashLLMKernel(SpMMKernel):
         matmul ("compute as dense"), and accumulates tile columns in the
         same order as :meth:`run_encoded_reference` — bit-identical
         output, no Python loop over tiles.
+
+        With ``verify=True`` the matrix must be sealed
+        (:meth:`~repro.formats.tiled_csl.TiledCSLMatrix.seal`): per-tile
+        digests are checked before the unpack and the ABFT column-sum
+        check runs on the product; either failure raises
+        :class:`~repro.integrity.abft.IntegrityError` instead of
+        returning corrupted output.
         """
+        if verify:
+            self._verify_seal(w)
         th, tw = w.tile_shape
         rows, cols = w.tile_grid
         x32, _pk = self._padded_activation(w, x)
@@ -58,7 +69,28 @@ class FlashLLMKernel(SpMMKernel):
         out = np.zeros((rows, th, n), dtype=np.float32)
         for tc in range(cols):  # in-order adds match the reference walk
             out += partial[:, tc]
-        return out.reshape(rows * th, n)[: w.m]
+        result = out.reshape(rows * th, n)[: w.m]
+        if verify:
+            from ..integrity.abft import verify_output
+
+            verify_output(result, x, w.checksum_row, where=self.name)
+        return result
+
+    @staticmethod
+    def _verify_seal(w: TiledCSLMatrix) -> None:
+        from ..integrity.abft import IntegrityError
+
+        if not w.sealed:
+            raise IntegrityError(
+                "verify=True needs a sealed Tiled-CSL matrix; call "
+                "seal() at encode time"
+            )
+        bad = w.corrupted_tiles()
+        if bad:
+            raise IntegrityError(
+                f"Tiled-CSL digest mismatch in tile(s) {bad}: stored "
+                "weights were corrupted after sealing"
+            )
 
     def run_encoded_reference(self, w: TiledCSLMatrix, x: np.ndarray) -> np.ndarray:
         """Per-tile scalar walk (the retained reference SpMM path).

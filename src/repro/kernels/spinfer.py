@@ -69,7 +69,9 @@ class SpInferKernel(SpMMKernel):
         self._check_operands(w_dense, x)
         return self.run_encoded(encode(w_dense, self.tile_config), x)
 
-    def run_encoded(self, w: TCABMEMatrix, x: np.ndarray) -> np.ndarray:
+    def run_encoded(
+        self, w: TCABMEMatrix, x: np.ndarray, verify: bool = False
+    ) -> np.ndarray:
         """SpMM against a pre-encoded weight matrix (batched SMBD).
 
         Every GroupTile is decoded in one batched scatter
@@ -77,7 +79,16 @@ class SpInferKernel(SpMMKernel):
         stacked matmul; partial products are accumulated group-column by
         group-column in storage order, so the result is bit-identical to
         the per-GroupTile walk of :meth:`run_encoded_reference`.
+
+        With ``verify=True`` the matrix must be sealed
+        (:meth:`~repro.core.tca_bme.TCABMEMatrix.seal`): per-GroupTile
+        digests are checked before decoding and the ABFT column-sum
+        check runs on the product; either failure raises
+        :class:`~repro.integrity.abft.IntegrityError` instead of
+        returning corrupted output.
         """
+        if verify:
+            self._verify_seal(w)
         x32, pm, pk = self._padded_activation(w, x)
         cfg = w.config
         n = x32.shape[1]
@@ -91,7 +102,28 @@ class SpInferKernel(SpMMKernel):
         for gc in range(gcols):  # in-order adds match the reference walk
             out += partial[:, gc]
         self.last_decode_stats = stats
-        return out.reshape(pm, n)[: w.m]
+        result = out.reshape(pm, n)[: w.m]
+        if verify:
+            from ..integrity.abft import verify_output
+
+            verify_output(result, x, w.checksum_row, where=self.name)
+        return result
+
+    @staticmethod
+    def _verify_seal(w: TCABMEMatrix) -> None:
+        from ..integrity.abft import IntegrityError
+
+        if not w.sealed:
+            raise IntegrityError(
+                "verify=True needs a sealed TCA-BME matrix; call seal() "
+                "at encode time"
+            )
+        bad = w.corrupted_groups()
+        if bad:
+            raise IntegrityError(
+                f"TCA-BME digest mismatch in GroupTile(s) {bad}: stored "
+                "weights were corrupted after sealing"
+            )
 
     def run_encoded_reference(self, w: TCABMEMatrix, x: np.ndarray) -> np.ndarray:
         """Per-GroupTile scalar walk (the retained reference SpMM path).

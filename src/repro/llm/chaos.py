@@ -41,8 +41,8 @@ __all__ = [
 
 #: Plans that target the replica router (GPU-level faults) vs the
 #: disaggregated runtime (migration faults).
-ROUTER_PLANS = ("gpu-crash", "stragglers", "chaos-mix")
-DISAGG_PLANS = ("flaky-link",)
+ROUTER_PLANS = ("gpu-crash", "stragglers", "chaos-mix", "sdc-replica", "weight-flip")
+DISAGG_PLANS = ("flaky-link", "kv-poison")
 
 
 @dataclass(frozen=True)
@@ -64,12 +64,20 @@ class ChaosConfig:
     policy: str = "fcfs"
     chunk_tokens: int = 128
     plan: str = "gpu-crash"
+    #: Path to a JSON :class:`FaultPlan` (``repro chaos --plan-file``).
+    #: When set it replaces the builtin ``plan``; the runtime target is
+    #: inferred from the events — a plan whose every target is
+    #: ``prefill``/``decode`` drives the disaggregated runtime, anything
+    #: else the replica router.
+    plan_file: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.replicas <= 0:
             raise ValueError("need at least one replica")
         if self.num_requests <= 0 or self.arrival_rate <= 0:
             raise ValueError("need a positive workload")
+        if self.plan_file is not None:
+            return  # the plan comes from the file, not the builtins
         known = set(ROUTER_PLANS) | set(DISAGG_PLANS)
         if self.plan not in known:
             raise ValueError(
@@ -95,14 +103,27 @@ def _workload(cfg: ChaosConfig) -> List[Request]:
 
 
 def _fault_plan(cfg: ChaosConfig) -> FaultPlan:
+    if cfg.plan_file is not None:
+        with open(cfg.plan_file) as fh:
+            return FaultPlan.from_dict(json.load(fh))
     return builtin_fault_plans()[cfg.plan]
 
 
+def _targets_disagg(cfg: ChaosConfig) -> bool:
+    """Whether the scenario drives the disaggregated runtime."""
+    if cfg.plan_file is not None:
+        plan = _fault_plan(cfg)
+        return bool(plan.events) and all(
+            ev.target in ("prefill", "decode") for ev in plan.events
+        )
+    return cfg.plan in DISAGG_PLANS
+
+
 def build_chaos_runtime(
-    cfg: ChaosConfig, recovery_name: str, loop=None
+    cfg: ChaosConfig, recovery_name: str, loop=None, integrity=None
 ) -> FaultTolerantRuntime:
     """Replica fleet + injector for one policy run (router plans only)."""
-    if cfg.plan not in ROUTER_PLANS:
+    if _targets_disagg(cfg):
         raise ValueError(
             f"plan {cfg.plan!r} targets the disaggregated runtime; "
             "use run_chaos()"
@@ -129,11 +150,13 @@ def build_chaos_runtime(
         preemption=True,
         fault_plan=_fault_plan(cfg),
         loop=loop,
+        integrity=integrity,
     )
 
 
 def _run_disagg(
-    cfg: ChaosConfig, recovery_name: str, loop=None, recorder=None
+    cfg: ChaosConfig, recovery_name: str, loop=None, recorder=None,
+    integrity=None,
 ) -> RuntimeStats:
     from .disaggregation import DisaggregatedConfig, build_disaggregated_runtime
 
@@ -151,6 +174,7 @@ def _run_disagg(
         recovery=get_recovery_policy(recovery_name),
         fault_plan=_fault_plan(cfg),
         loop=loop,
+        integrity=integrity,
     )
     if recorder is not None:
         recorder.set_trace(runtime.trace)
@@ -162,7 +186,8 @@ def _run_disagg(
 
 
 def run_chaos(
-    cfg: ChaosConfig, recovery_name: str, loop=None, recorder=None
+    cfg: ChaosConfig, recovery_name: str, loop=None, recorder=None,
+    integrity=None,
 ) -> RuntimeStats:
     """One policy, one plan, one workload — fully deterministic.
 
@@ -170,12 +195,18 @@ def run_chaos(
     supply an :class:`~repro.runtime.core.EventLoop` carrying an
     observer or a permuted tie-break; ``recorder`` is bound to the
     runtime's trace before the run so write-sets attribute correctly.
+    ``integrity`` (an :class:`~repro.integrity.IntegrityPolicy`, or
+    None) switches on checksum verification and quarantine routing —
+    None is bit-identical to the pre-integrity runtime.
     """
     import copy
 
-    if cfg.plan in DISAGG_PLANS:
-        return _run_disagg(cfg, recovery_name, loop=loop, recorder=recorder)
-    runtime = build_chaos_runtime(cfg, recovery_name, loop=loop)
+    if _targets_disagg(cfg):
+        return _run_disagg(
+            cfg, recovery_name, loop=loop, recorder=recorder,
+            integrity=integrity,
+        )
+    runtime = build_chaos_runtime(cfg, recovery_name, loop=loop, integrity=integrity)
     if recorder is not None:
         recorder.set_trace(runtime.trace)
     return runtime.run(copy.deepcopy(_workload(cfg)))
@@ -239,7 +270,7 @@ def chaos_report(
             "prompt_len": cfg.prompt_len,
             "output_len": cfg.output_len,
             "seed": cfg.seed,
-            "plan": cfg.plan,
+            "plan": cfg.plan if cfg.plan_file is None else _fault_plan(cfg).name,
         },
         "fault_plan": _fault_plan(cfg).to_dict(),
         "policies": by_policy,

@@ -156,6 +156,7 @@ def build_disaggregated_runtime(
     recovery=None,
     fault_plan=None,
     loop=None,
+    integrity=None,
 ) -> DisaggregatedRuntime:
     """Wire the two pools of ``cfg`` into an event runtime.
 
@@ -185,6 +186,7 @@ def build_disaggregated_runtime(
         snapshot_every=snapshot_every,
         recovery=recovery,
         loop=loop,
+        integrity=integrity,
     )
     if fault_plan is not None:
         from ..runtime.faults import FaultInjector

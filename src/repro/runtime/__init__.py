@@ -27,8 +27,10 @@ and the trace format.
 from .core import EventLoop, GPUPool
 from .events import EventKind, TraceEvent
 from .faults import (
+    ALL_FAULT_KINDS,
     BROKEN_RECOVERY_POLICIES,
     RECOVERY_POLICIES,
+    SILENT_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultKind,
@@ -74,6 +76,8 @@ __all__ = [
     "ScheduleRecord",
     "ScheduleRecorder",
     "FaultKind",
+    "ALL_FAULT_KINDS",
+    "SILENT_FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",

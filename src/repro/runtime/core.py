@@ -41,12 +41,25 @@ from ..llm.inference import InferenceEngine, PhaseBreakdown
 from ..llm.kv_cache import KVBlockAllocator
 from ..llm.memory import kv_bytes_per_token
 
-__all__ = ["EventLoop", "GPUPool"]
+__all__ = ["EventLoop", "GPUPool", "det_hash01"]
 
 #: Hard ceiling on dispatched events — a runaway-schedule backstop far
 #: above any legitimate simulation (the legacy simulator's infinite
 #: admission spin is exactly the failure mode this bounds).
 MAX_EVENTS = 5_000_000
+
+
+def det_hash01(key: int, salt: int) -> float:
+    """Deterministic pseudo-uniform in [0, 1): an integer hash of
+    ``(key, salt)``.  Runtime randomness (backoff jitter, silent-fault
+    corruption draws) must NOT consume a shared RNG — the value one
+    draw sees would then depend on the order every other draw happened,
+    and replays would diverge under refactoring."""
+    x = (key * 2654435761 + salt * 40503 + 0x9E3779B9) % (1 << 32)
+    x ^= x >> 16
+    x = (x * 0x45D9F3B) % (1 << 32)
+    x ^= x >> 16
+    return x / float(1 << 32)
 
 
 class EventLoop:

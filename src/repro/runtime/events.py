@@ -62,6 +62,16 @@ class EventKind:
     REROUTE = "reroute"
     #: A request exhausted its recovery options and failed terminally.
     FAIL = "fail"
+    # ---- silent data corruption (repro.integrity) ---------------------
+    #: A silent corruption landed (``info["source"]``: sdc_iteration /
+    #: weight_bit_flip / kv_corruption / kv_migration).  Unlike FAULT,
+    #: nothing errored — the data is just wrong.
+    CORRUPT = "corrupt"
+    #: Verification (ABFT checksum, weight digest, KV content tag)
+    #: caught a corruption before it was served.
+    CORRUPT_DETECTED = "corrupt_detected"
+    #: The router quarantined a replica after repeated detections.
+    QUARANTINE = "quarantine"
 
 
 @dataclass(frozen=True)

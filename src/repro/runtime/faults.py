@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .core import EventLoop, GPUPool
+from .core import EventLoop, GPUPool, det_hash01
 from .events import EventKind
 from .scheduler import (
     ContinuousBatchingScheduler,
@@ -44,6 +44,8 @@ from .scheduler import (
 from .trace import RuntimeTrace
 
 __all__ = [
+    "ALL_FAULT_KINDS",
+    "SILENT_FAULT_KINDS",
     "FaultKind",
     "FaultEvent",
     "FaultPlan",
@@ -76,6 +78,18 @@ class FaultKind:
     MIGRATION_FAIL = "migration_fail"
     #: The client aborts ``request_id``.
     CANCEL = "cancel"
+    #: Silent data corruption: a bit flips in the pool's resident
+    #: encoded weights.  Every decode is wrong until verification
+    #: catches the digest mismatch and reloads the weights.
+    WEIGHT_BIT_FLIP = "weight_bit_flip"
+    #: Silent data corruption of KV state — resident on a pool (the
+    #: lowest live sequence is garbled in place), or in flight on the
+    #: disaggregated prefill→decode migration link.
+    KV_CORRUPTION = "kv_corruption"
+    #: A flaky replica: for ``duration_s`` seconds a seeded fraction
+    #: (``factor``) of decode iterations on the target return
+    #: plausible-but-wrong results with no error signal at all.
+    SDC_REPLICA = "sdc_replica"
 
 
 ALL_FAULT_KINDS = (
@@ -84,6 +98,17 @@ ALL_FAULT_KINDS = (
     FaultKind.SLOWDOWN,
     FaultKind.MIGRATION_FAIL,
     FaultKind.CANCEL,
+    FaultKind.WEIGHT_BIT_FLIP,
+    FaultKind.KV_CORRUPTION,
+    FaultKind.SDC_REPLICA,
+)
+
+#: The faults that corrupt data without raising any error signal; the
+#: integrity layer (:mod:`repro.integrity`) exists to catch these.
+SILENT_FAULT_KINDS = (
+    FaultKind.WEIGHT_BIT_FLIP,
+    FaultKind.KV_CORRUPTION,
+    FaultKind.SDC_REPLICA,
 )
 
 
@@ -112,6 +137,14 @@ class FaultEvent:
             raise ValueError("slowdown factor must be positive")
         if self.kind == FaultKind.CANCEL and self.request_id is None:
             raise ValueError("cancellation faults need a request_id")
+        if self.kind == FaultKind.SDC_REPLICA and not 0.0 < self.factor <= 1.0:
+            raise ValueError(
+                "sdc_replica factor is the corrupted-iteration fraction; "
+                f"it must be in (0, 1], got {self.factor}"
+            )
+
+    _FIELDS = ("t", "kind", "target", "duration_s", "factor", "request_id")
+    _REQUIRED = ("t", "kind")
 
     def to_dict(self) -> Dict:
         return {
@@ -125,6 +158,17 @@ class FaultEvent:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultEvent":
+        for key in data:
+            if key not in cls._FIELDS:
+                raise ValueError(
+                    f"FaultEvent.from_dict: unknown key {key!r}; "
+                    f"expected a subset of {cls._FIELDS}"
+                )
+        for key in cls._REQUIRED:
+            if key not in data:
+                raise ValueError(
+                    f"FaultEvent.from_dict: missing required key {key!r}"
+                )
         return cls(**data)
 
 
@@ -210,6 +254,11 @@ class FaultPlan:
 
     def scaled(self, time_factor: float) -> "FaultPlan":
         """Same plan with every timestamp multiplied (workload rescale)."""
+        if time_factor <= 0:
+            raise ValueError(
+                "scaled() needs a positive time_factor (it multiplies "
+                f"every fault timestamp), got {time_factor}"
+            )
         return replace(
             self,
             events=tuple(
@@ -231,6 +280,17 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultPlan":
+        for key in data:
+            if key not in ("name", "seed", "events"):
+                raise ValueError(
+                    f"FaultPlan.from_dict: unknown key {key!r}; "
+                    "expected a subset of ('name', 'seed', 'events')"
+                )
+        for key in ("name", "seed"):
+            if key not in data:
+                raise ValueError(
+                    f"FaultPlan.from_dict: missing required key {key!r}"
+                )
         return cls(
             name=data["name"],
             seed=data["seed"],
@@ -247,16 +307,9 @@ class FaultPlan:
 RECOVERY_MODES = ("fail_fast", "retry", "reroute")
 
 
-def _hash01(key: int, attempt: int) -> float:
-    """Deterministic pseudo-uniform in [0, 1): an integer hash of
-    ``(key, attempt)``.  Jitter must NOT consume a shared RNG — the
-    value one request sees would then depend on the order every other
-    request failed, and replays would diverge under refactoring."""
-    x = (key * 2654435761 + attempt * 40503 + 0x9E3779B9) % (1 << 32)
-    x ^= x >> 16
-    x = (x * 0x45D9F3B) % (1 << 32)
-    x ^= x >> 16
-    return x / float(1 << 32)
+# Backoff jitter is a pure integer hash of (request_id, attempt) — see
+# det_hash01's docstring for why it must never consume a shared RNG.
+_hash01 = det_hash01
 
 
 @dataclass(frozen=True)
@@ -472,12 +525,17 @@ class FaultInjector:
             rt.prefill_pool.name: rt.prefill_pool,
             rt.decode_pool.name: rt.decode_pool,
         }
+        allowed = (
+            FaultKind.MIGRATION_FAIL,
+            FaultKind.SLOWDOWN,
+            FaultKind.KV_CORRUPTION,
+        )
         for ev in self.plan.events:
-            if ev.kind not in (FaultKind.MIGRATION_FAIL, FaultKind.SLOWDOWN):
+            if ev.kind not in allowed:
                 raise ValueError(
                     f"plan {self.plan.name!r}: a DisaggregatedRuntime only "
-                    "takes migration_fail and slowdown faults, not "
-                    f"{ev.kind!r}"
+                    "takes migration_fail, kv_corruption and slowdown "
+                    f"faults, not {ev.kind!r}"
                 )
             if ev.target not in pools:
                 raise ValueError(
@@ -487,6 +545,9 @@ class FaultInjector:
         for ev in self.plan.events:
             if ev.kind == FaultKind.MIGRATION_FAIL:
                 rt.loop.schedule_at(ev.t, rt.migration_fault)
+            elif ev.kind == FaultKind.KV_CORRUPTION:
+                # Garble the next migration crossing the link.
+                rt.loop.schedule_at(ev.t, rt.kv_corruption)
             else:
                 self._schedule_slowdown(
                     rt.loop, ev, pools[ev.target],
@@ -512,8 +573,27 @@ class FaultInjector:
             self._schedule_slowdown(
                 loop, ev, sched.pool, sched.trace, sched.stats
             )
+        elif ev.kind == FaultKind.WEIGHT_BIT_FLIP:
+            loop.schedule_at(ev.t, sched.corrupt_weights)
+        elif ev.kind == FaultKind.KV_CORRUPTION:
+            loop.schedule_at(ev.t, sched.corrupt_resident_kv)
+        elif ev.kind == FaultKind.SDC_REPLICA:
+            self._schedule_sdc_window(loop, ev, sched)
         else:  # pragma: no cover - arm() validated kinds already
             raise AssertionError(ev.kind)
+
+    @staticmethod
+    def _schedule_sdc_window(
+        loop: EventLoop, ev: FaultEvent,
+        sched: ContinuousBatchingScheduler,
+    ) -> None:
+        def begin() -> None:
+            if not sched.pool.alive:
+                return  # a flaky fault on a crashed pool is moot
+            sched.begin_sdc_window(ev.factor, ev.duration_s)
+
+        loop.schedule_at(ev.t, begin)
+        loop.schedule_at(ev.t + ev.duration_s, sched.end_sdc_window)
 
     @staticmethod
     def _schedule_slowdown(
@@ -574,12 +654,20 @@ class FaultTolerantRuntime:
         snapshot_every: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         loop: Optional[EventLoop] = None,
+        integrity=None,
     ) -> None:
         if not pools:
             raise ValueError("the router needs at least one pool")
         if len({p.name for p in pools}) != len(pools):
             raise ValueError("pool names must be unique")
         self.recovery = recovery
+        #: Optional :class:`repro.integrity.IntegrityPolicy` (duck-
+        #: typed to keep the runtime layer import-free of the integrity
+        #: package).  None ⇒ no tagging, no verification, no quarantine
+        #: — bit-identical to the pre-integrity runtime.
+        self.integrity = integrity
+        #: Detected corruptions per pool, for the quarantine policy.
+        self._corruptions: Dict[str, int] = {}
         self.loop = loop if loop is not None else EventLoop()
         self.trace = RuntimeTrace()
         self.stats = RuntimeStats(
@@ -637,6 +725,7 @@ class FaultTolerantRuntime:
             recovery=self.recovery,
         ).attach(self.loop, self.trace, self.stats)
         sched.router = self
+        sched.integrity = self.integrity
         self.schedulers.append(sched)
         self._by_pool[pool.name] = sched
         if not _initial:
@@ -743,6 +832,35 @@ class FaultTolerantRuntime:
         self._location.pop(rid, None)
         if self.terminal_listener is not None:
             self.terminal_listener(req)
+
+    def on_corruption_detected(
+        self, sched: ContinuousBatchingScheduler
+    ) -> None:
+        """A replica's verification caught a silent corruption.
+
+        Quarantine state machine: detections per pool accumulate; once
+        they reach ``integrity.quarantine_after`` the pool is failed
+        exactly like a crash — resident work reroutes under the
+        recovery policy, lost KV recomputes from the prompt, and the
+        fleet layer may later heal the replica.  Detection without a
+        quarantine budget just counts (the ``verify`` policy): the
+        replica keeps redoing corrupted work at the verification cost.
+        """
+        pol = self.integrity
+        if pol is None:
+            return
+        name = sched.pool.name
+        count = self._corruptions.get(name, 0) + 1
+        self._corruptions[name] = count
+        after = getattr(pol, "quarantine_after", None)
+        if after is None or count < after or not sched.pool.alive:
+            return
+        self.stats.quarantines += 1
+        self.trace.record(
+            self.loop.now, EventKind.QUARANTINE, None, name,
+            detections=count,
+        )
+        sched.fail_pool(f"quarantined after {count} detected corruptions")
 
     def on_pool_failure(self, req, sched: ContinuousBatchingScheduler) -> None:
         """A crash took ``req`` down on ``sched``; apply the policy."""
@@ -904,6 +1022,41 @@ def builtin_fault_plans() -> Dict[str, FaultPlan]:
             events=(
                 FaultEvent(0.38, FaultKind.MIGRATION_FAIL, "decode"),
                 FaultEvent(0.40, FaultKind.MIGRATION_FAIL, "decode"),
+            ),
+        ),
+        # Silent-data-corruption plans: none of these faults raise any
+        # error signal.  Without the integrity layer the runtime serves
+        # wrong tokens with perfect availability; with verification on,
+        # every corruption is caught and the work redone or rerouted.
+        "sdc-replica": FaultPlan(
+            name="sdc-replica",
+            seed=17,
+            events=(
+                # gpu1 goes flaky for most of the run: 40% of its decode
+                # iterations return plausible-but-wrong results.  A KV
+                # block on gpu0 is also garbled in place mid-run.
+                FaultEvent(
+                    0.5, FaultKind.SDC_REPLICA, "gpu1",
+                    duration_s=3.0, factor=0.4,
+                ),
+                FaultEvent(1.2, FaultKind.KV_CORRUPTION, "gpu0"),
+            ),
+        ),
+        "weight-flip": FaultPlan(
+            name="weight-flip",
+            seed=19,
+            events=(
+                FaultEvent(1.0, FaultKind.WEIGHT_BIT_FLIP, "gpu1"),
+            ),
+        ),
+        # One corruption on the prefill→decode link while the reference
+        # disaggregated migration is in flight (~0.38–0.43 s): the KV
+        # arrives garbled and, unverified, poisons the whole batch.
+        "kv-poison": FaultPlan(
+            name="kv-poison",
+            seed=23,
+            events=(
+                FaultEvent(0.38, FaultKind.KV_CORRUPTION, "decode"),
             ),
         ),
     }

@@ -55,6 +55,12 @@ class SessionRequest:
     #: (set by the session manager when a prefix fork is available) —
     #: the scheduler skips re-prefilling them.
     cached_tokens: int = 0
+    #: Ground truth from the fault layer: at least one served token was
+    #: produced from silently corrupted weights/results/KV.  Only the
+    #: simulator can see this flag — a real server cannot — which is
+    #: exactly what makes silent corruption silent; the integrity layer
+    #: exists so that no completed request ever carries it.
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.cached_tokens <= self.prompt_len:

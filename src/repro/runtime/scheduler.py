@@ -29,11 +29,12 @@ pool B through a ``preloaded``-mode batching scheduler.
 from __future__ import annotations
 
 import heapq
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..llm.inference import PhaseBreakdown
-from .core import EventLoop, GPUPool
+from .core import EventLoop, GPUPool, det_hash01
 from .events import EventKind
 from .policies import AdmissionPolicy, get_policy
 from .request import TokenEvent
@@ -100,6 +101,16 @@ class RuntimeStats:
     retries: int = 0
     faults: int = 0
     wasted_recompute_tokens: int = 0
+    #: Silent-data-corruption accounting (:mod:`repro.integrity`):
+    #: corruption events injected by the fault layer, events caught by
+    #: verification, corrupted requests that nevertheless reached the
+    #: ``completed`` bucket (only possible with verification off),
+    #: replicas quarantined, and modelled verification seconds.
+    sdc_injected: int = 0
+    sdc_detected: int = 0
+    corrupted_completed: int = 0
+    quarantines: int = 0
+    verification_s: float = 0.0
     #: Prompt tokens actually prefilled vs. skipped via a shared
     #: session prefix — the pair the multi-turn bench compares.
     prefill_tokens: int = 0
@@ -196,6 +207,17 @@ class ContinuousBatchingScheduler:
         #: session manager forks the sequence into a session-owned
         #: prefix there, so the blocks survive under refcount.
         self.retain_kv = None
+        #: Optional :class:`repro.integrity.IntegrityPolicy` (duck-
+        #: typed — the runtime layer never imports the integrity
+        #: package).  None ⇒ no tagging, no verification, no modelled
+        #: check cost: bit-identical to the pre-integrity scheduler.
+        self.integrity = None
+        #: Silent-fault state (set by the injector's SDC adapters).
+        self._weights_corrupted = False
+        self._sdc_frac = 0.0
+        self._sdc_draws = 0
+        self._iter_corrupt = False
+        self._pool_salt = zlib.crc32(pool.name.encode()) & 0x7FFFFFFF
         self.failed = False
         self._policy: AdmissionPolicy = get_policy(policy)
         self._running: List[SeqState] = []
@@ -572,6 +594,17 @@ class ContinuousBatchingScheduler:
         decode_time = 0.0
         if decoders:
             decoders = self._ensure_decode_capacity(decoders, t)
+        self._iter_corrupt = False
+        if decoders and self._sdc_frac > 0.0:
+            # Per-iteration corruption draw, a pure hash keyed on a
+            # monotone draw counter and the pool name — never a shared
+            # RNG, so the verdict one iteration sees cannot depend on
+            # what any other pool did (replay determinism).
+            self._sdc_draws += 1
+            self._iter_corrupt = (
+                det_hash01(self._sdc_draws, self._pool_salt)
+                < self._sdc_frac
+            )
         if decoders:
             contexts = [alloc.sequence(s.seq_id).tokens for s in decoders]
             avg_context = sum(contexts) / len(decoders)
@@ -579,6 +612,10 @@ class ContinuousBatchingScheduler:
             for seq in decoders:
                 alloc.append_token(seq.seq_id)
             decode_time = step.total_s
+            check_s = self._verification_cost(decode_time)
+            if check_s:
+                decode_time += check_s
+                self.stats.verification_s += check_s
             self.stats.decode_breakdown.add(step)
             self.trace.record(
                 t, EventKind.DECODE_STEP, None, self.pool.name,
@@ -631,6 +668,20 @@ class ContinuousBatchingScheduler:
                 self._iter_cost, lambda: self._finish_iteration(decoders)
             )
             return
+        iter_corrupt = self._iter_corrupt
+        self._iter_corrupt = False
+        if (iter_corrupt or self._weights_corrupted) and any(
+            s in self._running for s in decoders
+        ):
+            if self._handle_corrupt_iteration(
+                decoders, iter_corrupt, self._weights_corrupted
+            ):
+                return  # detected: the iteration reruns (or the pool
+                # was quarantined and the router took the victims)
+        pol = self.integrity
+        if pol is not None and getattr(pol, "verify_kv", False):
+            if not self._verify_kv_tags(decoders):
+                return  # quarantined mid-scan
         for seq in decoders:
             if seq not in self._running:
                 continue  # evicted mid-iteration (timeout/cancel/crash)
@@ -652,6 +703,12 @@ class ContinuousBatchingScheduler:
                     final=req.generated >= req.output_len,
                 ))
             if req.generated >= req.output_len:
+                if alloc.sequence(seq.seq_id).payload_version:
+                    # Completed on garbled KV that verification never
+                    # looked at — the silently-served-corruption case.
+                    req.corrupted = True
+                if getattr(req, "corrupted", False):
+                    self.stats.corrupted_completed += 1
                 if self.retain_kv is not None:
                     self.retain_kv(seq.seq_id, req)
                 alloc.free(seq.seq_id)
@@ -749,6 +806,164 @@ class ContinuousBatchingScheduler:
             fault="transient", effect=effect,
         )
 
+    # ---- silent data corruption --------------------------------------------------------
+    #
+    # Unlike every fault above, nothing below raises an error signal:
+    # outputs are plausible-but-wrong.  With ``integrity`` unset the
+    # scheduler serves them (ground truth lands in ``req.corrupted`` /
+    # ``stats.corrupted_completed``); with verification on, each is
+    # caught at a modelled cost and the work redone.
+
+    def _verification_cost(self, step_s: float) -> float:
+        """Modelled per-iteration verification seconds: the ABFT
+        checksum over the decode SpMMs plus the KV content-tag scan,
+        each a fraction of the step it protects."""
+        pol = self.integrity
+        if pol is None:
+            return 0.0
+        frac = 0.0
+        if getattr(pol, "verify_kernels", False):
+            frac += getattr(pol, "kernel_check_cost_frac", 0.0)
+        if getattr(pol, "verify_kv", False):
+            frac += getattr(pol, "kv_check_cost_frac", 0.0)
+        return step_s * frac
+
+    def _handle_corrupt_iteration(
+        self, decoders: List[SeqState],
+        iter_corrupt: bool, weights_corrupt: bool,
+    ) -> bool:
+        """A silent fault garbled this iteration's decode outputs.
+        Returns True when verification caught it (the caller must not
+        grant the tokens: the iteration reruns, or the pool was
+        quarantined out from under us)."""
+        loop = self._loop
+        now = loop.now
+        live = [s for s in decoders if s in self._running]
+        pol = self.integrity
+        if iter_corrupt:
+            # One injected corruption event per corrupted iteration;
+            # weight flips were counted once at flip time.
+            self.stats.sdc_injected += 1
+            self.trace.record(
+                now, EventKind.CORRUPT, None, self.pool.name,
+                source="sdc_iteration", batch=len(live),
+            )
+        detected = pol is not None and (
+            (iter_corrupt and getattr(pol, "verify_kernels", False))
+            or (weights_corrupt and getattr(pol, "verify_weights", False))
+        )
+        if not detected:
+            # Silent: the wrong tokens are served as if correct.
+            for seq in live:
+                seq.req.corrupted = True
+            return False
+        # ABFT checksum / weight-digest mismatch: discard the output
+        # and redo the iteration (reloading the weights first when they
+        # are the cause).  While an SDC window is open the rerun draws
+        # its own corruption verdict — a flaky replica stays flaky.
+        source = "weights" if weights_corrupt else "kernel"
+        reload_s = 0.0
+        if weights_corrupt:
+            self._weights_corrupted = False
+            reload_s = float(getattr(pol, "weight_reload_s", 0.0))
+        self.stats.sdc_detected += 1
+        self.stats.wasted_recompute_tokens += len(live)
+        self.stats.verification_s += reload_s
+        self.trace.record(
+            now, EventKind.CORRUPT_DETECTED, None, self.pool.name,
+            source=source, batch=len(live), reload_s=reload_s,
+        )
+        if self.router is not None:
+            self.router.on_corruption_detected(self)
+            if self.failed:
+                return True  # quarantined: fail_pool rerouted the batch
+        if self._sdc_frac > 0.0:
+            self._sdc_draws += 1
+            self._iter_corrupt = (
+                det_hash01(self._sdc_draws, self._pool_salt)
+                < self._sdc_frac
+            )
+        self._iter_handle = loop.schedule_after(
+            self._iter_cost + reload_s,
+            lambda: self._finish_iteration(decoders),
+        )
+        return True
+
+    def _verify_kv_tags(self, decoders: List[SeqState]) -> bool:
+        """Content-tag check over every sequence this step read.  A
+        mismatch means the KV was garbled in place: drop the poisoned
+        cache and recompute from the prompt (preemption's recompute
+        discipline) instead of serving wrong context.  Returns False
+        when a detection quarantined the pool mid-scan."""
+        alloc = self.pool.allocator
+        now = self._loop.now
+        for seq in decoders:
+            if seq not in self._running:
+                continue
+            if alloc.sequence(seq.seq_id).payload_version == 0:
+                continue
+            self.stats.sdc_detected += 1
+            self.trace.record(
+                now, EventKind.CORRUPT_DETECTED, seq.seq_id,
+                self.pool.name, source="kv_tag",
+                tokens=alloc.sequence(seq.seq_id).tokens,
+            )
+            self._preempt(seq, now)
+            if self.router is not None:
+                self.router.on_corruption_detected(self)
+                if self.failed:
+                    return False
+        return True
+
+    def corrupt_weights(self) -> None:
+        """A bit flips in the pool's resident encoded weights: every
+        decode from now on is silently wrong, until the per-tile digest
+        check (``verify_weights``) catches the mismatch and reloads the
+        weights at ``weight_reload_s`` cost."""
+        if not self.pool.alive:
+            return
+        self.stats.faults += 1
+        self.stats.sdc_injected += 1
+        self._weights_corrupted = True
+        self.trace.record(
+            self._loop.now, EventKind.CORRUPT, None, self.pool.name,
+            source="weight_bit_flip",
+        )
+
+    def corrupt_resident_kv(self) -> None:
+        """Garble the lowest live sequence's KV in place (its content
+        tag no longer matches); a no-op when nothing is resident."""
+        if not self.pool.alive or not self._running:
+            return
+        victim = min(self._running, key=lambda s: s.seq_id)
+        self.pool.allocator.corrupt_sequence(victim.seq_id)
+        self.stats.faults += 1
+        self.stats.sdc_injected += 1
+        self.trace.record(
+            self._loop.now, EventKind.CORRUPT, victim.seq_id,
+            self.pool.name, source="kv_corruption",
+        )
+
+    def begin_sdc_window(self, frac: float, duration_s: float) -> None:
+        """The replica goes flaky: each decode iteration is corrupted
+        with probability ``frac`` until :meth:`end_sdc_window`."""
+        self.stats.faults += 1
+        self._sdc_frac = frac
+        self.trace.record(
+            self._loop.now, EventKind.FAULT, None, self.pool.name,
+            fault="sdc_replica", frac=frac, duration_s=duration_s,
+        )
+
+    def end_sdc_window(self) -> None:
+        if self._sdc_frac == 0.0:
+            return
+        self._sdc_frac = 0.0
+        if not self.pool.alive:
+            return
+        self.trace.record(
+            self._loop.now, EventKind.RECOVER, None, self.pool.name,
+        )
+
     def fail_pool(self, reason: str = "gpu_crash") -> None:
         """The pool's GPUs crash: all resident KV is lost, the in-flight
         iteration never completes, and every live request either fails
@@ -769,6 +984,11 @@ class ContinuousBatchingScheduler:
             self._iter_handle = None
         self._busy = False
         self._pending_transients = 0
+        # A crash wipes the silent-fault state with everything else —
+        # a healed replica comes back with fresh weights and no KV.
+        self._iter_corrupt = False
+        self._weights_corrupted = False
+        self._sdc_frac = 0.0
         victims = [s.req for s in self._running]
         for seq in self._running:
             self.stats.wasted_recompute_tokens += (
@@ -822,11 +1042,15 @@ class DisaggregatedRuntime:
         snapshot_every: int = 0,
         recovery=None,
         loop: Optional[EventLoop] = None,
+        integrity=None,
     ) -> None:
         self.prefill_pool = prefill_pool
         self.decode_pool = decode_pool
         self.migration_seconds = migration_seconds
         self.recovery = recovery
+        #: Optional integrity policy (duck-typed); with ``verify_kv``
+        #: on, every migration is tag-checked on receive.
+        self.integrity = integrity
         self.loop = loop if loop is not None else EventLoop()
         self.trace = RuntimeTrace()
         self.decode_sched = ContinuousBatchingScheduler(
@@ -835,6 +1059,7 @@ class DisaggregatedRuntime:
             prefill_mode="preloaded",
             snapshot_every=snapshot_every,
         ).attach(self.loop, self.trace)
+        self.decode_sched.integrity = integrity
         self.prefill_breakdown = PhaseBreakdown()
         self.kv_migration_s = 0.0
         self.snapshot_every = snapshot_every
@@ -842,6 +1067,7 @@ class DisaggregatedRuntime:
         self._prefill_busy = False
         self._migrations = 0
         self._migration_faults = 0
+        self._kv_corruptions = 0
 
     # ---- prefill pool ----------------------------------------------------------------
 
@@ -912,6 +1138,18 @@ class DisaggregatedRuntime:
             fault="migration",
         )
 
+    def kv_corruption(self) -> None:
+        """Arm one in-flight corruption: the next migration completion
+        arrives garbled.  Unlike :meth:`migration_fault` nothing is
+        LOST — unverified, the poisoned cache silently becomes the
+        whole batch's decode context."""
+        self._kv_corruptions += 1
+        self.decode_sched.stats.faults += 1
+        self.trace.record(
+            self.loop.now, EventKind.FAULT, None, self.decode_pool.name,
+            fault="kv_corruption",
+        )
+
     def _finish_migration(self, batch: List, attempt: int = 1) -> None:
         now = self.loop.now
         stats = self.decode_sched.stats
@@ -954,6 +1192,40 @@ class DisaggregatedRuntime:
                 )
                 stats.failed.append(req)
             return
+        if self._kv_corruptions > 0:
+            self._kv_corruptions -= 1
+            stats.sdc_injected += 1
+            self.trace.record(
+                now, EventKind.CORRUPT, None, self.decode_pool.name,
+                source="kv_migration", batch=len(batch), attempt=attempt,
+            )
+            pol = self.integrity
+            if pol is not None and getattr(pol, "verify_kv", False):
+                # Content-tag mismatch on receive: the cache arrived
+                # garbled.  Drop it and re-send from the still-pinned
+                # prefill blocks — recompute-from-source, NOT a retry-
+                # budget question (the data is known bad), so this path
+                # never fails the batch terminally.
+                stats.sdc_detected += 1
+                tokens = sum(r.prompt_len for r in batch)
+                resend = self.migration_seconds(tokens)
+                check_s = resend * getattr(pol, "kv_check_cost_frac", 0.0)
+                stats.verification_s += check_s
+                stats.retries += 1
+                self.kv_migration_s += resend
+                self.trace.record(
+                    now, EventKind.CORRUPT_DETECTED, None,
+                    self.decode_pool.name, source="kv_tag",
+                    batch=len(batch), resend_s=resend,
+                )
+                self.loop.schedule_after(
+                    resend + check_s,
+                    lambda: self._finish_migration(batch, attempt + 1),
+                )
+                return
+            # Silent: the garbled cache becomes the batch's context.
+            for req in batch:
+                req.corrupted = True
         self._migrations += 1
         for req in batch:
             self.prefill_pool.allocator.free(req.request_id)

@@ -37,6 +37,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..runtime.events import EventKind
+
 __all__ = [
     "TurnSpec",
     "SessionSpec",
@@ -181,6 +183,11 @@ class SessionManager:
         self.migrations = 0
         self.migrated_tokens = 0
         self.migration_drops = 0
+        #: Prefixes dropped because the receive-side content-tag check
+        #: caught a corrupted payload (integrity layer; the session's
+        #: next turn recomputes from the prompt instead of forking
+        #: poisoned KV).
+        self.integrity_drops = 0
         if enabled:
             for sched in runtime.schedulers:
                 self.attach_scheduler(sched)
@@ -307,9 +314,34 @@ class SessionManager:
             self._drop_prefix(session_id)
             self.migration_drops += 1
             return 0
+        # Receive-side integrity check: the target compares the shipped
+        # payload's content tag against the pristine tag for its token
+        # count.  A mismatch means the prefix was silently corrupted at
+        # the source — drop it (recompute-from-prompt) rather than fork
+        # poisoned KV into every future turn of the session.
+        src_alloc = source.pool.allocator
+        version = src_alloc.sequence(entry.seq_id).payload_version
+        pol = getattr(self.runtime, "integrity", None)
+        if version != 0 and pol is not None and getattr(pol, "verify_kv", False):
+            target_sched.stats.sdc_detected += 1
+            target_sched.trace.record(
+                target_sched.loop.now,
+                EventKind.CORRUPT_DETECTED,
+                None,
+                target_sched.pool.name,
+                source="kv_tag",
+                session=session_id,
+                tokens=tokens,
+            )
+            self._drop_prefix(session_id)
+            self.integrity_drops += 1
+            return 0
         new_id = self._next_prefix_id
         self._next_prefix_id -= 1
         alloc.allocate(new_id, tokens, owner=self.owner(session_id))
+        # The payload travels with its integrity generation: a shipped
+        # (undetected) corruption stays traceable on the target.
+        alloc.sequence(new_id).payload_version = version
         source.pool.allocator.free(entry.seq_id)
         self._prefixes[session_id] = SessionPrefix(
             pool=target_sched.pool.name, seq_id=new_id, tokens=tokens

@@ -31,8 +31,8 @@ class TestRegistry:
     def test_every_family_has_a_gate_and_rules(self):
         ensure_all_registered()
         assert set(FAMILIES) == {
-            "W", "P", "F", "M", "T", "K", "O", "D", "R", "Q", "S", "H",
-            "E", "A",
+            "W", "P", "F", "M", "T", "K", "O", "D", "R", "C", "Q", "S",
+            "H", "E", "A",
         }
         for fam in FAMILIES.values():
             assert fam.gate.startswith("--")

@@ -17,7 +17,7 @@ class TestParser:
             "abl_grouptile", "abl_splitk", "abl_mma_shape", "abl_quant",
             "ext_serving", "ext_serving_runtime", "ext_disagg",
             "ext_accuracy", "ext_offload", "ext_memory", "ext_chaos",
-            "ext_server", "ext_fleet",
+            "ext_server", "ext_fleet", "ext_integrity",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -272,6 +272,71 @@ class TestChaosCommand:
 
     def test_faults_lint_gate(self, capsys):
         rc = main(["lint", "--faults"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_plan_file_round_trip(self, capsys, tmp_path):
+        import json
+
+        from repro.runtime import builtin_fault_plans
+
+        plan = builtin_fault_plans()["gpu-crash"]
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        rc = main(["chaos", "--quick", "--json", "--plan-file", str(path)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scenario"]["plan"] == "gpu-crash"
+
+    def test_plan_file_bad_key_rejected(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "name": "bad", "seed": 1,
+            "events": [{"t": 1.0, "kind": "gpu_crash", "oops": 3}],
+        }))
+        rc = main(["chaos", "--quick", "--plan-file", str(path)])
+        assert rc == 2
+        assert "oops" in capsys.readouterr().err
+
+    def test_plan_file_missing_rejected(self, capsys, tmp_path):
+        rc = main([
+            "chaos", "--quick", "--plan-file", str(tmp_path / "nope.json"),
+        ])
+        assert rc == 2
+        assert "chaos:" in capsys.readouterr().err
+
+
+class TestIntegrityCommand:
+    def test_text_output(self, capsys):
+        rc = main(["integrity", "--quick", "--plans", "sdc-replica"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verify-off" in out
+        assert "verify-on" in out
+        assert "quarantine" in out
+        assert "detection" in out
+
+    def test_json_replay_identical_and_detects(self, capsys):
+        import json
+
+        rc = main(["integrity", "--quick", "--json",
+                   "--plans", "sdc-replica"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(["integrity", "--quick", "--json",
+                   "--plans", "sdc-replica"])
+        assert rc == 0
+        assert capsys.readouterr().out == first
+        report = json.loads(first)
+        assert report["schema"] == "repro-integrity/v1"
+        assert report["headline"]["detection_rate_verify_on"] >= 0.99
+        assert report["headline"]["false_negatives_verify_on"] == 0
+
+    def test_integrity_lint_gate(self, capsys):
+        rc = main(["lint", "--integrity"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "0 error(s)" in out

@@ -15,7 +15,10 @@ from hypothesis import strategies as st
 from repro.analysis import lint_fault_outcome
 from repro.llm.serving import ServingConfig, ServingSimulator, poisson_workload
 from repro.runtime import (
+    ALL_FAULT_KINDS,
     RECOVERY_POLICIES,
+    FaultEvent,
+    FaultKind,
     FaultPlan,
     FaultTolerantRuntime,
 )
@@ -114,6 +117,47 @@ def test_goodput_never_negative_and_bounded(seed, mix):
     assert stats.goodput_tokens_per_s >= 0
     assert 0.0 <= stats.availability <= 1.0
     assert stats.retries_per_request >= 0
+
+
+# --- serialisation round trip over EVERY fault kind ------------------------
+
+def _event_strategy(kind: str) -> st.SearchStrategy:
+    times = st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False)
+    durations = st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False)
+    targets = st.sampled_from(POOLS + ("prefill", "decode"))
+    # sdc_replica constrains factor to (0, 1] (corrupted fraction);
+    # everything else just needs it positive.
+    factors = (
+        st.floats(min_value=0.01, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+        if kind == FaultKind.SDC_REPLICA
+        else st.floats(min_value=0.5, max_value=8.0,
+                       allow_nan=False, allow_infinity=False)
+    )
+    request_ids = (
+        st.integers(min_value=0, max_value=64)
+        if kind == FaultKind.CANCEL
+        else st.none()
+    )
+    return st.builds(
+        FaultEvent, t=times, kind=st.just(kind), target=targets,
+        duration_s=durations, factor=factors, request_id=request_ids,
+    )
+
+
+any_fault_event = st.one_of(*[_event_strategy(k) for k in ALL_FAULT_KINDS])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    events=st.lists(any_fault_event, max_size=12),
+)
+def test_plan_dict_round_trip_all_kinds(seed, events):
+    plan = FaultPlan(name="round-trip", seed=seed, events=tuple(events))
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
 
 
 if __name__ == "__main__":  # pragma: no cover
